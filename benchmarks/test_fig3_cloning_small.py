@@ -1,0 +1,83 @@
+"""Fig 3 — workload cloning of 8 SPEC benchmarks on the Small core (GD).
+
+The paper's Small-core results track Fig 2 with slightly higher error
+(average <2%) because the smaller core is more metric-sensitive; the
+worst residual is xalancbmk's IC hit rate (~10%) — the clone's 500-
+instruction loop cannot reproduce a code footprint larger than the L1I.
+"""
+
+import pytest
+
+from repro.workloads import benchmark_names
+
+from benchmarks.harness import (
+    FULL,
+    clone_suite,
+    mean_error,
+    print_header,
+    print_radar_row,
+    radar_legend,
+)
+
+PAPER_EPOCHS = {
+    "astar": 21, "bzip2": 5, "gcc": 36, "hmmer": 40, "libquantum": 50,
+    "mcf": 30, "sjeng": 6, "xalancbmk": 37,
+}
+
+SUITE_MEAN_ERROR_CEILING = 0.08 if FULL else 0.13
+
+
+@pytest.fixture(scope="module")
+def cloning_results():
+    return clone_suite(benchmark_names(), core="small", tuner="gd")
+
+
+def test_fig3_radar_rows(cloning_results):
+    print_header(
+        "Fig 3: cloning on the Small core with gradient descent",
+        "avg error <2% (worse than Large: higher metric sensitivity); "
+        f"worst ~10% xalancbmk IC hit; epochs 5-50 ({PAPER_EPOCHS})",
+    )
+    radar_legend()
+    errors = []
+    for name, result in cloning_results.items():
+        print_radar_row(name, result)
+        errors.append(mean_error(result))
+    suite_error = sum(errors) / len(errors)
+    print(f"\nsuite mean radar error: {suite_error:.3f}")
+    from benchmarks.harness import radar_payload, save_artifact
+
+    save_artifact("fig3_cloning_small", {
+        "suite_mean_error": suite_error,
+        "benchmarks": radar_payload(cloning_results),
+    })
+    assert suite_error < SUITE_MEAN_ERROR_CEILING
+
+
+def test_fig3_xalancbmk_icache_is_the_worst_residual(cloning_results):
+    """The paper's signature Small-core failure mode must reproduce:
+    xalancbmk's IC hit rate is the axis the clone cannot match."""
+    xalan = cloning_results["xalancbmk"]
+    ic_error = abs(xalan.accuracy["l1i_hit_rate"] - 1.0)
+    print(f"xalancbmk IC-hit clone/target ratio: "
+          f"{xalan.accuracy['l1i_hit_rate']:.3f} (paper: ~1.10)")
+    assert ic_error > 0.02, "expected a visible IC-hit residual"
+    assert ic_error < 0.40
+
+    other_benchmarks_ic = [
+        abs(r.accuracy["l1i_hit_rate"] - 1.0)
+        for n, r in cloning_results.items()
+        if n not in ("xalancbmk",)
+    ]
+    assert ic_error >= max(other_benchmarks_ic) - 0.02
+
+
+def test_fig3_small_core_error_exceeds_large_core(cloning_results):
+    """Cross-figure shape: Small-core cloning error > Large-core error
+    for the memory-sensitive benchmarks (higher metric sensitivity)."""
+    small_err = sum(mean_error(r) for r in cloning_results.values()) / 8
+    print(f"small-core suite error {small_err:.3f} "
+          "(compare Fig 2's large-core run; paper: <1% vs <2%)")
+    # Asserted against the absolute ceiling only: the Fig 2 module run
+    # is not shared across benchmark modules.
+    assert small_err < SUITE_MEAN_ERROR_CEILING

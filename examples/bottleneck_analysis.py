@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Bottleneck analysis — the conclusion's future-work use case.
+
+Sweeps one workload characteristic at a time (memory footprint, branch
+randomness, dependency distance) and reports where each starts to
+bottleneck the core, comparing the Small and Large configurations.
+
+Usage::
+
+    python examples/bottleneck_analysis.py
+"""
+
+from repro.core.platform import PerformancePlatform
+from repro.core.usecases.bottleneck import BottleneckAnalysis
+from repro.sim import LARGE_CORE, SMALL_CORE
+
+BASE_CONFIG = dict(
+    ADD=5, MUL=1, FADDD=1, FMULD=1, BEQ=1, BNE=1, LD=3, LW=1, SD=1, SW=1,
+    REG_DIST=6, MEM_SIZE=16, MEM_STRIDE=64, MEM_TEMP1=1, MEM_TEMP2=1,
+    B_PATTERN=0.1,
+)
+
+SWEEPS = [
+    ("MEM_SIZE", [2, 8, 32, 128, 512, 2048], "memory footprint (KB)"),
+    ("B_PATTERN", [0.1, 0.3, 0.5, 0.7, 0.9], "branch randomness"),
+    ("REG_DIST", [1, 2, 4, 6, 8, 10], "dependency distance"),
+]
+
+
+def sweep_core(core) -> None:
+    print(f"\n=== {core.name} core ===")
+    platform = PerformancePlatform(core, instructions=10_000)
+    for knob, values, label in SWEEPS:
+        analysis = BottleneckAnalysis(
+            platform=platform,
+            base_config=BASE_CONFIG,
+            knob=knob,
+            values=values,
+            metric="ipc",
+        )
+        analysis.run()
+        curve = analysis.response_curve()
+        knee = analysis.knee()
+        print(f"\n{label} -> IPC")
+        for value, ipc in curve:
+            marker = "  <- knee" if value == knee.value else ""
+            print(f"  {value:>8} : {ipc:5.2f} {'*' * int(ipc * 10)}{marker}")
+
+
+def main() -> None:
+    for core in (SMALL_CORE, LARGE_CORE):
+        sweep_core(core)
+
+
+if __name__ == "__main__":
+    main()

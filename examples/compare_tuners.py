@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Tuner shoot-out: gradient descent vs genetic algorithm vs random.
+
+Runs the same worst-case-IPC stress task with all three tuners and
+prints best-so-far loss curves and the evaluation-cost accounting the
+paper highlights (2 x knobs per GD epoch vs population size per GA
+epoch).
+
+Usage::
+
+    python examples/compare_tuners.py
+"""
+
+from repro import MicroGrad, MicroGradConfig
+
+MIX_KNOBS = ("ADD", "MUL", "FADDD", "FMULD", "BEQ", "BNE",
+             "LD", "LW", "SD", "SW")
+
+
+def run(tuner: str, max_epochs: int):
+    config = MicroGradConfig(
+        use_case="stress",
+        metrics=("ipc",),
+        core="large",
+        tuner=tuner,
+        max_epochs=max_epochs,
+        knobs=MIX_KNOBS,
+        loop_size=300,
+        instructions=8_000,
+        seed=1,
+    )
+    return MicroGrad(config).run()
+
+
+def main() -> None:
+    results = {name: run(name, 12) for name in ("gd", "ga", "random")}
+
+    print(f"{'tuner':<8} {'best IPC':>9} {'epochs':>7} "
+          f"{'evals':>7} {'unique':>7}")
+    for name, result in results.items():
+        tuning = result.tuning
+        print(
+            f"{name:<8} {result.metrics['ipc']:>9.3f} {tuning.epochs:>7} "
+            f"{tuning.requested_evaluations:>7} "
+            f"{tuning.unique_evaluations:>7}"
+        )
+
+    print("\nbest-so-far loss per epoch (lower = worse IPC found):")
+    for name, result in results.items():
+        curve = " ".join(f"{v:5.2f}" for v in result.tuning.loss_curve())
+        print(f"  {name:<8} {curve}")
+
+    gd = results["gd"].tuning
+    ga = results["ga"].tuning
+    per_epoch_gd = gd.requested_evaluations / gd.epochs
+    per_epoch_ga = ga.requested_evaluations / ga.epochs
+    print(
+        f"\nevaluations per epoch: GD {per_epoch_gd:.0f} vs GA "
+        f"{per_epoch_ga:.0f} ({per_epoch_ga / per_epoch_gd:.1f}x more "
+        f"work per GA epoch — the paper's 2.5x cost argument)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Power virus generation (the Fig 6 / Table III workflow).
+
+Maximizes dynamic power on the Large core over the instruction-fraction
+knobs, then prints the winning mix next to Table III's distribution and
+the per-component power breakdown.
+
+Usage::
+
+    python examples/power_virus.py
+"""
+
+from repro import MicroGrad, MicroGradConfig
+from repro.codegen import generate_test_case
+from repro.power import PowerModel
+from repro.sim import LARGE_CORE, Simulator
+
+MIX_KNOBS = ("ADD", "MUL", "FADDD", "FMULD", "BEQ", "BNE",
+             "LD", "LW", "SD", "SW")
+
+#: Table III of the paper: the GD power virus instruction distribution.
+TABLE_III = {
+    "integer": 0.057, "float": 0.228, "branch": 0.143,
+    "load": 0.228, "store": 0.328,
+}
+
+
+def main() -> None:
+    config = MicroGradConfig(
+        use_case="stress",
+        metrics=("dynamic_power",),
+        maximize=True,
+        core="large",
+        tuner="gd",
+        max_epochs=25,
+        knobs=MIX_KNOBS,
+        fixed_knobs={"REG_DIST": 10, "B_PATTERN": 0.1, "MEM_SIZE": 16},
+        seed=0,
+    )
+    result = MicroGrad(config).run()
+
+    print(result.summary())
+    print(f"\npeak dynamic power: {result.metrics['dynamic_power']:.2f} W")
+
+    print("\ninstruction mix vs Table III of the paper:")
+    mix = result.program.group_fractions()
+    print(f"  {'class':<8} {'this run':>9} {'Table III':>10}")
+    for group in ("integer", "float", "branch", "load", "store"):
+        print(f"  {group:<8} {mix.get(group, 0.0):>8.1%} "
+              f"{TABLE_III[group]:>9.1%}")
+
+    # Per-component power breakdown of the winning virus.
+    program = generate_test_case(result.knobs)
+    stats = Simulator(LARGE_CORE).run(program)
+    report = PowerModel(LARGE_CORE).estimate(stats)
+    print("\npower breakdown (W):")
+    for component, watts in sorted(
+        report.components.items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {component:<14} {watts:6.3f}")
+    print(f"  {'leakage':<14} {report.leakage_w:6.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Voltage-droop (dI/dt) stress testing — a future-work use case.
+
+The paper's conclusion singles out "other forms of stress testing like
+voltage droops" as a natural MicroGrad extension.  This example wires the
+:class:`~repro.core.platform.VoltageDroopPlatform` (candidate test case
+alternating with a quiet baseline through a first-order PDN model) into
+the standard stress-testing flow and maximizes the supply droop.
+
+Usage::
+
+    python examples/voltage_droop.py
+"""
+
+from repro import MicroGrad, MicroGradConfig
+from repro.core.platform import VoltageDroopPlatform
+from repro.core.report import ascii_chart
+from repro.sim import LARGE_CORE
+
+MIX_KNOBS = ("ADD", "MUL", "FADDD", "FMULD", "BEQ", "BNE",
+             "LD", "LW", "SD", "SW")
+
+
+def main() -> None:
+    platform = VoltageDroopPlatform(LARGE_CORE, instructions=8_000)
+    print(f"baseline (quiet phase) power: {platform.baseline_power_w:.3f} W")
+
+    config = MicroGradConfig(
+        use_case="stress",
+        metrics=("droop_mv",),
+        maximize=True,
+        core="large",
+        max_epochs=15,
+        knobs=MIX_KNOBS,
+        fixed_knobs={"REG_DIST": 10, "MEM_SIZE": 16, "B_PATTERN": 0.0},
+        seed=0,
+    )
+    result = MicroGrad(config, platform=platform).run()
+
+    print(result.summary())
+    print(f"\npeak droop        : {result.metrics['droop_mv']:.2f} mV")
+    print(f"power swing       : {result.metrics['power_swing_w']:.2f} W")
+    print(f"current ramp      : {result.metrics['didt_a_per_ns']:.2f} A/ns")
+    print("\ndroop-virus instruction mix:")
+    for group, fraction in sorted(result.program.group_fractions().items()):
+        print(f"  {group:<8} {fraction:6.1%}")
+
+    curve = [-r.best_loss for r in result.tuning.history]
+    print()
+    print(ascii_chart({"droop_mv": curve}, width=50, height=10,
+                      title="best droop vs tuning epoch"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the wheel package.
+
+``pip install -e .`` requires ``wheel`` for modern editable installs; this
+offline environment lacks it, so ``python setup.py develop`` (or this shim
+via pip's legacy path) provides the editable install instead.
+"""
+from setuptools import setup
+
+setup()

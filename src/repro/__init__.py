@@ -1,0 +1,28 @@
+"""MicroGrad reproduction: workload cloning and stress testing.
+
+A from-scratch Python implementation of the ISPASS 2021 paper
+"MicroGrad: A Centralized Framework for Workload Cloning and Stress
+Testing" (Ravi, Bertran, Bose, Lipasti), including every substrate the
+paper runs on: a Microprobe-like pass-based code generator, a Gem5-like
+cycle-approximate performance simulator, a McPAT-like power model, SPEC-
+like reference workloads with SimPoint phase selection, and the tuning
+mechanisms (gradient descent, the genetic-algorithm baseline, brute
+force).
+
+Quickstart::
+
+    from repro import MicroGrad, MicroGradConfig
+
+    config = MicroGradConfig(use_case="stress", metrics=("ipc",),
+                             core="large", max_epochs=20)
+    result = MicroGrad(config).run()
+    print(result.summary())
+"""
+
+from repro.core.config import MicroGradConfig
+from repro.core.framework import MicroGrad
+from repro.core.outputs import MicroGradResult
+
+__version__ = "1.0.0"
+
+__all__ = ["MicroGrad", "MicroGradConfig", "MicroGradResult", "__version__"]

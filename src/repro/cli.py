@@ -1,0 +1,234 @@
+"""Command-line interface: ``micrograd <command>``.
+
+Commands:
+    clone         run workload cloning from a config file or flags
+    stress        run stress testing
+    characterize  print a reference workload's characteristics
+    simpoints     select simpoints for a reference workload
+    cores         list the available core configurations
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.config import MicroGradConfig
+from repro.core.framework import MicroGrad
+from repro.sim.config import LARGE_CORE, SMALL_CORE, core_by_name
+from repro.workloads.characteristics import (
+    characterize_workload,
+    format_characteristics,
+)
+from repro.workloads.simpoint import select_simpoints, workload_bbv_trace
+from repro.workloads.spec import benchmark_names, get_benchmark
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--config", help="JSON configuration file")
+    parser.add_argument("--core", default="large", choices=["small", "large"])
+    parser.add_argument("--tuner", default="gd", choices=["gd", "ga", "random"])
+    parser.add_argument("--max-epochs", type=int, default=60)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", help="directory to save the result into")
+
+
+def _run_and_report(config: MicroGradConfig, out_dir: str | None) -> int:
+    result = MicroGrad(config).run()
+    print(result.summary())
+    print(json.dumps(result.metrics, indent=2))
+    if out_dir:
+        path = result.save(out_dir)
+        print(f"saved to {path}")
+    return 0
+
+
+def _cmd_clone(args: argparse.Namespace) -> int:
+    if args.config:
+        config = MicroGradConfig.from_json(args.config)
+    else:
+        config = MicroGradConfig(
+            use_case="cloning",
+            application=args.application,
+            core=args.core,
+            tuner=args.tuner,
+            max_epochs=args.max_epochs,
+            seed=args.seed,
+        )
+    return _run_and_report(config, args.out)
+
+
+def _cmd_stress(args: argparse.Namespace) -> int:
+    if args.config:
+        config = MicroGradConfig.from_json(args.config)
+    else:
+        config = MicroGradConfig(
+            use_case="stress",
+            metrics=(args.metric,),
+            maximize=args.maximize,
+            core=args.core,
+            tuner=args.tuner,
+            max_epochs=args.max_epochs,
+            seed=args.seed,
+            with_power="power" in args.metric,
+        )
+    return _run_and_report(config, args.out)
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    workload = get_benchmark(args.application)
+    report = characterize_workload(workload, core_by_name(args.core))
+    print(format_characteristics(report))
+    return 0
+
+
+def _cmd_simpoints(args: argparse.Namespace) -> int:
+    workload = get_benchmark(args.application)
+    bbvs, labels = workload_bbv_trace(workload, seed=args.seed)
+    for sp in select_simpoints(bbvs, max_k=args.max_k, seed=args.seed):
+        print(
+            f"interval {sp.interval:3d}  weight {sp.weight:.3f}  "
+            f"phase {labels[sp.interval]}"
+        )
+    return 0
+
+
+def _cmd_cores(_args: argparse.Namespace) -> int:
+    for core in (SMALL_CORE, LARGE_CORE):
+        print(json.dumps(core.describe(), indent=2))
+    return 0
+
+
+def _cmd_droop(args: argparse.Namespace) -> int:
+    from repro.core.platform import VoltageDroopPlatform
+
+    config = MicroGradConfig(
+        use_case="stress",
+        metrics=("droop_mv",),
+        maximize=True,
+        core=args.core,
+        tuner=args.tuner,
+        max_epochs=args.max_epochs,
+        knobs=("ADD", "MUL", "FADDD", "FMULD", "BEQ", "BNE",
+               "LD", "LW", "SD", "SW"),
+        seed=args.seed,
+    )
+    platform = VoltageDroopPlatform(core_by_name(args.core))
+    result = MicroGrad(config, platform=platform).run()
+    print(result.summary())
+    print(f"peak droop : {result.metrics['droop_mv']:.2f} mV")
+    print(f"power swing: {result.metrics['power_swing_w']:.2f} W")
+    if args.out:
+        print(f"saved to {result.save(args.out)}")
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from repro.core.framework import DEFAULT_KNOB_VALUES
+    from repro.core.platform import PerformancePlatform
+    from repro.core.usecases.sensitivity import SensitivityAnalysis
+    from repro.tuning.knobs import default_cloning_space
+
+    analysis = SensitivityAnalysis(
+        platform=PerformancePlatform(core_by_name(args.core),
+                                     instructions=args.instructions),
+        knob_space=default_cloning_space(),
+        baseline=dict(DEFAULT_KNOB_VALUES),
+        metric=args.metric,
+    )
+    ranking = analysis.run()
+    print(SensitivityAnalysis.format_ranking(ranking, metric=args.metric))
+    return 0
+
+
+def _cmd_bottleneck(args: argparse.Namespace) -> int:
+    from repro.core.framework import DEFAULT_KNOB_VALUES
+    from repro.core.platform import PerformancePlatform
+    from repro.core.usecases.bottleneck import BottleneckAnalysis
+    from repro.tuning.knobs import default_cloning_space
+
+    space = default_cloning_space()
+    try:
+        knob = next(k for k in space.knobs if k.name == args.knob)
+    except StopIteration:
+        raise SystemExit(f"unknown knob {args.knob!r}; "
+                         f"choose from {space.names}")
+    analysis = BottleneckAnalysis(
+        platform=PerformancePlatform(core_by_name(args.core),
+                                     instructions=args.instructions),
+        base_config=dict(DEFAULT_KNOB_VALUES),
+        knob=args.knob,
+        values=list(knob.values),
+        metric=args.metric,
+    )
+    analysis.run()
+    for value, metric in analysis.response_curve():
+        print(f"{args.knob}={value:<8g} {args.metric}={metric:.4f}")
+    knee = analysis.knee()
+    print(f"knee at {args.knob}={knee.value:g}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="micrograd",
+        description="Workload cloning and stress testing framework",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    clone = sub.add_parser("clone", help="clone a reference application")
+    _add_common(clone)
+    clone.add_argument("--application", choices=benchmark_names(),
+                       help="reference workload to clone")
+    clone.set_defaults(func=_cmd_clone)
+
+    stress = sub.add_parser("stress", help="generate a stress test")
+    _add_common(stress)
+    stress.add_argument("--metric", default="ipc")
+    stress.add_argument("--maximize", action="store_true")
+    stress.set_defaults(func=_cmd_stress)
+
+    char = sub.add_parser("characterize", help="characterize a workload")
+    char.add_argument("--application", required=True, choices=benchmark_names())
+    char.add_argument("--core", default="large", choices=["small", "large"])
+    char.set_defaults(func=_cmd_characterize)
+
+    simp = sub.add_parser("simpoints", help="select simpoints")
+    simp.add_argument("--application", required=True, choices=benchmark_names())
+    simp.add_argument("--max-k", type=int, default=4)
+    simp.add_argument("--seed", type=int, default=0)
+    simp.set_defaults(func=_cmd_simpoints)
+
+    cores = sub.add_parser("cores", help="list core configurations")
+    cores.set_defaults(func=_cmd_cores)
+
+    droop = sub.add_parser("droop", help="generate a voltage-droop virus")
+    _add_common(droop)
+    droop.set_defaults(func=_cmd_droop)
+
+    sens = sub.add_parser("sensitivity", help="rank knobs by metric impact")
+    sens.add_argument("--core", default="large", choices=["small", "large"])
+    sens.add_argument("--metric", default="ipc")
+    sens.add_argument("--instructions", type=int, default=8_000)
+    sens.set_defaults(func=_cmd_sensitivity)
+
+    bottleneck = sub.add_parser("bottleneck", help="sweep one knob")
+    bottleneck.add_argument("--core", default="large",
+                            choices=["small", "large"])
+    bottleneck.add_argument("--knob", required=True)
+    bottleneck.add_argument("--metric", default="ipc")
+    bottleneck.add_argument("--instructions", type=int, default=8_000)
+    bottleneck.set_defaults(func=_cmd_bottleneck)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Microprobe-like pass-based code generation framework.
+
+The paper drives IBM's Microprobe through its Python scripting interface
+(Listing 2).  This package reimplements the pass vocabulary MicroGrad uses:
+a :class:`~repro.codegen.synthesizer.Synthesizer` applies an ordered list of
+code-synthesis passes to an empty program, each pass filling in one aspect
+(loop skeleton, instruction profile, branch randomization, memory streams,
+register allocation at a target dependency distance, addresses).
+
+The high-level entry point :func:`~repro.codegen.wrapper.generate_test_case`
+maps a MicroGrad knob configuration (Listing 1) onto a pass pipeline and
+returns the generated :class:`~repro.isa.program.Program`.
+"""
+
+from repro.codegen.synthesizer import GenerationContext, Synthesizer
+from repro.codegen.wrapper import (
+    KNOB_INSTRUCTIONS,
+    MemoryStreamSpec,
+    default_pass_list,
+    generate_test_case,
+)
+from repro.codegen.passes.building_block import SimpleBuildingBlockPass
+from repro.codegen.passes.registers import (
+    DefaultRegisterAllocationPass,
+    InitializeRegistersPass,
+    ReserveRegistersPass,
+)
+from repro.codegen.passes.profile import SetInstructionTypeByProfilePass
+from repro.codegen.passes.branches import RandomizeByTypePass
+from repro.codegen.passes.memory import GenericMemoryStreamsPass
+from repro.codegen.passes.addresses import UpdateInstructionAddressesPass
+from repro.codegen.passes.verify import VerifyProgramPass
+
+__all__ = [
+    "Synthesizer",
+    "GenerationContext",
+    "generate_test_case",
+    "default_pass_list",
+    "MemoryStreamSpec",
+    "KNOB_INSTRUCTIONS",
+    "SimpleBuildingBlockPass",
+    "ReserveRegistersPass",
+    "InitializeRegistersPass",
+    "SetInstructionTypeByProfilePass",
+    "RandomizeByTypePass",
+    "GenericMemoryStreamsPass",
+    "DefaultRegisterAllocationPass",
+    "UpdateInstructionAddressesPass",
+    "VerifyProgramPass",
+]

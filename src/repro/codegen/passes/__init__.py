@@ -1,0 +1,1 @@
+"""Code-synthesis passes (the Listing 2 vocabulary)."""

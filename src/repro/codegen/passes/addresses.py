@@ -1,0 +1,33 @@
+"""Address update pass (``UpdateInstructionAddressesPass`` in Listing 2)."""
+
+from __future__ import annotations
+
+from repro.codegen.synthesizer import GenerationContext, Pass
+from repro.isa.program import Program
+
+#: RISC-V fixed 4-byte encoding.
+INSTRUCTION_BYTES = 4
+
+
+class UpdateInstructionAddressesPass(Pass):
+    """Assign sequential PCs starting at the program entry point.
+
+    Branch immediates are pointed at the loop top (the generated test cases
+    are single endless loops, so intra-loop branch targets reduce to the
+    back edge in this substrate).
+    """
+
+    requires = ("building_block",)
+    provides = ("addresses",)
+
+    def __init__(self, instruction_bytes: int = INSTRUCTION_BYTES):
+        self.instruction_bytes = instruction_bytes
+
+    def run(self, program: Program, context: GenerationContext) -> None:
+        pc = program.entry_address
+        for instr in program.body:
+            instr.address = pc
+            if instr.idef.is_branch and instr.immediate is None:
+                instr.immediate = program.entry_address
+            pc += self.instruction_bytes
+        program.metadata["code_bytes"] = pc - program.entry_address

@@ -1,0 +1,49 @@
+"""Branch randomization pass (``RandomizeByTypePass`` in Listing 2).
+
+Attaches a :class:`~repro.isa.program.BranchBehavior` to every conditional
+branch: a periodic, fully predictable base pattern with a knob-controlled
+fraction of outcomes replaced by coin flips (the ``B_PATTERN`` knob).  The
+misprediction rate seen by the simulator's history-based predictor scales
+with that fraction.
+"""
+
+from __future__ import annotations
+
+from repro.codegen.synthesizer import GenerationContext, Pass
+from repro.isa.program import BranchBehavior, Program
+
+
+class RandomizeByTypePass(Pass):
+    """Randomize branch directions at a given probability.
+
+    Args:
+        random_ratio: fraction of branch outcomes drawn at random
+            (0 = fully periodic/predictable, 1 = fully random).
+        base_pattern: periodic pattern used for non-randomized outcomes.
+        taken_bias: probability a randomized outcome is taken.
+    """
+
+    requires = ("profile",)
+    provides = ("branch_behaviour",)
+
+    def __init__(
+        self,
+        random_ratio: float,
+        base_pattern: tuple[bool, ...] = (True, True, False, True),
+        taken_bias: float = 0.5,
+    ):
+        if not 0.0 <= random_ratio <= 1.0:
+            raise ValueError("random_ratio must be within [0, 1]")
+        self.random_ratio = random_ratio
+        self.base_pattern = tuple(base_pattern)
+        self.taken_bias = taken_bias
+
+    def run(self, program: Program, context: GenerationContext) -> None:
+        for n, instr in enumerate(program.branch_instructions()):
+            instr.branch = BranchBehavior(
+                pattern=self.base_pattern,
+                random_ratio=self.random_ratio,
+                seed=int(context.rng.integers(0, 2**31)) + n,
+                taken_bias=self.taken_bias,
+            )
+        program.metadata["branch_random_ratio"] = self.random_ratio

@@ -1,0 +1,27 @@
+"""Loop skeleton pass (``SimpleBuildingBlockPass`` in Listing 2)."""
+
+from __future__ import annotations
+
+from repro.codegen.synthesizer import GenerationContext, Pass
+from repro.isa.instructions import instruction_def
+from repro.isa.program import Instruction, Program
+
+
+class SimpleBuildingBlockPass(Pass):
+    """Create a container (loop body) of ``loop_size`` placeholder slots.
+
+    The placeholders are NOPs; the instruction-profile pass rewrites them.
+    The paper's test cases use ~500 static instructions in an endless loop.
+    """
+
+    provides = ("building_block",)
+
+    def __init__(self, loop_size: int):
+        if loop_size < 1:
+            raise ValueError("loop_size must be >= 1")
+        self.loop_size = loop_size
+
+    def run(self, program: Program, context: GenerationContext) -> None:
+        nop = instruction_def("NOP")
+        program.body = [Instruction(idef=nop) for _ in range(self.loop_size)]
+        program.metadata["loop_size"] = self.loop_size

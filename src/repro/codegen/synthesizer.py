@@ -1,0 +1,98 @@
+"""Pass manager and generation context.
+
+Mirrors Microprobe's synthesizer: passes are applied in order to an initially
+empty program, and lightweight ordering rules catch pipelines that would
+silently produce broken code (e.g. allocating registers before the
+instruction profile exists).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.isa.program import Program
+from repro.isa.registers import RegisterFile
+
+
+class PassOrderingError(RuntimeError):
+    """A pass ran before one of its declared prerequisites."""
+
+
+@dataclass
+class GenerationContext:
+    """Mutable state threaded through a synthesis run.
+
+    Attributes:
+        registers: architectural register file with reservations.
+        rng: deterministic RNG shared by randomized passes.
+        provides: capability tags published by completed passes; passes
+            declare ``requires`` against these tags.
+    """
+
+    registers: RegisterFile = field(default_factory=RegisterFile)
+    rng: np.random.Generator = field(
+        default_factory=lambda: np.random.default_rng(0)
+    )
+    provides: set[str] = field(default_factory=set)
+
+
+class Pass:
+    """Base class of every code-synthesis pass.
+
+    Subclasses set :attr:`requires` / :attr:`provides` tags and implement
+    :meth:`run`.  Tags give the synthesizer declarative ordering rules
+    equivalent to Microprobe's pass ordering.
+    """
+
+    #: Capability tags that must be present before this pass runs.
+    requires: tuple[str, ...] = ()
+    #: Capability tags this pass publishes after running.
+    provides: tuple[str, ...] = ()
+
+    def run(self, program: Program, context: GenerationContext) -> None:
+        """Transform ``program`` in place."""
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{self.name}>"
+
+
+class Synthesizer:
+    """Applies an ordered list of passes to produce a program.
+
+    Example::
+
+        synth = Synthesizer(passes=[SimpleBuildingBlockPass(500), ...])
+        program = synth.synthesize()
+    """
+
+    def __init__(self, passes: list[Pass], seed: int = 0):
+        self.passes = list(passes)
+        self.seed = seed
+
+    def synthesize(self) -> Program:
+        """Run every pass in order and return the generated program.
+
+        Raises:
+            PassOrderingError: when a pass's ``requires`` tags are not yet
+                provided by earlier passes.
+        """
+        program = Program()
+        context = GenerationContext(rng=np.random.default_rng(self.seed))
+        for p in self.passes:
+            missing = [tag for tag in p.requires if tag not in context.provides]
+            if missing:
+                raise PassOrderingError(
+                    f"{p.name} requires {missing} but only "
+                    f"{sorted(context.provides)} are available; "
+                    "reorder the pass list"
+                )
+            p.run(program, context)
+            context.provides.update(p.provides)
+        return program

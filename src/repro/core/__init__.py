@@ -1,0 +1,38 @@
+"""The MicroGrad framework core.
+
+Wires the substrates together exactly as Fig 1 draws it: inputs (a
+configuration describing the use case), the knob interface, the
+Microprobe-style code generation back-end, an evaluation platform
+(performance simulator and/or power estimator), and the tuning mechanism —
+producing the test-case binary, knob settings, metrics and epoch
+progression as outputs.
+"""
+
+from repro.core.platform import (
+    CompositePlatform,
+    EvaluationPlatform,
+    PerformancePlatform,
+    PowerPlatform,
+    platform_for,
+)
+from repro.core.config import MicroGradConfig
+from repro.core.outputs import MicroGradResult
+from repro.core.framework import MicroGrad
+from repro.core.usecases.cloning import CloningUseCase
+from repro.core.usecases.stress import StressTestingUseCase
+from repro.core.usecases.bottleneck import BottleneckAnalysis, BottleneckPoint
+
+__all__ = [
+    "EvaluationPlatform",
+    "PerformancePlatform",
+    "PowerPlatform",
+    "CompositePlatform",
+    "platform_for",
+    "MicroGradConfig",
+    "MicroGradResult",
+    "MicroGrad",
+    "CloningUseCase",
+    "StressTestingUseCase",
+    "BottleneckAnalysis",
+    "BottleneckPoint",
+]

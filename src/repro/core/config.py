@@ -1,0 +1,133 @@
+"""Framework input configuration (Section III-A).
+
+MicroGrad's inputs arrive as a configuration file; :class:`MicroGradConfig`
+is its in-memory form with JSON (de)serialization.  Defaults follow the
+paper: cloning defaults to instruction distributions + cache hit rates +
+misprediction rate + IPC as metrics of interest with a 99% accuracy target;
+stress testing defaults to IPC.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+#: Default cloning metrics of interest (Section III-A1 / IV-A4).
+DEFAULT_CLONING_METRICS = (
+    "integer",
+    "load",
+    "store",
+    "branch",
+    "mispredict_rate",
+    "l1i_hit_rate",
+    "l1d_hit_rate",
+    "l2_hit_rate",
+    "ipc",
+)
+
+_VALID_USE_CASES = ("cloning", "stress")
+_VALID_TUNERS = ("gd", "ga", "random")
+
+
+@dataclass
+class MicroGradConfig:
+    """Everything a MicroGrad run needs.
+
+    Attributes:
+        use_case: ``"cloning"`` or ``"stress"``.
+        core: target core name (``small`` / ``large``).
+        metrics: metrics of interest.  For cloning these are matched; for
+            stress the single entry is the stress metric.
+        targets: explicit target values (cloning); alternatively name a
+            reference ``application`` to characterize automatically.
+        application: reference workload name (cloning input option 2).
+        application_scope: ``"simpoint"`` (default) targets the
+            application's dominant simpoint phase — the paper generates
+            clones on 100M-instruction simpoints; ``"combined"`` targets
+            the whole application's phase-weighted metrics instead.
+        use_simpoints: clone per simpoint instead of whole application.
+        maximize: stress direction (True for power viruses).
+        tuner: ``"gd"`` (default), ``"ga"`` or ``"random"``.
+        accuracy_target: stop when mean cloning accuracy reaches this.
+        max_epochs: tuning epoch limit.
+        knobs: restrict tuning to these knob names (e.g. only the
+            instruction-fraction knobs for Fig 5/6 scenarios).
+        fixed_knobs: pinned knob values merged into every configuration.
+        loop_size: static size of generated test cases.
+        instructions: dynamic instruction budget per evaluation.
+        with_power: attach the power model to the platform.
+        seed: RNG seed for the whole run.
+    """
+
+    use_case: str = "cloning"
+    core: str = "large"
+    metrics: tuple[str, ...] = DEFAULT_CLONING_METRICS
+    targets: dict = field(default_factory=dict)
+    application: str | None = None
+    application_scope: str = "simpoint"
+    use_simpoints: bool = False
+    maximize: bool = False
+    tuner: str = "gd"
+    accuracy_target: float = 0.99
+    max_epochs: int = 60
+    knobs: tuple[str, ...] | None = None
+    fixed_knobs: dict = field(default_factory=dict)
+    loop_size: int = 500
+    instructions: int = 20_000
+    with_power: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.use_case not in _VALID_USE_CASES:
+            raise ValueError(
+                f"use_case must be one of {_VALID_USE_CASES}, got {self.use_case!r}"
+            )
+        if self.tuner not in _VALID_TUNERS:
+            raise ValueError(
+                f"tuner must be one of {_VALID_TUNERS}, got {self.tuner!r}"
+            )
+        if not 0.0 < self.accuracy_target <= 1.0:
+            raise ValueError("accuracy_target must be within (0, 1]")
+        if self.max_epochs < 1:
+            raise ValueError("max_epochs must be >= 1")
+        self.metrics = tuple(self.metrics)
+        if self.use_case == "cloning" and not self.targets and not self.application:
+            raise ValueError(
+                "cloning needs either explicit targets or an application name"
+            )
+        if self.use_case == "stress" and not self.metrics:
+            raise ValueError("stress testing needs at least one stress metric")
+        if self.application_scope not in ("simpoint", "combined"):
+            raise ValueError(
+                "application_scope must be 'simpoint' or 'combined', "
+                f"got {self.application_scope!r}"
+            )
+
+    # -- serialization --------------------------------------------------
+
+    def to_json(self, path: str | Path | None = None) -> str:
+        """Serialize to JSON (optionally writing ``path``)."""
+        payload = asdict(self)
+        payload["metrics"] = list(self.metrics)
+        if self.knobs is not None:
+            payload["knobs"] = list(self.knobs)
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    @classmethod
+    def from_json(cls, source: str | Path) -> "MicroGradConfig":
+        """Load from a JSON string or file path."""
+        text = str(source)
+        if "\n" not in text and len(text) < 4096:
+            candidate = Path(text)
+            if candidate.exists():
+                text = candidate.read_text()
+        data = json.loads(text)
+        if "metrics" in data:
+            data["metrics"] = tuple(data["metrics"])
+        if data.get("knobs") is not None:
+            data["knobs"] = tuple(data["knobs"])
+        return cls(**data)

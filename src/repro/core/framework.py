@@ -1,0 +1,214 @@
+"""The MicroGrad facade: configuration in, result out.
+
+Assembles knob space, code generation, evaluation platform, use-case loss
+and tuning mechanism, runs the tuning loop, and packages the outputs —
+the whole of Fig 1 behind one class.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.codegen.wrapper import GenerationOptions, generate_test_case
+from repro.core.config import MicroGradConfig
+from repro.core.outputs import MicroGradResult
+from repro.core.platform import EvaluationPlatform, platform_for
+from repro.core.usecases.cloning import CloningUseCase
+from repro.core.usecases.stress import StressTestingUseCase
+from repro.sim.config import core_by_name
+from repro.sim.simulator import Simulator
+from repro.tuning.base import TuningResult
+from repro.tuning.evaluator import Evaluator
+from repro.tuning.genetic import GAParams, GeneticTuner
+from repro.tuning.gradient import GDParams, GradientDescentTuner
+from repro.tuning.knobs import KnobSpace, default_cloning_space
+from repro.tuning.loss import accuracy_report, mean_accuracy
+from repro.tuning.random_search import RandomSearch
+from repro.workloads.simpoint import select_simpoints, workload_bbv_trace
+from repro.workloads.spec import get_benchmark
+
+#: Default values for knobs excluded from tuning (overridable through
+#: ``MicroGradConfig.fixed_knobs``).
+DEFAULT_KNOB_VALUES = {
+    "ADD": 4, "MUL": 1, "FADDD": 1, "FMULD": 1, "BEQ": 2, "BNE": 1,
+    "LD": 3, "LW": 1, "SD": 1, "SW": 1,
+    "REG_DIST": 4, "MEM_SIZE": 64, "MEM_STRIDE": 64,
+    "MEM_TEMP1": 4, "MEM_TEMP2": 2, "B_PATTERN": 0.3,
+}
+
+
+class MicroGrad:
+    """One configured instance of the framework.
+
+    Example::
+
+        mg = MicroGrad(MicroGradConfig(use_case="cloning",
+                                       application="mcf", core="large"))
+        result = mg.run()
+        print(result.summary())
+    """
+
+    def __init__(self, config: MicroGradConfig,
+                 platform: EvaluationPlatform | None = None):
+        self.config = config
+        self.platform = platform or platform_for(
+            config.core,
+            with_power=config.with_power or self._needs_power(),
+            instructions=config.instructions,
+        )
+        self.knob_space = self._build_space()
+
+    def _needs_power(self) -> bool:
+        return any("power" in m for m in self.config.metrics)
+
+    def _build_space(self) -> KnobSpace:
+        full = default_cloning_space()
+        selected = self.config.knobs
+        if selected is None:
+            knobs = full.knobs
+            fixed = dict(self.config.fixed_knobs)
+        else:
+            unknown = set(selected) - {k.name for k in full.knobs}
+            if unknown:
+                raise ValueError(f"unknown knob names: {sorted(unknown)}")
+            knobs = [k for k in full.knobs if k.name in selected]
+            fixed = {
+                k.name: DEFAULT_KNOB_VALUES[k.name]
+                for k in full.knobs
+                if k.name not in selected
+            }
+            fixed.update(self.config.fixed_knobs)
+        return KnobSpace(knobs, fixed=fixed)
+
+    # -- evaluation bridge ----------------------------------------------
+
+    def _evaluate_config(self, knob_config: dict) -> dict[str, float]:
+        options = GenerationOptions(
+            loop_size=self.config.loop_size, seed=self.config.seed
+        )
+        program = generate_test_case(knob_config, options)
+        return self.platform.evaluate(program)
+
+    def _build_tuner(self, evaluator: Evaluator, loss, target_loss: float,
+                     initial=None):
+        seed = self.config.seed
+        if self.config.tuner == "gd":
+            if initial is not None:
+                # Informed start (cloning): smaller first steps so the
+                # tuner refines the seeded configuration instead of
+                # leaping away from it.
+                params = GDParams(
+                    max_epochs=self.config.max_epochs,
+                    target_loss=target_loss,
+                    step_initial=1.5,
+                    patience=10,
+                )
+            else:
+                # Cold random start (stress testing): aggressive early
+                # steps with eager plateau restarts explore the mix
+                # space the way the paper's <30-epoch convergence needs.
+                params = GDParams(
+                    max_epochs=self.config.max_epochs,
+                    target_loss=target_loss,
+                    step_initial=3.5,
+                    patience=5,
+                    restarts_on_plateau=5,
+                )
+            return GradientDescentTuner(
+                evaluator, loss, params, initial=initial, seed=seed,
+                restart_anchor=initial is not None,
+            )
+        if self.config.tuner == "ga":
+            params = GAParams(
+                max_epochs=self.config.max_epochs, target_loss=target_loss
+            )
+            return GeneticTuner(evaluator, loss, params, seed=seed)
+        return RandomSearch(
+            evaluator, loss, max_epochs=self.config.max_epochs, seed=seed
+        )
+
+    # -- runs -------------------------------------------------------------
+
+    def run(self) -> MicroGradResult:
+        """Execute the configured use case end to end."""
+        initial = None
+        if self.config.use_case == "cloning":
+            usecase = CloningUseCase(self.config)
+            targets = usecase.resolve_targets()
+            loss = usecase.loss(targets)
+            target_loss = usecase.target_loss()
+            initial = usecase.initial_vector(targets, self.knob_space)
+        else:
+            usecase = StressTestingUseCase(self.config)
+            targets = {}
+            loss = usecase.loss()
+            target_loss = usecase.target_loss()
+
+        evaluator = Evaluator(self.knob_space, self._evaluate_config)
+        tuner = self._build_tuner(evaluator, loss, target_loss, initial=initial)
+        tuning: TuningResult = tuner.run()
+
+        program = generate_test_case(
+            tuning.best_config,
+            GenerationOptions(loop_size=self.config.loop_size,
+                              seed=self.config.seed),
+        )
+        result = MicroGradResult(
+            use_case=self.config.use_case,
+            core=self.config.core,
+            program=program,
+            knobs=tuning.best_config,
+            metrics=tuning.best_metrics,
+            targets=targets,
+            tuning=tuning,
+        )
+        if targets:
+            result.accuracy = accuracy_report(tuning.best_metrics, targets)
+            result.mean_accuracy = mean_accuracy(tuning.best_metrics, targets)
+        return result
+
+    def clone_simpoints(self, max_k: int = 4) -> list[MicroGradResult]:
+        """Clone a reference application one simpoint at a time.
+
+        Builds the application's BBV trace, selects simpoints, maps each
+        back to the phase it samples, and runs one cloning pass per
+        simpoint — "potentially one clone for each interesting phase"
+        (Section III-A1).  Each result's ``targets`` are the sampled
+        phase's metrics; the simpoint weight is stored in
+        ``result.knobs["_simpoint_weight"]``.
+        """
+        if self.config.use_case != "cloning" or not self.config.application:
+            raise ValueError("simpoint cloning needs a cloning config with "
+                             "an application name")
+        workload = get_benchmark(self.config.application)
+        bbvs, labels = workload_bbv_trace(workload, seed=self.config.seed)
+        simpoints = select_simpoints(bbvs, max_k=max_k, seed=self.config.seed)
+
+        core = core_by_name(self.config.core)
+        sim = Simulator(core)
+        phase_programs = dict(zip([p.name for p in workload.phases],
+                                  workload.programs()))
+        results = []
+        for sp in simpoints:
+            phase_name = labels[sp.interval]
+            stats = sim.run(
+                phase_programs[phase_name],
+                instructions=self.config.instructions,
+            )
+            targets = stats.metrics()
+            sub_config = MicroGradConfig(
+                **{
+                    **self.config.__dict__,
+                    "targets": {
+                        m: targets[m] for m in self.config.metrics
+                    },
+                    "application": None,
+                    "use_simpoints": False,
+                }
+            )
+            sub = MicroGrad(sub_config, platform=self.platform)
+            result = sub.run()
+            result.knobs["_simpoint_weight"] = sp.weight
+            result.knobs["_simpoint_phase"] = phase_name
+            results.append(result)
+        return results

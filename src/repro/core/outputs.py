@@ -1,0 +1,99 @@
+"""Framework outputs (Section III-F).
+
+A finished run yields the generated test case (as a program and as
+assembly text), the knob configuration that produced it, its measured
+metrics, and the per-epoch tuning progression — all saveable to a
+directory for archival.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.isa.assembler import program_to_asm
+from repro.isa.program import Program
+from repro.tuning.base import TuningResult
+
+
+@dataclass
+class MicroGradResult:
+    """Everything a MicroGrad run produced.
+
+    Attributes:
+        use_case: the use case that ran.
+        core: target core name.
+        program: the winning generated test case.
+        knobs: its knob configuration.
+        metrics: its measured metrics.
+        targets: the target metric values (cloning) or empty (stress).
+        accuracy: per-metric measured/target ratios (cloning).
+        mean_accuracy: mean symmetric accuracy (cloning) or 0.
+        tuning: the underlying tuner result (history, eval accounting).
+    """
+
+    use_case: str
+    core: str
+    program: Program
+    knobs: dict
+    metrics: dict[str, float]
+    targets: dict[str, float] = field(default_factory=dict)
+    accuracy: dict[str, float] = field(default_factory=dict)
+    mean_accuracy: float = 0.0
+    tuning: TuningResult | None = None
+
+    @property
+    def assembly(self) -> str:
+        """The test-case "binary" as assembly text."""
+        return program_to_asm(self.program)
+
+    def epoch_progression(self) -> list[dict]:
+        """Per-epoch tuning records as plain dicts (for CSV/JSON dumps)."""
+        if self.tuning is None:
+            return []
+        return [
+            {
+                "epoch": r.epoch,
+                "loss": r.loss,
+                "best_loss": r.best_loss,
+                "evaluations": r.evaluations,
+            }
+            for r in self.tuning.history
+        ]
+
+    def save(self, directory: str | Path) -> Path:
+        """Write assembly, knobs, metrics and progression into a directory."""
+        out = Path(directory)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "testcase.s").write_text(self.assembly)
+        (out / "knobs.json").write_text(json.dumps(self.knobs, indent=2))
+        payload = {
+            "use_case": self.use_case,
+            "core": self.core,
+            "metrics": self.metrics,
+            "targets": self.targets,
+            "accuracy": self.accuracy,
+            "mean_accuracy": self.mean_accuracy,
+        }
+        (out / "metrics.json").write_text(json.dumps(payload, indent=2))
+        (out / "epochs.json").write_text(
+            json.dumps(self.epoch_progression(), indent=2)
+        )
+        return out
+
+    def summary(self) -> str:
+        """Short human-readable result summary."""
+        lines = [
+            f"use case : {self.use_case} on {self.core}",
+            f"knobs    : {self.knobs}",
+        ]
+        if self.targets:
+            lines.append(f"accuracy : {self.mean_accuracy:.4f} (mean)")
+        if self.tuning is not None:
+            lines.append(
+                f"tuning   : {self.tuning.epochs} epochs, "
+                f"{self.tuning.requested_evaluations} evaluations "
+                f"({self.tuning.stop_reason})"
+            )
+        return "\n".join(lines)

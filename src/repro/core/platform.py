@@ -1,0 +1,207 @@
+"""Evaluation platforms (Section III-E).
+
+MicroGrad interfaces with performance simulators, power estimators and
+native hardware; all the tuner sees is "program in, metric dict out".  The
+platforms here wrap this reproduction's Gem5-like simulator and McPAT-like
+power model; a new backend (e.g. real perf counters) plugs in by
+implementing :class:`EvaluationPlatform`.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.isa.program import Program
+from repro.power.mcpat import PowerModel
+from repro.sim.config import CoreConfig, core_by_name
+from repro.sim.simulator import DEFAULT_INSTRUCTIONS, Simulator
+
+
+@runtime_checkable
+class EvaluationPlatform(Protocol):
+    """Anything that can execute a program and report metrics."""
+
+    name: str
+
+    def evaluate(self, program: Program) -> dict[str, float]:
+        """Run ``program`` and return its metric dict."""
+        ...
+
+
+class PerformancePlatform:
+    """Performance-simulator platform (the Gem5 role).
+
+    Produces the canonical metric keys of
+    :data:`repro.sim.stats.METRIC_KEYS`.
+    """
+
+    def __init__(self, core: CoreConfig, instructions: int = DEFAULT_INSTRUCTIONS):
+        self.core = core
+        self.instructions = instructions
+        self.simulator = Simulator(core)
+        self.name = f"perf:{core.name}"
+
+    def evaluate(self, program: Program) -> dict[str, float]:
+        stats = self.simulator.run(program, instructions=self.instructions)
+        return stats.metrics()
+
+
+class PowerPlatform:
+    """Performance + power platform (the Gem5 -> McPAT pipeline).
+
+    Adds ``dynamic_power`` and ``total_power`` (watts) to the performance
+    metrics, mirroring the statistics transfer of Section IV-A2.
+    """
+
+    def __init__(
+        self,
+        core: CoreConfig,
+        instructions: int = DEFAULT_INSTRUCTIONS,
+        power_model: PowerModel | None = None,
+    ):
+        self.core = core
+        self.instructions = instructions
+        self.simulator = Simulator(core)
+        self.power_model = power_model or PowerModel(core)
+        self.name = f"power:{core.name}"
+
+    def evaluate(self, program: Program) -> dict[str, float]:
+        stats = self.simulator.run(program, instructions=self.instructions)
+        metrics = stats.metrics()
+        report = self.power_model.estimate(stats)
+        metrics["dynamic_power"] = report.dynamic_w
+        metrics["total_power"] = report.total_w
+        return metrics
+
+
+class VoltageDroopPlatform:
+    """dI/dt stress platform: alternate the candidate against a baseline.
+
+    Models the classic dI/dt stressmark structure: execution alternates
+    between a fixed low-activity phase (``baseline_knobs``) and the
+    candidate test case; the PDN model converts the resulting power swing
+    into a droop.  Metrics: the candidate's performance metrics plus
+    ``droop_mv``, ``didt_a_per_ns``, ``power_swing_w`` and
+    ``dynamic_power``.
+    """
+
+    def __init__(
+        self,
+        core: CoreConfig,
+        baseline_knobs: dict | None = None,
+        instructions: int = DEFAULT_INSTRUCTIONS,
+        pdn=None,
+    ):
+        from repro.codegen.wrapper import generate_test_case
+        from repro.power.droop import DroopModel
+
+        self.core = core
+        self.instructions = instructions
+        self.simulator = Simulator(core)
+        self.power_model = PowerModel(core)
+        self.droop_model = DroopModel(pdn)
+        self.name = f"droop:{core.name}"
+        baseline_knobs = baseline_knobs or {
+            "ADD": 2, "BEQ": 1, "REG_DIST": 1, "B_PATTERN": 0.0,
+        }
+        baseline_program = generate_test_case(baseline_knobs)
+        baseline_stats = self.simulator.run(
+            baseline_program, instructions=instructions
+        )
+        self._baseline_power = self.power_model.estimate(
+            baseline_stats
+        ).dynamic_w
+
+    @property
+    def baseline_power_w(self) -> float:
+        """Dynamic power of the fixed low-activity phase."""
+        return self._baseline_power
+
+    def evaluate(self, program: Program) -> dict[str, float]:
+        stats = self.simulator.run(program, instructions=self.instructions)
+        metrics = stats.metrics()
+        candidate_power = self.power_model.estimate(stats).dynamic_w
+        report = self.droop_model.estimate(self._baseline_power,
+                                           candidate_power)
+        metrics["dynamic_power"] = candidate_power
+        metrics["power_swing_w"] = report.power_high_w - report.power_low_w
+        metrics["didt_a_per_ns"] = report.didt_a_per_ns
+        metrics["droop_mv"] = report.droop_mv
+        return metrics
+
+
+class NativeExecutionPlatform:
+    """Functional-execution platform (the "native hardware" role).
+
+    Architecturally executes the test case with the ISA interpreter and
+    reports the counters real hardware would expose without a simulator:
+    dynamic instruction distribution, memory-operation and taken-branch
+    rates, plus host execution throughput (``host_mips``).  Useful for
+    validating generated programs and for use cases whose metrics are
+    functional rather than microarchitectural.
+    """
+
+    def __init__(self, iterations: int = 40):
+        self.iterations = iterations
+        self.name = "native"
+
+    def evaluate(self, program: Program) -> dict[str, float]:
+        import time
+
+        from repro.isa.interpreter import Interpreter
+
+        start = time.perf_counter()
+        result = Interpreter(program).run(iterations=self.iterations)
+        elapsed = max(time.perf_counter() - start, 1e-9)
+
+        total = max(1, result.instructions)
+        metrics: dict[str, float] = {
+            "instructions": float(total),
+            "loads_per_instr": result.loads / total,
+            "stores_per_instr": result.stores / total,
+            "taken_branch_rate": (
+                result.taken_branches
+                / max(1, sum(
+                    n for c, n in result.class_counts.items()
+                    if c.name == "BRANCH"
+                ))
+            ),
+            "host_mips": total / elapsed / 1e6,
+        }
+        from repro.isa.instructions import class_of_group
+
+        group_counts: dict[str, int] = {}
+        for iclass, count in result.class_counts.items():
+            group = class_of_group(iclass)
+            group_counts[group] = group_counts.get(group, 0) + count
+        for group in ("integer", "float", "load", "store", "branch"):
+            metrics[group] = group_counts.get(group, 0) / total
+        return metrics
+
+
+class CompositePlatform:
+    """Merge the metric dicts of several platforms (later ones win ties)."""
+
+    def __init__(self, platforms: list[EvaluationPlatform]):
+        if not platforms:
+            raise ValueError("composite platform needs at least one platform")
+        self.platforms = list(platforms)
+        self.name = "+".join(p.name for p in platforms)
+
+    def evaluate(self, program: Program) -> dict[str, float]:
+        merged: dict[str, float] = {}
+        for platform in self.platforms:
+            merged.update(platform.evaluate(program))
+        return merged
+
+
+def platform_for(
+    core: CoreConfig | str,
+    with_power: bool = False,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+) -> EvaluationPlatform:
+    """Convenience factory: core (or name) -> platform."""
+    core_config = core_by_name(core) if isinstance(core, str) else core
+    if with_power:
+        return PowerPlatform(core_config, instructions=instructions)
+    return PerformancePlatform(core_config, instructions=instructions)

@@ -1,0 +1,106 @@
+"""Plot-free reporting helpers: ASCII charts and aligned tables.
+
+The paper's figures are radar plots and epoch-progression line charts;
+this module renders the equivalents as terminal text so examples and the
+benchmark harness can show them without a plotting stack.
+"""
+
+from __future__ import annotations
+
+
+def ascii_chart(
+    series: dict[str, list[float]],
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """Render line series as an ASCII chart.
+
+    Args:
+        series: label -> y-values (x is the index, e.g. tuning epoch).
+        width / height: plot area in characters.
+        title: optional heading line.
+
+    Returns:
+        Multi-line string; each series draws with its own glyph and the
+        legend maps glyphs to labels.
+    """
+    points = [v for values in series.values() for v in values]
+    if not points:
+        raise ValueError("no data to chart")
+    lo, hi = min(points), max(points)
+    if hi == lo:
+        hi = lo + 1.0
+    glyphs = "*o+x#@%&"
+    grid = [[" "] * width for _ in range(height)]
+
+    for (label, values), glyph in zip(series.items(), glyphs):
+        if not values:
+            continue
+        n = len(values)
+        for col in range(width):
+            idx = min(n - 1, int(col / max(1, width - 1) * (n - 1)))
+            y = values[idx]
+            row = int((hi - y) / (hi - lo) * (height - 1))
+            row = min(max(row, 0), height - 1)
+            if grid[row][col] == " ":
+                grid[row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        y_label = hi - (hi - lo) * r / (height - 1)
+        lines.append(f"{y_label:>9.3f} |" + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    legend = "   ".join(
+        f"{glyph}={label}" for (label, _), glyph in zip(series.items(), glyphs)
+    )
+    lines.append(" " * 11 + legend)
+    return "\n".join(lines)
+
+
+def format_table(headers: list[str], rows: list[list], floatfmt: str = ".3f") -> str:
+    """Render rows as an aligned text table.
+
+    Floats are formatted with ``floatfmt``; everything else with str().
+    """
+    def cell(value) -> str:
+        if isinstance(value, float):
+            return format(value, floatfmt)
+        return str(value)
+
+    rendered = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in rendered)) if rendered
+        else len(headers[c])
+        for c in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def radar_text(ratios: dict[str, float], width: int = 40) -> str:
+    """Text rendering of one radar plot: a bar per metric around 1.0.
+
+    The bar is centred at 1.0; deviation bars grow left (below target)
+    or right (above target), clipped at +/-50%.
+    """
+    lines = []
+    half = width // 2
+    for metric, ratio in ratios.items():
+        deviation = max(-0.5, min(0.5, ratio - 1.0))
+        cells = [" "] * width
+        centre = half
+        offset = int(deviation * 2 * (half - 1))
+        lo, hi = sorted((centre, centre + offset))
+        for c in range(lo, hi + 1):
+            cells[c] = "="
+        cells[centre] = "|"
+        lines.append(f"{metric:<16} {ratio:5.3f} [{''.join(cells)}]")
+    return "\n".join(lines)

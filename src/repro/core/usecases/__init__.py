@@ -1,0 +1,1 @@
+"""MicroGrad use cases: cloning, stress testing, bottleneck analysis."""

@@ -1,0 +1,80 @@
+"""Bottleneck analysis — the conclusion's future-work use case.
+
+Sweeps one knob over its range while everything else stays pinned and
+reports how the observed metric responds, flagging the knee: the knob
+value past which the metric stops responding (the resource stops being
+the bottleneck) or starts collapsing (it becomes one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.codegen.wrapper import GenerationOptions, generate_test_case
+from repro.core.platform import EvaluationPlatform
+
+
+@dataclass
+class BottleneckPoint:
+    """One sweep sample: knob value and the metrics measured there."""
+
+    value: float
+    metrics: dict[str, float]
+
+
+@dataclass
+class BottleneckAnalysis:
+    """Sweep a knob and locate the bottleneck knee.
+
+    Attributes:
+        platform: evaluation platform to run on.
+        base_config: knob configuration the sweep perturbs.
+        knob: name of the swept knob.
+        values: knob values to sample, in order.
+        metric: observed metric.
+        loop_size / seed: generation parameters.
+    """
+
+    platform: EvaluationPlatform
+    base_config: dict
+    knob: str
+    values: list[float]
+    metric: str = "ipc"
+    loop_size: int = 500
+    seed: int = 0
+    points: list[BottleneckPoint] = field(default_factory=list, init=False)
+
+    def run(self) -> list[BottleneckPoint]:
+        """Evaluate every sweep point (cached on self.points)."""
+        options = GenerationOptions(loop_size=self.loop_size, seed=self.seed)
+        self.points = []
+        for value in self.values:
+            config = dict(self.base_config)
+            config[self.knob] = value
+            program = generate_test_case(config, options)
+            metrics = self.platform.evaluate(program)
+            self.points.append(BottleneckPoint(value=value, metrics=metrics))
+        return self.points
+
+    def knee(self) -> BottleneckPoint:
+        """The sweep point with the largest metric response.
+
+        The knee is where the absolute metric change per step is largest —
+        the region where the swept characteristic actively bottlenecks the
+        core.
+
+        Raises:
+            RuntimeError: if :meth:`run` has not produced >= 2 points.
+        """
+        if len(self.points) < 2:
+            raise RuntimeError("run() the sweep (>= 2 points) before knee()")
+        deltas = [
+            abs(b.metrics[self.metric] - a.metrics[self.metric])
+            for a, b in zip(self.points, self.points[1:])
+        ]
+        knee_idx = max(range(len(deltas)), key=deltas.__getitem__)
+        return self.points[knee_idx + 1]
+
+    def response_curve(self) -> list[tuple[float, float]]:
+        """(knob value, metric) pairs of the completed sweep."""
+        return [(p.value, p.metrics[self.metric]) for p in self.points]

@@ -1,0 +1,40 @@
+"""Stress testing use case (Section II-B, III-A2).
+
+Drives a single stress metric to its extreme: worst-case performance
+(minimize IPC — the Fig 5 performance virus) or worst-case power
+(maximize dynamic power — the Fig 6 power virus).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.config import MicroGradConfig
+from repro.tuning.loss import CombinedStressLoss, StressLoss
+
+
+@dataclass
+class StressTestingUseCase:
+    """Builds the loss for one stress-testing run."""
+
+    config: MicroGradConfig
+
+    @property
+    def metric(self) -> str:
+        """The primary stress metric (defaults to IPC, Section III-A2)."""
+        return self.config.metrics[0] if self.config.metrics else "ipc"
+
+    def loss(self):
+        """Single-metric loss, or the weighted combination for multi-
+        metric stress (Section III-A2 allows either)."""
+        if len(self.config.metrics) > 1:
+            return CombinedStressLoss(
+                metrics=tuple(self.config.metrics),
+                maximize=self.config.maximize,
+            )
+        return StressLoss(metric=self.metric, maximize=self.config.maximize)
+
+    def target_loss(self) -> float:
+        """Stress has no a-priori target; only epochs/convergence stop it."""
+        return -math.inf

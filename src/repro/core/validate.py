@@ -1,0 +1,113 @@
+"""Cross-substrate validation.
+
+Two independent back-ends execute generated programs: the functional ISA
+interpreter (architectural semantics) and the performance simulator
+(microarchitectural timing).  Quantities both can observe — dynamic
+instruction counts, instruction distribution, memory-operation counts,
+branch-taken behaviour — must agree exactly; this module checks that and
+is wired into the test suite as a standing self-check of the substrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import class_of_group
+from repro.isa.interpreter import Interpreter
+from repro.isa.program import Program
+from repro.sim.config import CoreConfig
+from repro.sim.simulator import Simulator
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of one cross-validation run.
+
+    Attributes:
+        consistent: whether every checked quantity agreed.
+        mismatches: human-readable description of each disagreement.
+        checked: quantities compared.
+    """
+
+    consistent: bool
+    mismatches: list[str] = field(default_factory=list)
+    checked: list[str] = field(default_factory=list)
+
+
+def cross_validate(
+    program: Program,
+    core: CoreConfig,
+    iterations: int = 20,
+    tolerance: float = 1e-9,
+) -> ValidationReport:
+    """Compare interpreter and simulator views of one program.
+
+    Args:
+        program: generated test case.
+        core: core configuration for the simulator side.
+        iterations: loop iterations the interpreter executes.
+        tolerance: allowed absolute disagreement on fractions.
+
+    Returns:
+        A report; ``consistent`` is True when the substrates agree.
+    """
+    interp_result = Interpreter(program).run(iterations=iterations)
+    stats = Simulator(core).run(
+        program, instructions=iterations * len(program)
+    )
+
+    mismatches: list[str] = []
+    checked: list[str] = []
+
+    # 1. Instruction distribution: interpreter counts vs simulator
+    # fractions (both derive from the same static body, but through
+    # completely different code paths).
+    total = interp_result.instructions
+    interp_fractions: dict[str, float] = {}
+    for iclass, count in interp_result.class_counts.items():
+        group = class_of_group(iclass)
+        interp_fractions[group] = interp_fractions.get(group, 0.0) + count / total
+    for group in ("integer", "float", "load", "store", "branch"):
+        checked.append(f"fraction:{group}")
+        sim_value = stats.group_fractions.get(group, 0.0)
+        interp_value = interp_fractions.get(group, 0.0)
+        if abs(sim_value - interp_value) > tolerance:
+            mismatches.append(
+                f"{group} fraction: interpreter {interp_value:.6f} "
+                f"vs simulator {sim_value:.6f}"
+            )
+
+    # 2. Memory operations per iteration.
+    checked.append("memory_ops_per_iteration")
+    interp_mem = (interp_result.loads + interp_result.stores) / iterations
+    static_mem = len(program.memory_instructions())
+    if abs(interp_mem - static_mem) > tolerance:
+        mismatches.append(
+            f"memory ops/iteration: interpreter {interp_mem} "
+            f"vs static {static_mem}"
+        )
+
+    # 3. Branch taken rate: interpreter execution vs the declarative
+    # behaviours the simulator's predictor consumes.
+    branches = program.branch_instructions()
+    if branches:
+        checked.append("taken_branch_rate")
+        declared_taken = sum(
+            int(b.branch.outcomes(iterations).sum()) for b in branches
+        )
+        if declared_taken != interp_result.taken_branches:
+            mismatches.append(
+                f"taken branches: interpreter {interp_result.taken_branches} "
+                f"vs declared {declared_taken}"
+            )
+
+    # 4. Dynamic instruction accounting.
+    checked.append("instructions_per_iteration")
+    if interp_result.instructions != iterations * len(program):
+        mismatches.append("interpreter lost instructions")
+
+    return ValidationReport(
+        consistent=not mismatches,
+        mismatches=mismatches,
+        checked=checked,
+    )

@@ -1,0 +1,183 @@
+"""Instruction definitions and microarchitectural classes.
+
+Each :class:`InstructionDef` records the static properties the simulator's
+timing model needs: execution latency, which functional-unit group executes
+it, operand counts, and whether it touches memory or redirects control flow.
+The mnemonics follow RISC-V (RV64IMFD subset) because the paper targets the
+RISC-V ISA (Section IV-A3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.isa.registers import RegisterKind
+
+
+class InstrClass(enum.Enum):
+    """Microarchitectural instruction class.
+
+    Classes map one-to-one onto the rows of the paper's instruction
+    distribution metrics (Integer / Load / Store / Branch, plus FP for the
+    power-virus mix of Table III).
+    """
+
+    INT_ALU = "int_alu"
+    INT_MUL = "int_mul"
+    INT_DIV = "int_div"
+    FP_ADD = "fp_add"
+    FP_MUL = "fp_mul"
+    FP_DIV = "fp_div"
+    BRANCH = "branch"
+    LOAD = "load"
+    STORE = "store"
+    NOP = "nop"
+
+    @property
+    def is_memory(self) -> bool:
+        """Loads and stores access the data cache."""
+        return self in (InstrClass.LOAD, InstrClass.STORE)
+
+    @property
+    def is_fp(self) -> bool:
+        """Floating point classes execute on the FP pipes."""
+        return self in (InstrClass.FP_ADD, InstrClass.FP_MUL, InstrClass.FP_DIV)
+
+
+#: Reporting groups used by the evaluation figures.  "integer" aggregates
+#: ALU/MUL/DIV, "float" aggregates the FP classes; branches, loads and
+#: stores report on their own.  This matches Table III's five columns.
+CLASS_GROUPS: dict[str, tuple[InstrClass, ...]] = {
+    "integer": (InstrClass.INT_ALU, InstrClass.INT_MUL, InstrClass.INT_DIV),
+    "float": (InstrClass.FP_ADD, InstrClass.FP_MUL, InstrClass.FP_DIV),
+    "branch": (InstrClass.BRANCH,),
+    "load": (InstrClass.LOAD,),
+    "store": (InstrClass.STORE,),
+}
+
+
+def class_of_group(iclass: InstrClass) -> str:
+    """Reporting group name for an instruction class (``nop`` → ``other``)."""
+    for group, classes in CLASS_GROUPS.items():
+        if iclass in classes:
+            return group
+    return "other"
+
+
+@dataclass(frozen=True)
+class InstructionDef:
+    """Static definition of one mnemonic.
+
+    Attributes:
+        mnemonic: assembly mnemonic, e.g. ``FMUL.D``.
+        iclass: microarchitectural class used by timing/power models.
+        latency: execution latency in cycles (issue to result bypass).
+        num_src: number of register source operands.
+        num_dst: number of register destination operands (0 or 1).
+        operand_kind: register file the operands come from.
+        mem_bytes: access width for loads/stores, 0 otherwise.
+        has_immediate: whether the textual form carries an immediate.
+    """
+
+    mnemonic: str
+    iclass: InstrClass
+    latency: int
+    num_src: int = 2
+    num_dst: int = 1
+    operand_kind: RegisterKind = RegisterKind.INT
+    mem_bytes: int = 0
+    has_immediate: bool = False
+
+    @property
+    def is_memory(self) -> bool:
+        return self.iclass.is_memory
+
+    @property
+    def is_branch(self) -> bool:
+        return self.iclass is InstrClass.BRANCH
+
+
+def _d(*args, **kwargs) -> InstructionDef:
+    return InstructionDef(*args, **kwargs)
+
+
+#: The RV64IMFD-subset instruction set available to the code generator.
+#: Latencies are typical mid-range out-of-order core values (and feed the
+#: dependency-chain bound of the interval timing model).
+INSTRUCTION_SET: dict[str, InstructionDef] = {
+    d.mnemonic: d
+    for d in [
+        # Integer ALU
+        _d("ADD", InstrClass.INT_ALU, 1),
+        _d("SUB", InstrClass.INT_ALU, 1),
+        _d("AND", InstrClass.INT_ALU, 1),
+        _d("OR", InstrClass.INT_ALU, 1),
+        _d("XOR", InstrClass.INT_ALU, 1),
+        _d("SLL", InstrClass.INT_ALU, 1),
+        _d("SRL", InstrClass.INT_ALU, 1),
+        _d("ADDI", InstrClass.INT_ALU, 1, num_src=1, has_immediate=True),
+        # Integer multiply / divide
+        _d("MUL", InstrClass.INT_MUL, 4),
+        _d("MULH", InstrClass.INT_MUL, 4),
+        _d("DIV", InstrClass.INT_DIV, 20),
+        _d("REM", InstrClass.INT_DIV, 20),
+        # Floating point (double precision)
+        _d("FADD.D", InstrClass.FP_ADD, 4, operand_kind=RegisterKind.FP),
+        _d("FSUB.D", InstrClass.FP_ADD, 4, operand_kind=RegisterKind.FP),
+        _d("FMUL.D", InstrClass.FP_MUL, 5, operand_kind=RegisterKind.FP),
+        _d("FMADD.D", InstrClass.FP_MUL, 6, num_src=3, operand_kind=RegisterKind.FP),
+        _d("FDIV.D", InstrClass.FP_DIV, 18, operand_kind=RegisterKind.FP),
+        # Branches (two sources, no destination)
+        _d("BEQ", InstrClass.BRANCH, 1, num_src=2, num_dst=0, has_immediate=True),
+        _d("BNE", InstrClass.BRANCH, 1, num_src=2, num_dst=0, has_immediate=True),
+        _d("BLT", InstrClass.BRANCH, 1, num_src=2, num_dst=0, has_immediate=True),
+        _d("BGE", InstrClass.BRANCH, 1, num_src=2, num_dst=0, has_immediate=True),
+        # Loads: one address source, one destination
+        _d("LD", InstrClass.LOAD, 3, num_src=1, mem_bytes=8, has_immediate=True),
+        _d("LW", InstrClass.LOAD, 3, num_src=1, mem_bytes=4, has_immediate=True),
+        _d("LB", InstrClass.LOAD, 3, num_src=1, mem_bytes=1, has_immediate=True),
+        _d(
+            "FLD",
+            InstrClass.LOAD,
+            4,
+            num_src=1,
+            mem_bytes=8,
+            operand_kind=RegisterKind.FP,
+            has_immediate=True,
+        ),
+        # Stores: data source + address source, no destination
+        _d("SD", InstrClass.STORE, 1, num_src=2, num_dst=0, mem_bytes=8, has_immediate=True),
+        _d("SW", InstrClass.STORE, 1, num_src=2, num_dst=0, mem_bytes=4, has_immediate=True),
+        _d("SB", InstrClass.STORE, 1, num_src=2, num_dst=0, mem_bytes=1, has_immediate=True),
+        _d(
+            "FSD",
+            InstrClass.STORE,
+            1,
+            num_src=2,
+            num_dst=0,
+            mem_bytes=8,
+            operand_kind=RegisterKind.FP,
+            has_immediate=True,
+        ),
+        # No-op
+        _d("NOP", InstrClass.NOP, 1, num_src=0, num_dst=0),
+    ]
+}
+
+
+def instruction_def(mnemonic: str) -> InstructionDef:
+    """Look up a mnemonic (case-insensitive).
+
+    Raises:
+        KeyError: if the mnemonic is not part of the instruction set.
+    """
+    key = mnemonic.upper()
+    if key not in INSTRUCTION_SET:
+        raise KeyError(f"unknown mnemonic: {mnemonic!r}")
+    return INSTRUCTION_SET[key]
+
+
+def defs_by_class(iclass: InstrClass) -> list[InstructionDef]:
+    """All instruction definitions belonging to one class."""
+    return [d for d in INSTRUCTION_SET.values() if d.iclass is iclass]

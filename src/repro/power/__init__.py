@@ -1,0 +1,21 @@
+"""McPAT-like power estimation substrate.
+
+The paper transfers Gem5 execution statistics into McPAT to estimate
+dynamic power (Section IV-A2).  This package provides the same structural
+model: per-event energies (scaled per core configuration) multiplied by
+the activity counts a simulation produced, divided by the simulated time,
+plus a leakage term.
+"""
+
+from repro.power.mcpat import EnergyTable, PowerModel, PowerReport, energy_table_for_core
+from repro.power.droop import DroopModel, DroopReport, PdnParams
+
+__all__ = [
+    "EnergyTable",
+    "PowerModel",
+    "PowerReport",
+    "energy_table_for_core",
+    "DroopModel",
+    "DroopReport",
+    "PdnParams",
+]

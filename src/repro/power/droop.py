@@ -1,0 +1,124 @@
+"""Voltage-droop (dI/dt) modelling — the conclusion's future-work case.
+
+Power-delivery networks respond to abrupt current ramps: a workload that
+alternates between a low-power and a high-power phase excites the PDN's
+RL impedance and droops the supply.  Prior stressmark work the paper
+cites (Kim & John's dI/dt stressmarks, Bertran et al.'s voltage-noise
+characterization) maximizes exactly this.  The model here is the standard
+first-order form::
+
+    dI        = (P_high - P_low) / Vdd
+    V_droop   = dI * R_pdn  +  L_pdn * dI / t_ramp
+
+which is all a knob-tuning loop needs: droop grows monotonically with the
+power swing and the ramp sharpness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PdnParams:
+    """Power-delivery-network parameters (typical desktop-class values).
+
+    Attributes:
+        vdd: supply voltage in volts.
+        resistance_mohm: PDN loop resistance in milliohms.
+        inductance_ph: PDN loop inductance in picohenries.
+        ramp_ns: current ramp time in nanoseconds (phase transition).
+    """
+
+    vdd: float = 1.0
+    resistance_mohm: float = 0.6
+    inductance_ph: float = 25.0
+    ramp_ns: float = 2.0
+
+
+@dataclass
+class DroopReport:
+    """dI/dt analysis of a two-phase workload.
+
+    Attributes:
+        power_low_w / power_high_w: per-phase dynamic power.
+        delta_current_a: current swing between phases.
+        didt_a_per_ns: current ramp rate.
+        droop_mv: peak supply droop in millivolts.
+    """
+
+    power_low_w: float
+    power_high_w: float
+    delta_current_a: float
+    didt_a_per_ns: float
+    droop_mv: float
+
+
+def analyze_phased_program(program, core, instructions: int = 10_000,
+                           pdn: PdnParams | None = None) -> DroopReport:
+    """Droop analysis of a phased (multi-section) test case.
+
+    Simulates each section independently, estimates per-section dynamic
+    power, and reports the droop from the largest power swing between
+    consecutive sections (the alternation the loop executes).
+
+    Raises:
+        ValueError: if the program carries no section metadata.
+    """
+    from repro.codegen.phased import split_sections
+    from repro.power.mcpat import PowerModel
+    from repro.sim.simulator import Simulator
+
+    sections = split_sections(program)
+    simulator = Simulator(core)
+    model = PowerModel(core)
+    powers = [
+        model.estimate(
+            simulator.run(part, instructions=instructions)
+        ).dynamic_w
+        for part in sections
+    ]
+    droop_model = DroopModel(pdn)
+    worst = None
+    for a, b in zip(powers, powers[1:] + powers[:1]):
+        report = droop_model.estimate(a, b)
+        if worst is None or report.droop_mv > worst.droop_mv:
+            worst = report
+    assert worst is not None  # len(sections) >= 2 by construction
+    return worst
+
+
+class DroopModel:
+    """First-order PDN droop estimator.
+
+    Example::
+
+        report = DroopModel().estimate(power_low_w=0.5, power_high_w=2.0)
+        print(report.droop_mv)
+    """
+
+    def __init__(self, params: PdnParams | None = None):
+        self.params = params or PdnParams()
+
+    def estimate(self, power_low_w: float, power_high_w: float) -> DroopReport:
+        """Droop for an alternation between two power levels.
+
+        Raises:
+            ValueError: for negative power inputs.
+        """
+        if power_low_w < 0 or power_high_w < 0:
+            raise ValueError("power levels must be non-negative")
+        p = self.params
+        low, high = sorted((power_low_w, power_high_w))
+        delta_current = (high - low) / p.vdd
+        didt = delta_current / p.ramp_ns
+        resistive_mv = delta_current * p.resistance_mohm
+        # L * dI/dt with L in pH and dI/dt in A/ns gives volts*1e-3 -> mV.
+        inductive_mv = p.inductance_ph * didt * 1e-3
+        return DroopReport(
+            power_low_w=low,
+            power_high_w=high,
+            delta_current_a=delta_current,
+            didt_a_per_ns=didt,
+            droop_mv=resistive_mv + inductive_mv,
+        )

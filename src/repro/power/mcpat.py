@@ -1,0 +1,157 @@
+"""Activity-based dynamic power model (McPAT's structural form).
+
+Dynamic power is the sum over events of ``rate x energy-per-event``::
+
+    P_dyn = (sum_e  N_e * E_e) / (cycles / f)
+
+Event energies are per-core-configuration: the Large core's wider rename,
+bigger window and larger caches make every event more expensive, the way
+McPAT scales structure energy with size/ports.  Absolute watts are
+calibration constants (typical 14-22nm-class values); the experiments only
+rely on the *ordering* of workloads by power, which the structural form
+preserves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.isa.instructions import InstrClass
+from repro.sim.config import CoreConfig
+from repro.sim.stats import SimStats
+
+
+@dataclass(frozen=True)
+class EnergyTable:
+    """Per-event energies in picojoules.
+
+    ``base_per_instr`` covers fetch/decode/rename/dispatch/ROB/commit for
+    every instruction; per-class entries add the execution cost; memory
+    entries add cache/DRAM access cost per event.
+    """
+
+    base_per_instr: float = 22.0
+    int_alu: float = 16.0
+    int_mul: float = 44.0
+    int_div: float = 88.0
+    fp_add: float = 66.0
+    fp_mul: float = 82.0
+    fp_div: float = 132.0
+    branch: float = 19.0
+    load: float = 60.0
+    store: float = 77.0
+    l2_access: float = 151.0
+    dram_access: float = 1200.0
+    mispredict_flush: float = 220.0
+    clock_tree_per_cycle: float = 82.0
+
+
+#: Structure-size scaling from the Small to the Large core; wide rename /
+#: bigger window / larger caches raise per-event energy.
+_LARGE_SCALE = 1.9
+
+SMALL_ENERGY = EnergyTable()
+LARGE_ENERGY = EnergyTable(
+    **{
+        f.name: getattr(SMALL_ENERGY, f.name) * _LARGE_SCALE
+        for f in fields(EnergyTable)
+    }
+)
+
+#: Leakage per core (W), constant per configuration as in McPAT totals.
+LEAKAGE_W = {"small": 0.25, "large": 0.60}
+
+
+def energy_table_for_core(core: CoreConfig) -> EnergyTable:
+    """The calibrated energy table for a Table II core."""
+    return LARGE_ENERGY if core.name == "large" else SMALL_ENERGY
+
+
+@dataclass
+class PowerReport:
+    """Estimated power for one simulation run.
+
+    Attributes:
+        dynamic_w: dynamic power in watts (the Fig 6 metric).
+        leakage_w: static power in watts.
+        components: per-component dynamic power breakdown (watts).
+    """
+
+    dynamic_w: float
+    leakage_w: float
+    components: dict[str, float]
+
+    @property
+    def total_w(self) -> float:
+        return self.dynamic_w + self.leakage_w
+
+
+_CLASS_ENERGY_FIELD = {
+    InstrClass.INT_ALU: "int_alu",
+    InstrClass.INT_MUL: "int_mul",
+    InstrClass.INT_DIV: "int_div",
+    InstrClass.FP_ADD: "fp_add",
+    InstrClass.FP_MUL: "fp_mul",
+    InstrClass.FP_DIV: "fp_div",
+    InstrClass.BRANCH: "branch",
+    InstrClass.LOAD: "load",
+    InstrClass.STORE: "store",
+    InstrClass.NOP: "int_alu",
+}
+
+
+class PowerModel:
+    """Estimates power from a :class:`~repro.sim.stats.SimStats`.
+
+    Example::
+
+        stats = Simulator(LARGE_CORE).run(program)
+        report = PowerModel(LARGE_CORE).estimate(stats)
+        print(report.dynamic_w)
+    """
+
+    def __init__(self, core: CoreConfig, table: EnergyTable | None = None):
+        self.core = core
+        self.table = table or energy_table_for_core(core)
+
+    def estimate(self, stats: SimStats) -> PowerReport:
+        """Convert activity counts into watts.
+
+        Raises:
+            ValueError: if the stats lack the per-class activity counts
+                (they are produced by :class:`repro.sim.Simulator`).
+        """
+        raw_counts = stats.extra.get("class_counts")
+        if raw_counts is None:
+            raise ValueError("stats carry no class_counts; rerun the simulator")
+        table = self.table
+        pj: dict[str, float] = {}
+
+        pj["core_pipeline"] = stats.instructions * table.base_per_instr
+        for class_name, count in raw_counts.items():
+            iclass = InstrClass(class_name)
+            field_name = _CLASS_ENERGY_FIELD[iclass]
+            pj[field_name] = pj.get(field_name, 0.0) + count * getattr(
+                table, field_name
+            )
+        pj["l2"] = stats.extra.get("l2_accesses", 0) * table.l2_access
+        dram_events = stats.extra.get("load_l2_misses", 0) + stats.extra.get(
+            "store_l2_misses", 0
+        )
+        pj["dram"] = dram_events * table.dram_access
+        mispredicts = stats.mispredict_rate * stats.extra.get(
+            "branch_lookups", 0
+        )
+        pj["recovery"] = mispredicts * table.mispredict_flush
+        pj["clock"] = stats.cycles * table.clock_tree_per_cycle
+
+        seconds = stats.cycles / (self.core.frequency_ghz * 1e9)
+        if seconds <= 0:
+            raise ValueError("simulation produced no cycles")
+        components = {k: v * 1e-12 / seconds for k, v in pj.items()}
+        dynamic_w = sum(components.values())
+        return PowerReport(
+            dynamic_w=dynamic_w,
+            leakage_w=LEAKAGE_W.get(self.core.name, 0.4),
+            components=components,
+        )

@@ -1,0 +1,131 @@
+"""Branch direction predictors.
+
+The default predictor is gshare (global history XOR PC indexing a table of
+2-bit saturating counters) — representative of the Gem5 O3 default class of
+history-based predictors.  A bimodal predictor is provided both as a
+smaller-core option and for predictor-sensitivity experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class _TwoBitTable:
+    """A table of 2-bit saturating counters (0..3; >=2 predicts taken)."""
+
+    def __init__(self, entries: int):
+        if entries & (entries - 1):
+            raise ValueError("table entries must be a power of two")
+        self.entries = entries
+        self.counters = np.full(entries, 2, dtype=np.int8)  # weakly taken
+
+    def predict(self, index: int) -> bool:
+        return self.counters[index] >= 2
+
+    def update(self, index: int, taken: bool) -> None:
+        c = self.counters[index]
+        if taken:
+            if c < 3:
+                self.counters[index] = c + 1
+        elif c > 0:
+            self.counters[index] = c - 1
+
+
+class BimodalPredictor:
+    """PC-indexed 2-bit counter predictor."""
+
+    def __init__(self, entries: int = 4096):
+        self.table = _TwoBitTable(entries)
+        self.lookups = 0
+        self.mispredicts = 0
+
+    def reset_stats(self) -> None:
+        self.lookups = 0
+        self.mispredicts = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & (self.table.entries - 1)
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Predict one branch, train, and return whether it mispredicted."""
+        index = self._index(pc)
+        predicted = self.table.predict(index)
+        self.table.update(index, taken)
+        self.lookups += 1
+        wrong = predicted != taken
+        if wrong:
+            self.mispredicts += 1
+        return wrong
+
+    @property
+    def mispredict_rate(self) -> float:
+        """Mispredicted fraction of all predicted branches."""
+        return self.mispredicts / self.lookups if self.lookups else 0.0
+
+
+class GSharePredictor(BimodalPredictor):
+    """gshare: global-history-XOR-PC indexed 2-bit counters."""
+
+    def __init__(self, entries: int = 8192, history_bits: int = 12):
+        super().__init__(entries)
+        self.history_bits = min(history_bits, entries.bit_length() - 1)
+        self._history = 0
+        self._history_mask = (1 << self.history_bits) - 1
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & (self.table.entries - 1)
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        wrong = super().predict_and_update(pc, taken)
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+        return wrong
+
+
+class TournamentPredictor:
+    """Tournament (combining) predictor: bimodal vs gshare with a
+    per-branch chooser table — the Alpha 21264-style design, provided
+    for predictor-sensitivity studies on the substrate."""
+
+    def __init__(self, entries: int = 4096, history_bits: int = 10):
+        self.bimodal = BimodalPredictor(entries)
+        self.gshare = GSharePredictor(entries, history_bits)
+        self.chooser = _TwoBitTable(entries)
+        self.lookups = 0
+        self.mispredicts = 0
+
+    def reset_stats(self) -> None:
+        self.lookups = 0
+        self.mispredicts = 0
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Predict with the chosen component, train all three tables."""
+        index = (pc >> 2) & (self.chooser.entries - 1)
+        use_gshare = self.chooser.predict(index)
+
+        bimodal_pred = self.bimodal.table.predict(self.bimodal._index(pc))
+        gshare_pred = self.gshare.table.predict(self.gshare._index(pc))
+        prediction = gshare_pred if use_gshare else bimodal_pred
+
+        # Chooser trains toward whichever component was right.
+        if gshare_pred != bimodal_pred:
+            self.chooser.update(index, gshare_pred == taken)
+        self.bimodal.predict_and_update(pc, taken)
+        self.gshare.predict_and_update(pc, taken)
+
+        self.lookups += 1
+        wrong = prediction != taken
+        if wrong:
+            self.mispredicts += 1
+        return wrong
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.mispredicts / self.lookups if self.lookups else 0.0
+
+
+def predictor_for_core(core_name: str) -> BimodalPredictor:
+    """Default predictor sized for a Table II core."""
+    if core_name == "large":
+        return GSharePredictor(entries=16384, history_bits=13)
+    return GSharePredictor(entries=4096, history_bits=10)

@@ -1,0 +1,135 @@
+"""Core configurations (Table II of the paper).
+
+Two cores bound the design space: a narrow *Small* core and a wide *Large*
+core with a prefetching L2.  Frequencies, widths and structure sizes follow
+Table II; latencies and penalties are typical values for cores of these
+sizes (the paper inherits them from Gem5 defaults, which it does not list).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Size/shape of one cache level."""
+
+    size_bytes: int
+    assoc: int
+    line_bytes: int = 64
+    latency: int = 2
+
+    @property
+    def num_sets(self) -> int:
+        sets = self.size_bytes // (self.assoc * self.line_bytes)
+        if sets < 1:
+            raise ValueError("cache smaller than one set")
+        return sets
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """A complete core + memory-hierarchy configuration.
+
+    Attributes mirror Table II: ``front_end_width`` is the fetch/dispatch
+    width, ``rob``/``lsq``/``rse`` the window structures, and the unit
+    counts size the ALU/SIMD/FP pools.  ``mem_ports`` (cache ports) and the
+    latency/penalty fields parameterize the timing model.
+    """
+
+    name: str
+    frequency_ghz: float = 2.0
+    front_end_width: int = 3
+    rob: int = 40
+    lsq: int = 16
+    rse: int = 32
+    alu_units: int = 3
+    simd_units: int = 2
+    fp_units: int = 2
+    mem_ports: int = 2
+    l1i: CacheGeometry = field(
+        default_factory=lambda: CacheGeometry(16 * 1024, 4, latency=2)
+    )
+    l1d: CacheGeometry = field(
+        default_factory=lambda: CacheGeometry(16 * 1024, 4, latency=3)
+    )
+    l2: CacheGeometry = field(
+        default_factory=lambda: CacheGeometry(256 * 1024, 8, latency=12)
+    )
+    l2_prefetcher: bool = False
+    memory_latency: int = 180
+    memory_gb: int = 1
+    mispredict_penalty: int = 10
+
+    def describe(self) -> dict:
+        """Flat summary dict (used by reports and the CLI)."""
+        return {
+            "name": self.name,
+            "frequency_ghz": self.frequency_ghz,
+            "front_end_width": self.front_end_width,
+            "rob/lsq/rse": f"{self.rob}/{self.lsq}/{self.rse}",
+            "alu/simd/fp": f"{self.alu_units}/{self.simd_units}/{self.fp_units}",
+            "l1": f"{self.l1i.size_bytes // 1024}k",
+            "l2": f"{self.l2.size_bytes // 1024}k"
+            + (" + prefetch" if self.l2_prefetcher else ""),
+            "memory": f"{self.memory_gb}GB",
+        }
+
+
+#: Table II "Small" core: 3-wide, 40/16/32 window, 3/2/2 units,
+#: 16k L1 / 256k L2.
+SMALL_CORE = CoreConfig(
+    name="small",
+    front_end_width=3,
+    rob=40,
+    lsq=16,
+    rse=32,
+    alu_units=3,
+    simd_units=2,
+    fp_units=2,
+    mem_ports=2,
+    l1i=CacheGeometry(16 * 1024, 4, latency=2),
+    l1d=CacheGeometry(16 * 1024, 4, latency=3),
+    l2=CacheGeometry(256 * 1024, 8, latency=12),
+    l2_prefetcher=False,
+    mispredict_penalty=10,
+)
+
+#: Table II "Large" core: 8-wide, 160/64/128 window, 6/4/4 units,
+#: 32k L1 / 1M L2 with prefetch.
+LARGE_CORE = CoreConfig(
+    name="large",
+    front_end_width=8,
+    rob=160,
+    lsq=64,
+    rse=128,
+    alu_units=6,
+    simd_units=4,
+    fp_units=4,
+    mem_ports=4,
+    l1i=CacheGeometry(32 * 1024, 8, latency=2),
+    l1d=CacheGeometry(32 * 1024, 8, latency=4),
+    l2=CacheGeometry(1024 * 1024, 16, latency=14),
+    l2_prefetcher=True,
+    mispredict_penalty=14,
+)
+
+_CORES = {c.name: c for c in (SMALL_CORE, LARGE_CORE)}
+
+
+def core_by_name(name: str) -> CoreConfig:
+    """Look up a named core configuration (``small`` / ``large``).
+
+    Raises:
+        KeyError: for unknown names.
+    """
+    key = name.strip().lower()
+    if key not in _CORES:
+        raise KeyError(f"unknown core {name!r}; available: {sorted(_CORES)}")
+    return _CORES[key]
+
+
+def custom_core(base: CoreConfig, **overrides) -> CoreConfig:
+    """Derive a custom configuration from an existing one."""
+    return replace(base, **overrides)

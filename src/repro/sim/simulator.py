@@ -1,0 +1,382 @@
+"""Top-level simulator: program in, :class:`SimStats` out.
+
+Pipeline per run: expand the dynamic trace, warm and measure the cache
+hierarchy and branch predictor on the exact event streams, analyze the
+dependency graph, then hand everything to the interval timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instructions import InstrClass
+from repro.isa.program import Program
+from repro.sim.branch import predictor_for_core
+from repro.sim.cache import cyclic_code_hits
+from repro.sim.config import CoreConfig
+from repro.sim.depgraph import critical_path_per_iteration
+from repro.sim.interval import MissProfile, compute_cycles
+from repro.sim.stats import SimStats
+from repro.sim.tlb import tlb_for_core
+from repro.sim.trace import expand
+
+#: Default dynamic-instruction budget per evaluation.  The paper runs 10M
+#: dynamic instructions; our loops are periodic so steady-state metrics
+#: converge far earlier (see EXPERIMENTS.md convergence check), and the
+#: default keeps a full tuning run laptop-fast.  Pass a larger budget to
+#: :meth:`Simulator.run` to match the paper exactly.
+DEFAULT_INSTRUCTIONS = 20_000
+
+
+@dataclass
+class _MemSimResult:
+    load_l1_misses: int = 0
+    load_l2_misses: int = 0
+    store_l1_misses: int = 0
+    store_l2_misses: int = 0
+    l1d_hits: int = 0
+    l1d_accesses: int = 0
+    l2_hits: int = 0
+    l2_accesses: int = 0
+    prefetch_installs: int = 0
+    prefetch_hits: int = 0
+    dtlb_misses: int = 0
+    dtlb_accesses: int = 0
+
+
+class Simulator:
+    """Cycle-approximate simulator for one core configuration.
+
+    Example::
+
+        stats = Simulator(LARGE_CORE).run(program)
+        print(stats.ipc, stats.metrics())
+    """
+
+    def __init__(self, core: CoreConfig):
+        self.core = core
+
+    # ------------------------------------------------------------------
+    # component simulations
+    # ------------------------------------------------------------------
+
+    def _simulate_memory(self, trace, warmup_accesses: int) -> _MemSimResult:
+        """Drive the L1D/L2 hierarchy over the exact access trace.
+
+        This is the simulator's hot loop (tens of thousands of accesses
+        per evaluation, hundreds of evaluations per tuning run), so the
+        per-set LRU state is inlined as plain lists rather than going
+        through :class:`SetAssociativeCache` method calls.
+        """
+        core = self.core
+        l1_sets: list[list[int]] = [
+            [] for _ in range(core.l1d.num_sets)
+        ]
+        l2_sets: list[list[int]] = [[] for _ in range(core.l2.num_sets)]
+        n1 = core.l1d.num_sets
+        n2 = core.l2.num_sets
+        a1 = core.l1d.assoc
+        a2 = core.l2.assoc
+        prefetching = core.l2_prefetcher
+        # Reference-prediction table: pc -> (last_line, stride, confirmed).
+        rpt: dict[int, tuple[int, int, bool]] = {}
+        prefetched: set[int] = set()
+        tlb = tlb_for_core(core.name)
+        # 64-byte lines, 4 KB pages: page = line >> 6.
+        page_shift = 6
+
+        res = _MemSimResult()
+        lines = trace.mem_lines.tolist()
+        stores = trace.mem_is_store.tolist()
+        pcs = trace.mem_pcs.tolist()
+        counting = warmup_accesses == 0
+        for k, (pc, line, is_store) in enumerate(zip(pcs, lines, stores)):
+            if not counting and k >= warmup_accesses:
+                counting = True
+                tlb.reset_stats()
+            tlb.access(line << page_shift)
+            set1 = l1_sets[line % n1]
+            if line in set1:
+                set1.remove(line)
+                set1.append(line)
+                if counting:
+                    res.l1d_hits += 1
+                    res.l1d_accesses += 1
+                continue
+            # L1 miss: fill L1, look up L2.
+            set1.append(line)
+            if len(set1) > a1:
+                del set1[0]
+            set2 = l2_sets[line % n2]
+            if line in set2:
+                l2_hit = True
+                set2.remove(line)
+                set2.append(line)
+                if counting and line in prefetched:
+                    prefetched.discard(line)
+                    res.prefetch_hits += 1
+            else:
+                l2_hit = False
+                set2.append(line)
+                if len(set2) > a2:
+                    evicted = set2[0]
+                    del set2[0]
+                    prefetched.discard(evicted)
+            if prefetching:
+                last_line, last_stride, confirmed = rpt.get(
+                    pc, (line, 0, False)
+                )
+                stride = line - last_line
+                if stride:
+                    confirmed = stride == last_stride
+                if confirmed and stride:
+                    for d in (1, 2):
+                        target = line + stride * d
+                        pset = l2_sets[target % n2]
+                        if target not in pset:
+                            pset.append(target)
+                            if len(pset) > a2:
+                                evicted = pset[0]
+                                del pset[0]
+                                prefetched.discard(evicted)
+                            prefetched.add(target)
+                            if counting:
+                                res.prefetch_installs += 1
+                rpt[pc] = (line, stride if stride else last_stride, confirmed)
+            if counting:
+                res.l1d_accesses += 1
+                res.l2_accesses += 1
+                if l2_hit:
+                    res.l2_hits += 1
+                if is_store:
+                    res.store_l1_misses += 1
+                    if not l2_hit:
+                        res.store_l2_misses += 1
+                else:
+                    res.load_l1_misses += 1
+                    if not l2_hit:
+                        res.load_l2_misses += 1
+        res.dtlb_misses = tlb.misses
+        res.dtlb_accesses = tlb.accesses
+        return res
+
+    def _simulate_branches(self, trace, warmup_branches: int) -> tuple[int, int]:
+        """gshare direction prediction over the exact outcome trace.
+
+        Functionally identical to
+        :class:`repro.sim.branch.GSharePredictor` but inlined with plain
+        Python lists — this loop runs for every dynamic branch of every
+        evaluation and dominates tuning runtime otherwise.
+        """
+        reference = predictor_for_core(self.core.name)
+        entries = reference.table.entries
+        history_bits = getattr(reference, "history_bits", 0)
+        entry_mask = entries - 1
+        history_mask = (1 << history_bits) - 1
+
+        counters = [2] * entries  # weakly taken
+        history = 0
+        mispredicts = 0
+        lookups = 0
+        pcs = trace.branch_pcs.tolist()
+        outcomes = trace.branch_outcomes.tolist()
+        counting = warmup_branches == 0
+        for k, (pc, taken) in enumerate(zip(pcs, outcomes)):
+            if not counting and k >= warmup_branches:
+                counting = True
+            index = ((pc >> 2) ^ history) & entry_mask
+            c = counters[index]
+            if counting:
+                lookups += 1
+                if (c >= 2) != taken:
+                    mispredicts += 1
+            if taken:
+                if c < 3:
+                    counters[index] = c + 1
+                history = ((history << 1) | 1) & history_mask
+            else:
+                if c > 0:
+                    counters[index] = c - 1
+                history = (history << 1) & history_mask
+        return mispredicts, lookups
+
+    def _instruction_cache(
+        self, program: Program, iterations: int
+    ) -> tuple[int, int, int]:
+        """(l1i hits, l1i misses, l2-side code misses) for the window."""
+        core = self.core
+        code_bytes = program.metadata.get(
+            "code_bytes", len(program) * 4
+        )
+        num_lines = max(1, code_bytes // core.l1i.line_bytes)
+        hits, misses = cyclic_code_hits(
+            num_lines, core.l1i.num_sets, core.l1i.assoc, iterations
+        )
+        # The loop's code always fits somewhere up the hierarchy; L2-side
+        # code misses only occur if the code exceeds the L2 too.
+        l2_lines_capacity = core.l2.size_bytes // core.l2.line_bytes
+        if num_lines > l2_lines_capacity:
+            _, l2_misses = cyclic_code_hits(
+                num_lines,
+                core.l2.num_sets,
+                core.l2.assoc,
+                iterations,
+            )
+        else:
+            l2_misses = 0
+        return hits, misses, l2_misses
+
+    #: Upper bound on the adaptive warmup (loop iterations), keeping
+    #: worst-case evaluation cost bounded.  Streams that cannot wrap
+    #: within this many iterations behave identically cold or warm (they
+    #: stream through caches far smaller than their footprint).
+    MAX_WARMUP_ITERATIONS = 400
+    #: Measured-window bounds (loop iterations).  The generated loops are
+    #: periodic, so a short steady-state window yields exact rates.
+    MIN_MEASURE_ITERATIONS = 24
+    MAX_MEASURE_ITERATIONS = 160
+
+    def _wrap_iterations(self, program: Program) -> int:
+        """Iterations until the slowest relevant stream wraps once."""
+        need = 0
+        for instr in program.memory_instructions():
+            mem = instr.memory
+            if mem is None or mem.step <= 0:
+                continue
+            # Footprints beyond ~1.2x the L2 stream whether cold or warm.
+            if mem.footprint > 1.2 * self.core.l2.size_bytes:
+                continue
+            distinct_per_sweep = max(1, mem.footprint // mem.stride)
+            distinct_per_iter = max(1, mem.step // mem.reuse_period)
+            need = max(need, int(distinct_per_sweep / distinct_per_iter) + 1)
+        return need
+
+    # ------------------------------------------------------------------
+    # main entry point
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        program: Program,
+        instructions: int = DEFAULT_INSTRUCTIONS,
+        warmup_fraction: float = 0.2,
+    ) -> SimStats:
+        """Simulate ``instructions`` dynamic instructions of ``program``.
+
+        Args:
+            program: generated test case (endless loop body).
+            instructions: dynamic instruction budget; rounded to whole
+                loop iterations (minimum 2).
+            warmup_fraction: leading fraction of iterations used to warm
+                caches and predictors, excluded from the measured window.
+
+        Returns:
+            Measured-window statistics.
+        """
+        program.validate()
+        loop = len(program)
+        budget_iters = max(2, round(instructions / loop))
+        # Mid-sized footprints (bigger than L1, not much bigger than L2)
+        # only reach cache steady state after the streams wrap; extend the
+        # warmup so they wrap once, then measure a short periodic window.
+        # Footprints far beyond the L2 behave identically cold or warm
+        # (both stream), so the budget is not wasted on them.
+        wrap = self._wrap_iterations(program)
+        if wrap:
+            warmup_iters = min(
+                max(int(1.05 * wrap) + 1,
+                    int(budget_iters * warmup_fraction)),
+                self.MAX_WARMUP_ITERATIONS,
+            )
+        else:
+            warmup_iters = max(1, int(budget_iters * warmup_fraction))
+        measure_iters = min(
+            max(self.MIN_MEASURE_ITERATIONS,
+                budget_iters - warmup_iters),
+            self.MAX_MEASURE_ITERATIONS,
+        )
+        iterations = warmup_iters + measure_iters
+
+        trace = expand(program, iterations, line_bytes=self.core.l1d.line_bytes)
+
+        mem_per_iter = len(program.memory_instructions())
+        br_per_iter = len(program.branch_instructions())
+        mem = self._simulate_memory(trace, warmup_iters * mem_per_iter)
+        mispredicts, branch_lookups = self._simulate_branches(
+            trace, warmup_iters * br_per_iter
+        )
+        i_hits, i_misses, i_l2_misses = self._instruction_cache(
+            program, measure_iters
+        )
+
+        static_counts = program.class_counts()
+        class_counts = {c: n * measure_iters for c, n in static_counts.items()}
+        total = loop * measure_iters
+
+        dep_cycles = critical_path_per_iteration(program, self.core)
+        dd = float(program.metadata.get("dependency_distance", 4))
+        streams = program.metadata.get("memory_streams") or []
+
+        misses = MissProfile(
+            branch_mispredicts=mispredicts,
+            icache_l1_misses=i_misses,
+            icache_l2_misses=i_l2_misses,
+            load_l1_misses=mem.load_l1_misses,
+            load_l2_misses=mem.load_l2_misses,
+            store_l1_misses=mem.store_l1_misses,
+            store_l2_misses=mem.store_l2_misses,
+            dtlb_misses=mem.dtlb_misses,
+        )
+        cycles, breakdown = compute_cycles(
+            self.core,
+            total,
+            class_counts,
+            dep_cycles,
+            loop,
+            misses,
+            dependency_distance=dd,
+            parallel_streams=max(1, len(streams)),
+        )
+
+        l1d_hit_rate = (
+            mem.l1d_hits / mem.l1d_accesses if mem.l1d_accesses else 1.0
+        )
+        dtlb_miss_rate = (
+            mem.dtlb_misses / mem.dtlb_accesses if mem.dtlb_accesses else 0.0
+        )
+        l2_hit_rate = mem.l2_hits / mem.l2_accesses if mem.l2_accesses else 1.0
+        l1i_hit_rate = (
+            i_hits / (i_hits + i_misses) if (i_hits + i_misses) else 1.0
+        )
+        mispredict_rate = mispredicts / branch_lookups if branch_lookups else 0.0
+
+        group_fractions = program.group_fractions()
+
+        return SimStats(
+            core=self.core.name,
+            instructions=total,
+            cycles=cycles,
+            ipc=total / cycles,
+            l1i_hit_rate=l1i_hit_rate,
+            l1d_hit_rate=l1d_hit_rate,
+            l2_hit_rate=l2_hit_rate,
+            mispredict_rate=mispredict_rate,
+            dtlb_miss_rate=dtlb_miss_rate,
+            group_fractions=group_fractions,
+            breakdown=breakdown,
+            extra={
+                "iterations": measure_iters,
+                "warmup_iterations": warmup_iters,
+                "dep_cycles_per_iteration": dep_cycles,
+                "branch_lookups": branch_lookups,
+                "l1d_accesses": mem.l1d_accesses,
+                "l2_accesses": mem.l2_accesses,
+                "load_l2_misses": mem.load_l2_misses,
+                "store_l2_misses": mem.store_l2_misses,
+                "prefetch_installs": mem.prefetch_installs,
+                "prefetch_hits": mem.prefetch_hits,
+                "class_counts": {
+                    c.value: n for c, n in class_counts.items()
+                },
+            },
+        )

@@ -1,0 +1,117 @@
+"""Gem5-style statistics dump writer.
+
+Section III-E: "the MicroGrad interface enables the required metrics to
+be read from the output dumps of the simulators".  This module renders a
+:class:`~repro.sim.stats.SimStats` in the familiar ``stats.txt`` format
+(``name value # comment`` lines) and parses it back — so downstream
+tooling written against real Gem5 dumps can consume this substrate's
+output, and the metric-extraction path can be exercised end to end.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.sim.stats import SimStats
+
+_HEADER = "---------- Begin Simulation Statistics ----------"
+_FOOTER = "---------- End Simulation Statistics   ----------"
+
+
+def _rows(stats: SimStats) -> list[tuple[str, float, str]]:
+    rows = [
+        ("sim_insts", stats.instructions, "Number of instructions simulated"),
+        ("numCycles", stats.cycles, "number of cpu cycles simulated"),
+        ("ipc", stats.ipc, "IPC: instructions per cycle"),
+        ("icache.overall_hit_rate", stats.l1i_hit_rate,
+         "L1I hit rate"),
+        ("dcache.overall_hit_rate", stats.l1d_hit_rate,
+         "L1D hit rate"),
+        ("l2.overall_hit_rate", stats.l2_hit_rate, "L2 hit rate"),
+        ("branchPred.condIncorrectRate", stats.mispredict_rate,
+         "fraction of conditional branches mispredicted"),
+        ("dtb.missRate", stats.dtlb_miss_rate, "DTLB miss rate"),
+    ]
+    for group, fraction in sorted(stats.group_fractions.items()):
+        rows.append(
+            (f"instMix.{group}", fraction,
+             f"fraction of {group} instructions")
+        )
+    for key, value in sorted(stats.breakdown.items()):
+        if isinstance(value, (int, float)):
+            rows.append(
+                (f"cycleBreakdown.{key}", float(value), "cycle component")
+            )
+    return rows
+
+
+def write_stats_dump(stats: SimStats, path: str | Path | None = None) -> str:
+    """Render ``stats`` as a Gem5-flavoured ``stats.txt``.
+
+    Args:
+        stats: simulator output.
+        path: optional file to write.
+
+    Returns:
+        The dump text.
+    """
+    lines = [_HEADER]
+    for name, value, comment in _rows(stats):
+        if isinstance(value, float) and not value.is_integer():
+            rendered = f"{value:.6f}"
+        else:
+            rendered = str(int(value))
+        lines.append(f"{name:<42} {rendered:>16}  # {comment}")
+    lines.append(_FOOTER)
+    text = "\n".join(lines) + "\n"
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def parse_stats_dump(text: str) -> dict[str, float]:
+    """Parse a dump produced by :func:`write_stats_dump`.
+
+    Unknown lines are ignored (real Gem5 dumps carry thousands of
+    counters; the reader only lifts what it finds).
+
+    Returns:
+        Mapping of stat name to numeric value.
+    """
+    values: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("-"):
+            continue
+        parts = line.split()
+        if len(parts) < 2:
+            continue
+        try:
+            values[parts[0]] = float(parts[1])
+        except ValueError:
+            continue
+    return values
+
+
+def metrics_from_dump(text: str) -> dict[str, float]:
+    """Extract the canonical MicroGrad metric dict from a dump.
+
+    This is the Section III-E metric-extraction path: simulator dump in,
+    metrics-of-interest out.
+
+    Raises:
+        KeyError: if the dump lacks a required counter.
+    """
+    values = parse_stats_dump(text)
+    mapping = {
+        "ipc": "ipc",
+        "l1i_hit_rate": "icache.overall_hit_rate",
+        "l1d_hit_rate": "dcache.overall_hit_rate",
+        "l2_hit_rate": "l2.overall_hit_rate",
+        "mispredict_rate": "branchPred.condIncorrectRate",
+        "dtlb_miss_rate": "dtb.missRate",
+    }
+    metrics = {metric: values[stat] for metric, stat in mapping.items()}
+    for group in ("integer", "float", "load", "store", "branch"):
+        metrics[group] = values.get(f"instMix.{group}", 0.0)
+    return metrics

@@ -1,0 +1,75 @@
+"""Simulation statistics container.
+
+:class:`SimStats` is the "simulator output dump" of this substrate
+(Section III-E): the metric-extraction layer of the framework reads the
+use case's metrics of interest out of it via :meth:`SimStats.metrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Canonical metric keys, matching the circumferential axes of Figs 2-4
+#: plus power.  ``integer``/``float``/``branch``/``load``/``store`` are
+#: dynamic instruction-distribution fractions.
+METRIC_KEYS = (
+    "integer",
+    "float",
+    "load",
+    "store",
+    "branch",
+    "mispredict_rate",
+    "l1i_hit_rate",
+    "l1d_hit_rate",
+    "l2_hit_rate",
+    "ipc",
+)
+
+
+@dataclass
+class SimStats:
+    """Measured execution statistics of one simulation run.
+
+    Attributes:
+        core: name of the simulated core configuration.
+        instructions: dynamic instructions in the measurement window.
+        cycles: simulated cycles for that window.
+        group_fractions: dynamic instruction distribution by group.
+        breakdown: cycle-component breakdown from the interval model.
+        extra: free-form counters (prefetch stats, raw miss counts, ...).
+    """
+
+    core: str
+    instructions: int
+    cycles: float
+    ipc: float
+    l1i_hit_rate: float
+    l1d_hit_rate: float
+    l2_hit_rate: float
+    mispredict_rate: float
+    dtlb_miss_rate: float = 0.0
+    group_fractions: dict[str, float] = field(default_factory=dict)
+    breakdown: dict[str, float] = field(default_factory=dict)
+    extra: dict[str, float] = field(default_factory=dict)
+
+    def metrics(self) -> dict[str, float]:
+        """Flat metric dict keyed by the canonical metric names."""
+        out = {
+            "ipc": self.ipc,
+            "l1i_hit_rate": self.l1i_hit_rate,
+            "l1d_hit_rate": self.l1d_hit_rate,
+            "l2_hit_rate": self.l2_hit_rate,
+            "mispredict_rate": self.mispredict_rate,
+            "dtlb_miss_rate": self.dtlb_miss_rate,
+        }
+        for group in ("integer", "float", "load", "store", "branch"):
+            out[group] = self.group_fractions.get(group, 0.0)
+        return out
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"[{self.core}] {self.instructions} instrs, "
+            f"IPC {self.ipc:.3f}, L1D {self.l1d_hit_rate:.3f}, "
+            f"L2 {self.l2_hit_rate:.3f}, BP miss {self.mispredict_rate:.3f}"
+        )

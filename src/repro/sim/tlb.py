@@ -1,0 +1,62 @@
+"""Data TLB model.
+
+Section II-A2 lists TLB miss rates among the low-level target metrics a
+clone may need to match.  The model is a fully-associative LRU TLB over
+4 KB pages; misses charge a page-walk penalty in the interval model.
+Implemented over an ordered dict so both hit and eviction paths are O(1).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+PAGE_BYTES = 4096
+
+
+class DataTLB:
+    """Fully-associative LRU translation buffer.
+
+    Attributes:
+        entries: translation capacity.
+        hits / misses: access counters.
+    """
+
+    def __init__(self, entries: int = 64):
+        if entries < 1:
+            raise ValueError("TLB needs at least one entry")
+        self.entries = entries
+        self._pages: OrderedDict[int, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def reset_stats(self) -> None:
+        """Zero counters, keep translations (for warmup boundaries)."""
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, address: int) -> bool:
+        """Translate one byte address; returns True on TLB hit."""
+        page = address // PAGE_BYTES
+        if page in self._pages:
+            self._pages.move_to_end(page)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(self._pages) >= self.entries:
+            self._pages.popitem(last=False)
+        self._pages[page] = None
+        return False
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Missed fraction of all translations (0.0 when idle)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+def tlb_for_core(core_name: str) -> DataTLB:
+    """Default DTLB sizing per Table II core."""
+    return DataTLB(entries=128 if core_name == "large" else 48)

@@ -1,0 +1,110 @@
+"""Dynamic trace expansion.
+
+Generated test cases are fixed loop bodies, so the dynamic trace is the
+static body repeated ``K`` iterations with per-iteration memory addresses
+and branch outcomes expanded from each instruction's declarative
+:class:`~repro.isa.program.MemoryAccess` / ``BranchBehavior``.  Expansion
+is vectorized with numpy: one array per static instruction, interleaved
+into program order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.isa.instructions import InstrClass
+from repro.isa.program import Program
+
+
+@dataclass
+class ExpandedTrace:
+    """The dynamic trace of ``iterations`` runs of a loop body.
+
+    Memory and branch event arrays are flattened in dynamic order
+    (iteration-major, program order within an iteration).
+
+    Attributes:
+        iterations: number of loop iterations expanded.
+        loop_size: static instructions per iteration.
+        mem_pcs / mem_lines / mem_is_store: one entry per dynamic memory
+            access (line addresses use the given line size).
+        branch_pcs / branch_outcomes: one entry per dynamic conditional
+            branch instance.
+        class_counts: dynamic instruction count per class.
+    """
+
+    iterations: int
+    loop_size: int
+    line_bytes: int
+    mem_pcs: np.ndarray
+    mem_lines: np.ndarray
+    mem_is_store: np.ndarray
+    branch_pcs: np.ndarray
+    branch_outcomes: np.ndarray
+    class_counts: dict[InstrClass, int]
+
+    @property
+    def total_instructions(self) -> int:
+        return self.iterations * self.loop_size
+
+
+def expand(program: Program, iterations: int, line_bytes: int = 64) -> ExpandedTrace:
+    """Expand ``iterations`` loop iterations of ``program`` into a trace.
+
+    Args:
+        program: a generated (validated) test case.
+        iterations: loop iterations to expand (>= 1).
+        line_bytes: cache line size used for line-address conversion.
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+
+    mem_instrs = program.memory_instructions()
+    if mem_instrs:
+        # Shape (M, K) per-instruction address streams -> (K, M) -> flat.
+        addr_rows = [i.memory.addresses(iterations) for i in mem_instrs]
+        addrs = np.stack(addr_rows).T.reshape(-1)
+        pcs = np.tile(
+            np.asarray([i.address or 0 for i in mem_instrs], dtype=np.int64),
+            iterations,
+        )
+        stores = np.tile(
+            np.asarray(
+                [i.iclass is InstrClass.STORE for i in mem_instrs], dtype=bool
+            ),
+            iterations,
+        )
+        lines = addrs // line_bytes
+    else:
+        pcs = np.empty(0, dtype=np.int64)
+        lines = np.empty(0, dtype=np.int64)
+        stores = np.empty(0, dtype=bool)
+
+    br_instrs = program.branch_instructions()
+    if br_instrs:
+        outcome_rows = [i.branch.outcomes(iterations) for i in br_instrs]
+        outcomes = np.stack(outcome_rows).T.reshape(-1)
+        br_pcs = np.tile(
+            np.asarray([i.address or 0 for i in br_instrs], dtype=np.int64),
+            iterations,
+        )
+    else:
+        outcomes = np.empty(0, dtype=bool)
+        br_pcs = np.empty(0, dtype=np.int64)
+
+    static_counts = program.class_counts()
+    class_counts = {c: n * iterations for c, n in static_counts.items()}
+
+    return ExpandedTrace(
+        iterations=iterations,
+        loop_size=len(program),
+        line_bytes=line_bytes,
+        mem_pcs=pcs,
+        mem_lines=lines,
+        mem_is_store=stores,
+        branch_pcs=br_pcs,
+        branch_outcomes=outcomes,
+        class_counts=class_counts,
+    )

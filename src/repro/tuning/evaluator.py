@@ -1,0 +1,73 @@
+"""Knob-configuration evaluator with memoization and cost accounting.
+
+The evaluator is the framework's inner loop: knob config -> Microprobe-style
+generation -> platform execution -> metrics.  It memoizes on the
+materialized configuration (the knob lattice is discrete, so tuners revisit
+points constantly) and counts both *requested* evaluations — the paper's
+epoch-cost currency (2 x knobs per GD epoch, population size per GA epoch)
+— and *unique* evaluations, the actual simulation work.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.tuning.knobs import KnobSpace
+
+EvaluateFn = Callable[[dict], dict[str, float]]
+
+
+class Evaluator:
+    """Maps knob position vectors to metric dicts.
+
+    Args:
+        knob_space: the space vectors live in.
+        evaluate_config: config dict -> metric dict (wired by the core
+            framework to generation + simulation + power estimation).
+        cache: memoize identical materialized configurations.
+    """
+
+    def __init__(
+        self,
+        knob_space: KnobSpace,
+        evaluate_config: EvaluateFn,
+        cache: bool = True,
+    ):
+        self.knob_space = knob_space
+        self._evaluate_config = evaluate_config
+        self._cache_enabled = cache
+        self._cache: dict[tuple, dict[str, float]] = {}
+        self.requested_evaluations = 0
+        self.unique_evaluations = 0
+
+    def evaluate(self, positions: np.ndarray) -> dict[str, float]:
+        """Evaluate a position vector (materialize, memoize, run)."""
+        self.requested_evaluations += 1
+        key = self.knob_space.config_key(positions)
+        if self._cache_enabled and key in self._cache:
+            return self._cache[key]
+        config = self.knob_space.materialize(positions)
+        metrics = self._evaluate_config(config)
+        self.unique_evaluations += 1
+        if self._cache_enabled:
+            self._cache[key] = metrics
+        return metrics
+
+    def evaluate_raw(self, config: dict) -> dict[str, float]:
+        """Evaluate a concrete knob configuration (still cached/counted)."""
+        self.requested_evaluations += 1
+        key = tuple(sorted(config.items()))
+        if self._cache_enabled and key in self._cache:
+            return self._cache[key]
+        metrics = self._evaluate_config(dict(config))
+        self.unique_evaluations += 1
+        if self._cache_enabled:
+            self._cache[key] = metrics
+        return metrics
+
+    def reset_counters(self) -> None:
+        """Zero the evaluation counters (cache contents are kept)."""
+        self.requested_evaluations = 0
+        self.unique_evaluations = 0

@@ -1,0 +1,153 @@
+"""Workload-generation knobs (the Listing 1 interface).
+
+A :class:`Knob` is a named, ordered lattice of values; a :class:`KnobSpace`
+is the ordered collection the tuner optimizes over.  Tuners work in
+*continuous index space* (a float position per knob); materializing a
+vector rounds each position to the nearest lattice point.  That is how the
+gradient-descent mechanism takes fractional steps over discrete knob
+lattices (Section III-D, step 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One tuning knob: a name and its ordered value lattice."""
+
+    name: str
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.values) < 1:
+            raise ValueError(f"knob {self.name} has no values")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def value_at(self, position: float) -> float:
+        """Nearest lattice value to a continuous index position."""
+        idx = int(round(position))
+        idx = min(max(idx, 0), len(self.values) - 1)
+        return self.values[idx]
+
+
+class KnobSpace:
+    """An ordered set of knobs plus fixed (non-tuned) knob values.
+
+    Attributes:
+        knobs: the tunable knobs, in order.
+        fixed: knob values appended verbatim to every materialized config
+            (e.g. pinning ``B_PATTERN`` to 0 for a compute stress test).
+    """
+
+    def __init__(self, knobs: list[Knob], fixed: dict | None = None):
+        if not knobs:
+            raise ValueError("a knob space needs at least one knob")
+        names = [k.name for k in knobs]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate knob names")
+        self.knobs = list(knobs)
+        self.fixed = dict(fixed or {})
+
+    def __len__(self) -> int:
+        return len(self.knobs)
+
+    @property
+    def names(self) -> list[str]:
+        return [k.name for k in self.knobs]
+
+    def upper_bounds(self) -> np.ndarray:
+        """Maximum index position per knob."""
+        return np.array([len(k) - 1 for k in self.knobs], dtype=float)
+
+    def clip(self, positions: np.ndarray) -> np.ndarray:
+        """Clamp a position vector into the lattice bounds."""
+        return np.clip(positions, 0.0, self.upper_bounds())
+
+    def random_vector(self, rng: np.random.Generator) -> np.ndarray:
+        """A uniformly random position vector."""
+        return rng.uniform(0.0, self.upper_bounds())
+
+    def materialize(self, positions: np.ndarray) -> dict:
+        """Round a position vector to a concrete knob configuration."""
+        positions = np.asarray(positions, dtype=float)
+        if positions.shape != (len(self.knobs),):
+            raise ValueError(
+                f"expected {len(self.knobs)} positions, got {positions.shape}"
+            )
+        config = {
+            k.name: k.value_at(p) for k, p in zip(self.knobs, positions)
+        }
+        config.update(self.fixed)
+        return config
+
+    def config_key(self, positions: np.ndarray) -> tuple:
+        """Hashable identity of the materialized configuration."""
+        return tuple(sorted(self.materialize(positions).items()))
+
+
+def _ten(*values) -> tuple[float, ...]:
+    return tuple(float(v) for v in values)
+
+
+#: Listing 1 lattices.  Two documented extensions beyond the paper's
+#: "example subset": instruction fractions include 0 (so a clone can
+#: drop a class an application does not execute — the listing's floor of
+#: 1 puts a hard ceiling on distribution accuracy), and ``B_PATTERN``
+#: gains finer steps below 0.3 (misprediction rates quantize at roughly
+#: 0.45 x B_PATTERN, so 0.1 steps limit mispredict accuracy to ~5%).
+INSTRUCTION_FRACTIONS = _ten(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+REG_DIST_VALUES = _ten(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+MEM_SIZE_VALUES = _ten(2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048)  # KB
+MEM_STRIDE_VALUES = _ten(8, 12, 16, 20, 24, 32, 40, 48, 56, 64)
+MEM_TEMP1_VALUES = _ten(1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+MEM_TEMP2_VALUES = _ten(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+B_PATTERN_VALUES = _ten(0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.4, 0.5,
+                        0.6, 0.7, 0.8, 0.9, 1.0)
+
+#: The ten instruction-fraction knobs of Listing 1.
+MIX_KNOB_NAMES = ("ADD", "MUL", "FADDD", "FMULD", "BEQ", "BNE",
+                  "LD", "LW", "SD", "SW")
+
+
+def instruction_mix_space(fixed: dict | None = None) -> KnobSpace:
+    """Only the instruction-fraction knobs (the Fig 5/6 stress scenario).
+
+    The compute-focused stress tests of the paper tune the instruction
+    fractions and pin everything else; pass the pinned values as ``fixed``.
+    """
+    defaults = {
+        "REG_DIST": 10,
+        "MEM_SIZE": 16,
+        "MEM_STRIDE": 64,
+        "MEM_TEMP1": 1,
+        "MEM_TEMP2": 1,
+        "B_PATTERN": 0.1,
+    }
+    defaults.update(fixed or {})
+    knobs = [Knob(name, INSTRUCTION_FRACTIONS) for name in MIX_KNOB_NAMES]
+    return KnobSpace(knobs, fixed=defaults)
+
+
+def default_cloning_space(fixed: dict | None = None) -> KnobSpace:
+    """The full Listing 1 space used for workload cloning."""
+    knobs = [Knob(name, INSTRUCTION_FRACTIONS) for name in MIX_KNOB_NAMES]
+    knobs += [
+        Knob("REG_DIST", REG_DIST_VALUES),
+        Knob("MEM_SIZE", MEM_SIZE_VALUES),
+        Knob("MEM_STRIDE", MEM_STRIDE_VALUES),
+        Knob("MEM_TEMP1", MEM_TEMP1_VALUES),
+        Knob("MEM_TEMP2", MEM_TEMP2_VALUES),
+        Knob("B_PATTERN", B_PATTERN_VALUES),
+    ]
+    return KnobSpace(knobs, fixed=fixed)
+
+
+def full_stress_space(fixed: dict | None = None) -> KnobSpace:
+    """Every knob tunable — the widest stress-test search space."""
+    return default_cloning_space(fixed=fixed)

@@ -1,0 +1,129 @@
+"""Use-case loss functions (Section III-D step 5, Section IV-A4).
+
+Workload cloning uses *log loss over the metrics of interest*: the squared
+log-ratio between measured and target, averaged across metrics, so relative
+errors count symmetrically and metrics of different magnitudes (IPC ~ 1,
+miss rates ~ 0.01) weigh comparably.  Stress testing maps the single stress
+metric to a signed loss so both tuners always minimize.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+_EPS = 1e-4
+
+
+def _log_ratio(measured: float, target: float) -> float:
+    return math.log((abs(measured) + _EPS) / (abs(target) + _EPS))
+
+
+@dataclass
+class CloningLoss:
+    """Log loss between measured metrics and clone targets.
+
+    Attributes:
+        targets: metric name -> target value (the application's measured
+            characteristics).
+        weights: optional per-metric weights (default 1).
+    """
+
+    targets: dict[str, float]
+    weights: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.targets:
+            raise ValueError("cloning loss needs at least one target metric")
+
+    def __call__(self, metrics: dict[str, float]) -> float:
+        total = 0.0
+        weight_sum = 0.0
+        for name, target in self.targets.items():
+            if name not in metrics:
+                raise KeyError(f"metric {name!r} missing from evaluation")
+            w = self.weights.get(name, 1.0)
+            total += w * _log_ratio(metrics[name], target) ** 2
+            weight_sum += w
+        return total / weight_sum
+
+
+@dataclass
+class StressLoss:
+    """Signed single-metric loss for stress testing.
+
+    ``maximize=True`` (power virus) returns the negated metric;
+    ``maximize=False`` (worst-case performance virus) returns the metric
+    itself, so minimizing the loss minimizes the metric.
+    """
+
+    metric: str = "ipc"
+    maximize: bool = False
+
+    def __call__(self, metrics: dict[str, float]) -> float:
+        if self.metric not in metrics:
+            raise KeyError(f"metric {self.metric!r} missing from evaluation")
+        value = metrics[self.metric]
+        return -value if self.maximize else value
+
+
+@dataclass
+class CombinedStressLoss:
+    """Weighted multi-metric stress loss (Section III-A2's "combination
+    of multiple metrics").
+
+    Each metric contributes its (optionally weighted) value; minimizing
+    the loss drives every metric toward its worst case in the configured
+    direction.  ``normalizers`` rescale metrics of different magnitudes
+    (IPC ~ 1, power ~ 2 W) so neither dominates by unit choice.
+    """
+
+    metrics: tuple[str, ...]
+    maximize: bool = False
+    weights: dict[str, float] = field(default_factory=dict)
+    normalizers: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.metrics:
+            raise ValueError("combined stress loss needs >= 1 metric")
+
+    def __call__(self, metrics: dict[str, float]) -> float:
+        total = 0.0
+        for name in self.metrics:
+            if name not in metrics:
+                raise KeyError(f"metric {name!r} missing from evaluation")
+            scale = self.normalizers.get(name, 1.0)
+            weight = self.weights.get(name, 1.0)
+            total += weight * metrics[name] / scale
+        return -total if self.maximize else total
+
+
+def metric_accuracy(measured: float, target: float) -> float:
+    """Symmetric accuracy in [0, 1]: 1 when measured == target."""
+    lo, hi = sorted((abs(measured), abs(target)))
+    if hi < _EPS:
+        return 1.0
+    return max(0.0, (lo + _EPS) / (hi + _EPS))
+
+
+def accuracy_report(
+    metrics: dict[str, float], targets: dict[str, float]
+) -> dict[str, float]:
+    """Per-metric *ratio* (measured / target) — the radar-plot axes.
+
+    A value of 1.0 means the clone matches the application exactly on
+    that metric (the radial ``1`` circle of Figs 2-4).  Ratios are
+    clamped to [0, 3]: near-zero targets otherwise explode the ratio
+    without carrying more information than "badly off".
+    """
+    report = {}
+    for name, target in targets.items():
+        measured = metrics.get(name, 0.0)
+        report[name] = min(3.0, (measured + _EPS) / (target + _EPS))
+    return report
+
+
+def mean_accuracy(metrics: dict[str, float], targets: dict[str, float]) -> float:
+    """Mean symmetric accuracy over the target metrics."""
+    accs = [metric_accuracy(metrics.get(n, 0.0), t) for n, t in targets.items()]
+    return sum(accs) / len(accs) if accs else 1.0

@@ -1,0 +1,51 @@
+"""Reference workloads and SimPoint phase selection.
+
+The paper clones 100M-instruction simpoints of eight SPEC CPU2006 INT
+benchmarks.  SPEC binaries are proprietary and need a native toolchain, so
+this package provides behaviourally characterized stand-ins: each reference
+workload is a multi-phase synthetic application whose phase parameters are
+drawn from published SPEC characterization (pointer-chasing mcf, streaming
+libquantum, branchy sjeng, code-footprint-heavy gcc/xalancbmk, ...) and
+deliberately lie *off* the cloning knob lattice, so cloning them is a
+genuine search with realistic residual error.
+
+A from-scratch SimPoint implementation (basic-block vectors + k-means with
+BIC model selection) picks representative phases the way the paper's
+workflow uses SimPoint [21].
+"""
+
+from repro.workloads.spec import (
+    ReferenceWorkload,
+    SPEC_BENCHMARKS,
+    benchmark_names,
+    get_benchmark,
+)
+from repro.workloads.spec_fp import (
+    SPEC_FP_BENCHMARKS,
+    all_benchmarks,
+    fp_benchmark_names,
+    get_fp_benchmark,
+)
+from repro.workloads.simpoint import SimPoint, kmeans, select_simpoints
+from repro.workloads.characteristics import (
+    characterize_program,
+    characterize_workload,
+    format_characteristics,
+)
+
+__all__ = [
+    "ReferenceWorkload",
+    "SPEC_BENCHMARKS",
+    "benchmark_names",
+    "get_benchmark",
+    "SPEC_FP_BENCHMARKS",
+    "fp_benchmark_names",
+    "get_fp_benchmark",
+    "all_benchmarks",
+    "SimPoint",
+    "kmeans",
+    "select_simpoints",
+    "characterize_program",
+    "characterize_workload",
+    "format_characteristics",
+]

@@ -1,0 +1,75 @@
+"""Application characteristics extraction and reporting.
+
+The cloning workflow (Section II-A1) captures microarchitecture-independent
+characteristics (instruction distribution, dependency distance, memory
+footprint) directly from the program, and microarchitecture-dependent ones
+(hit rates, mispredictions, IPC) from a simulation on a concrete core.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program
+from repro.sim.config import CoreConfig
+from repro.sim.simulator import Simulator
+
+
+def characterize_program(program: Program) -> dict[str, float]:
+    """Microarchitecture-independent characteristics of one program."""
+    fractions = program.group_fractions()
+    mem = program.memory_instructions()
+    footprint = max((i.memory.footprint for i in mem), default=0)
+    strides = sorted({i.memory.stride for i in mem})
+    out = {
+        "static_instructions": float(len(program)),
+        "code_bytes": float(program.metadata.get("code_bytes", len(program) * 4)),
+        "dependency_distance": float(
+            program.metadata.get("dependency_distance", 0)
+        ),
+        "memory_footprint_bytes": float(footprint),
+        "memory_streams": float(len(program.metadata.get("memory_streams", []))),
+        "branch_random_ratio": float(
+            program.metadata.get("branch_random_ratio", 0.0)
+        ),
+    }
+    for group in ("integer", "float", "load", "store", "branch"):
+        out[f"frac_{group}"] = fractions.get(group, 0.0)
+    if strides:
+        out["min_stride"] = float(strides[0])
+        out["max_stride"] = float(strides[-1])
+    return out
+
+
+def characterize_workload(
+    workload, core: CoreConfig, instructions: int = 20_000
+) -> dict[str, dict[str, float]]:
+    """Static + dynamic characteristics per phase, plus combined metrics.
+
+    Returns a dict with one entry per phase (static characteristics merged
+    with that phase's simulated metrics) and a ``"combined"`` entry with
+    the workload-level reference metric vector.
+    """
+    sim = Simulator(core)
+    report: dict[str, dict[str, float]] = {}
+    for phase, program in zip(workload.phases, workload.programs()):
+        entry = characterize_program(program)
+        stats = sim.run(program, instructions=instructions)
+        entry.update(stats.metrics())
+        entry["weight"] = phase.weight
+        report[phase.name] = entry
+    report["combined"] = workload.reference_metrics(core, instructions)
+    return report
+
+
+def format_characteristics(report: dict[str, dict[str, float]]) -> str:
+    """Render a characteristics report as an aligned text table."""
+    keys = sorted({k for entry in report.values() for k in entry})
+    names = list(report)
+    width = max(len(k) for k in keys) + 2
+    lines = [" " * width + "  ".join(f"{n:>12}" for n in names)]
+    for key in keys:
+        row = [f"{key:<{width}}"]
+        for name in names:
+            value = report[name].get(key)
+            row.append(f"{value:>12.4f}" if value is not None else " " * 12)
+        lines.append("  ".join(row))
+    return "\n".join(lines)

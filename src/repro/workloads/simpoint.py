@@ -1,0 +1,192 @@
+"""SimPoint: basic-block vectors + k-means phase selection.
+
+The paper's cloning workflow accepts application simpoints [21] and
+generates one clone per simpoint.  This module reimplements the SimPoint
+pipeline from scratch:
+
+1. slice an execution into fixed-size intervals and build a basic-block
+   vector (BBV) per interval — the execution-frequency fingerprint;
+2. reduce dimension with a random projection (as the SimPoint tool does);
+3. cluster the BBVs with k-means, choosing k by a BIC-style score;
+4. pick the interval closest to each centroid as that cluster's simpoint,
+   weighted by cluster population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SimPoint:
+    """One selected representative interval.
+
+    Attributes:
+        interval: index of the representative interval.
+        weight: fraction of the execution the cluster covers.
+        cluster: cluster id.
+    """
+
+    interval: int
+    weight: float
+    cluster: int
+
+
+def random_projection(
+    bbvs: np.ndarray, dims: int = 15, seed: int = 0
+) -> np.ndarray:
+    """Project BBVs to ``dims`` dimensions (SimPoint's preprocessing)."""
+    bbvs = np.asarray(bbvs, dtype=float)
+    if bbvs.ndim != 2:
+        raise ValueError("bbvs must be 2-D (intervals x blocks)")
+    if bbvs.shape[1] <= dims:
+        return bbvs
+    rng = np.random.default_rng(seed)
+    projection = rng.normal(size=(bbvs.shape[1], dims)) / np.sqrt(dims)
+    return bbvs @ projection
+
+
+def kmeans(
+    points: np.ndarray, k: int, seed: int = 0, max_iters: int = 100
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Lloyd's k-means with k-means++ seeding.
+
+    Returns:
+        ``(labels, centroids, inertia)``.
+    """
+    points = np.asarray(points, dtype=float)
+    n = len(points)
+    if k < 1 or k > n:
+        raise ValueError(f"k must be in [1, {n}]")
+    rng = np.random.default_rng(seed)
+
+    # k-means++ seeding.
+    centroids = [points[rng.integers(n)]]
+    for _ in range(1, k):
+        d2 = np.min(
+            [np.sum((points - c) ** 2, axis=1) for c in centroids], axis=0
+        )
+        total = d2.sum()
+        if total <= 0:
+            centroids.append(points[rng.integers(n)])
+            continue
+        centroids.append(points[rng.choice(n, p=d2 / total)])
+    centers = np.stack(centroids)
+
+    labels = np.zeros(n, dtype=int)
+    for _ in range(max_iters):
+        dists = np.linalg.norm(points[:, None, :] - centers[None, :, :], axis=2)
+        new_labels = np.argmin(dists, axis=1)
+        if np.array_equal(new_labels, labels) and _ > 0:
+            break
+        labels = new_labels
+        for c in range(k):
+            members = points[labels == c]
+            if len(members):
+                centers[c] = members.mean(axis=0)
+            else:
+                centers[c] = points[rng.integers(n)]
+    inertia = float(
+        np.sum((points - centers[labels]) ** 2)
+    )
+    return labels, centers, inertia
+
+
+def bic_score(points: np.ndarray, labels: np.ndarray, inertia: float) -> float:
+    """BIC-style model score (higher is better), as SimPoint uses."""
+    n, d = points.shape
+    k = len(np.unique(labels))
+    variance = max(inertia / max(1, n - k), 1e-12)
+    log_likelihood = -0.5 * n * np.log(2 * np.pi * variance) - 0.5 * (n - k)
+    parameters = k * (d + 1)
+    return float(log_likelihood - 0.5 * parameters * np.log(n))
+
+
+def select_simpoints(
+    bbvs: np.ndarray,
+    max_k: int = 6,
+    dims: int = 15,
+    seed: int = 0,
+    bic_threshold: float = 0.9,
+) -> list[SimPoint]:
+    """Full SimPoint selection: projection, k sweep, representative pick.
+
+    Args:
+        bbvs: (intervals x basic blocks) execution-frequency matrix.
+        max_k: largest cluster count considered.
+        dims: projection dimensionality.
+        bic_threshold: pick the smallest k whose BIC reaches this fraction
+            of the best observed BIC (the SimPoint heuristic).
+
+    Returns:
+        One :class:`SimPoint` per chosen cluster, weights summing to 1.
+    """
+    bbvs = np.asarray(bbvs, dtype=float)
+    if len(bbvs) == 0:
+        raise ValueError("no intervals")
+    # Normalize rows so interval length doesn't dominate similarity.
+    norms = np.linalg.norm(bbvs, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    projected = random_projection(bbvs / norms, dims=dims, seed=seed)
+
+    candidates = []
+    for k in range(1, min(max_k, len(projected)) + 1):
+        labels, centers, inertia = kmeans(projected, k, seed=seed)
+        candidates.append((k, labels, centers, bic_score(projected, labels, inertia)))
+
+    best_bic = max(c[3] for c in candidates)
+    worst_bic = min(c[3] for c in candidates)
+    span = best_bic - worst_bic
+    chosen = candidates[-1]
+    for cand in candidates:
+        score = 1.0 if span == 0 else (cand[3] - worst_bic) / span
+        if score >= bic_threshold:
+            chosen = cand
+            break
+    k, labels, centers, _ = chosen
+
+    simpoints = []
+    n = len(projected)
+    for c in range(k):
+        members = np.where(labels == c)[0]
+        if not len(members):
+            continue
+        dists = np.linalg.norm(projected[members] - centers[c], axis=1)
+        representative = int(members[np.argmin(dists)])
+        simpoints.append(
+            SimPoint(
+                interval=representative,
+                weight=len(members) / n,
+                cluster=c,
+            )
+        )
+    return sorted(simpoints, key=lambda s: s.interval)
+
+
+def workload_bbv_trace(
+    workload, intervals_per_phase: int = 12, blocks: int = 64,
+    noise: float = 0.05, seed: int = 0
+) -> tuple[np.ndarray, list[str]]:
+    """Synthesize the BBV trace of a reference workload's full run.
+
+    Each phase contributes intervals whose BBV is the phase's static
+    block signature plus small execution noise — the input an external
+    profiler would hand to SimPoint.
+
+    Returns:
+        ``(bbvs, phase_labels)`` with one row/label per interval.
+    """
+    rng = np.random.default_rng(seed)
+    rows = []
+    labels = []
+    for p, phase in enumerate(workload.phases):
+        signature = rng.dirichlet(np.ones(blocks) * 0.5)
+        count = max(1, round(intervals_per_phase * phase.weight * len(workload.phases)))
+        for _ in range(count):
+            jitter = rng.normal(0, noise, blocks)
+            row = np.clip(signature + jitter * signature, 0, None)
+            rows.append(row / row.sum())
+            labels.append(phase.name)
+    return np.asarray(rows), labels

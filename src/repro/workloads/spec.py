@@ -1,0 +1,336 @@
+"""SPEC CPU2006 INT reference workload stand-ins.
+
+Each benchmark is a :class:`ReferenceWorkload`: a weighted set of phases,
+each phase a synthetic program generated with hidden parameters chosen to
+match the benchmark's published behaviour.  Phase parameters intentionally
+use values outside the Listing 1 cloning lattice (odd strides, fractional
+branch randomness, multiple concurrent streams, non-500 loop sizes) so a
+clone can approximate but never trivially equal the reference.
+
+The cloning use case treats a reference's *measured metrics* as the target
+vector, exactly as MicroGrad does when handed an application binary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.codegen.wrapper import GenerationOptions, generate_test_case
+from repro.isa.program import Program
+from repro.sim.config import CoreConfig
+from repro.sim.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One execution phase of a reference workload.
+
+    Attributes:
+        name: phase label (used by the SimPoint machinery).
+        weight: share of the workload's dynamic instructions.
+        knobs: generation parameters (may use off-lattice values and
+            multi-stream ``STREAMS`` entries).
+        loop_size: static code footprint of the phase.
+        seed: generation seed.
+    """
+
+    name: str
+    weight: float
+    knobs: dict
+    loop_size: int = 500
+    seed: int = 0
+
+
+@dataclass
+class ReferenceWorkload:
+    """A multi-phase synthetic stand-in for one SPEC benchmark."""
+
+    name: str
+    description: str
+    phases: list[Phase] = field(default_factory=list)
+
+    def dominant_phase(self) -> Phase:
+        """The highest-weight phase — the application's main simpoint."""
+        return max(self.phases, key=lambda p: p.weight)
+
+    def dominant_phase_metrics(
+        self, core: CoreConfig, instructions: int = 20_000
+    ) -> dict[str, float]:
+        """Metric vector of the dominant simpoint phase on ``core``.
+
+        The paper clones 100M-instruction simpoints; this is the target
+        a whole-benchmark Fig 2/3 row uses (one clone for the benchmark's
+        most representative phase).
+        """
+        dominant = self.dominant_phase()
+        for phase, program in zip(self.phases, self.programs()):
+            if phase is dominant:
+                stats = Simulator(core).run(program, instructions=instructions)
+                return stats.metrics()
+        raise RuntimeError("unreachable: dominant phase not in phases")
+
+    def programs(self) -> list[Program]:
+        """Generate each phase's program (deterministic)."""
+        out = []
+        for phase in self.phases:
+            options = GenerationOptions(loop_size=phase.loop_size, seed=phase.seed)
+            program = generate_test_case(dict(phase.knobs), options)
+            program.metadata["phase"] = phase.name
+            out.append(program)
+        return out
+
+    def reference_metrics(
+        self, core: CoreConfig, instructions: int = 20_000
+    ) -> dict[str, float]:
+        """Measured metric vector of the whole workload on ``core``.
+
+        Phases are simulated independently and combined by weight:
+        distribution fractions and hit/mispredict rates combine weighted
+        by their governing event counts, IPC combines as total
+        instructions over total cycles (harmonic, the physically correct
+        aggregation).
+        """
+        sim = Simulator(core)
+        total_weight = sum(p.weight for p in self.phases)
+        if total_weight <= 0:
+            raise ValueError(f"workload {self.name} has zero total weight")
+
+        weighted: dict[str, float] = {}
+        event_weights: dict[str, float] = {}
+        for phase, program in zip(self.phases, self.programs()):
+            stats = sim.run(program, instructions=instructions)
+            metrics = stats.metrics()
+            share = phase.weight / total_weight
+            for key in ("integer", "float", "load", "store", "branch"):
+                weighted[key] = weighted.get(key, 0.0) + share * metrics[key]
+            rate_events = {
+                "mispredict_rate": metrics["branch"],
+                "l1d_hit_rate": metrics["load"] + metrics["store"],
+                "l2_hit_rate": max(
+                    1e-9, 1.0 - stats.l1d_hit_rate
+                ) * (metrics["load"] + metrics["store"]),
+                "l1i_hit_rate": 1.0,
+            }
+            for key, events in rate_events.items():
+                w = share * max(events, 1e-9)
+                weighted[key] = weighted.get(key, 0.0) + w * metrics[key]
+                event_weights[key] = event_weights.get(key, 0.0) + w
+            cpi = stats.cycles / stats.instructions
+            weighted["_cpi"] = weighted.get("_cpi", 0.0) + share * cpi
+
+        result = {}
+        for key in ("integer", "float", "load", "store", "branch"):
+            result[key] = weighted.get(key, 0.0)
+        for key in ("mispredict_rate", "l1d_hit_rate", "l2_hit_rate",
+                    "l1i_hit_rate"):
+            result[key] = weighted.get(key, 0.0) / max(
+                event_weights.get(key, 1e-9), 1e-9
+            )
+        result["ipc"] = 1.0 / weighted["_cpi"]
+        return result
+
+
+def _phase(name, weight, loop_size=500, seed=0, **knobs) -> Phase:
+    return Phase(name=name, weight=weight, knobs=knobs,
+                 loop_size=loop_size, seed=seed)
+
+
+def _streams(*specs) -> list[list]:
+    return [list(s) for s in specs]
+
+
+#: The eight SPEC CPU2006 INT benchmarks of Section IV-A1.  Hidden phase
+#: parameters summarize each benchmark's published behaviour; comments
+#: note the behaviour being modelled.
+SPEC_BENCHMARKS: dict[str, ReferenceWorkload] = {
+    # astar: A* path-finding — data-dependent branches, moderate working
+    # set with mixed regular/irregular accesses.
+    "astar": ReferenceWorkload(
+        "astar",
+        "path-finding; data-dependent branches, mixed locality",
+        [
+            _phase(
+                "search", 0.7, loop_size=620, seed=11,
+                ADD=5.2, MUL=0.6, BEQ=1.6, BNE=1.4, LD=2.8, LW=0.9,
+                SD=0.7, SW=0.4, REG_DIST=3, B_PATTERN=0.26,
+                STREAMS=_streams(
+                    [1, 96 * 1024, 0.7, 16, 8, 3],
+                    [2, 768 * 1024, 0.3, 56, 1, 1],
+                ),
+            ),
+            _phase(
+                "heap", 0.3, loop_size=480, seed=12,
+                ADD=5.0, MUL=0.4, BEQ=1.8, BNE=1.2, LD=2.4, SD=1.1,
+                REG_DIST=2, B_PATTERN=0.34,
+                STREAMS=_streams([1, 192 * 1024, 1.0, 24, 4, 2]),
+            ),
+        ],
+    ),
+    # bzip2: block-sorting compression — integer heavy, strong locality,
+    # fairly predictable branches.
+    "bzip2": ReferenceWorkload(
+        "bzip2",
+        "compression; integer-heavy, good locality",
+        [
+            _phase(
+                "sort", 0.6, loop_size=560, seed=21,
+                ADD=6.5, MUL=1.1, BEQ=1.2, BNE=0.9, LD=2.6, LW=0.8,
+                SD=1.2, SW=0.5, REG_DIST=5, B_PATTERN=0.18,
+                STREAMS=_streams([1, 224 * 1024, 1.0, 8, 16, 4]),
+            ),
+            _phase(
+                "huffman", 0.4, loop_size=520, seed=22,
+                ADD=6.8, MUL=0.6, BEQ=1.4, BNE=0.8, LD=2.2, SD=0.9,
+                REG_DIST=4, B_PATTERN=0.22,
+                STREAMS=_streams([1, 48 * 1024, 1.0, 12, 8, 3]),
+            ),
+        ],
+    ),
+    # gcc: compiler — very large instruction footprint (I-cache pressure),
+    # pointerful IR walks, branchy.
+    "gcc": ReferenceWorkload(
+        "gcc",
+        "compiler; large code footprint, branchy IR traversal",
+        [
+            _phase(
+                "parse", 0.35, loop_size=4300, seed=31,
+                ADD=5.4, MUL=0.5, BEQ=1.7, BNE=1.5, LD=2.9, LW=0.7,
+                SD=1.0, SW=0.4, REG_DIST=3, B_PATTERN=0.24,
+                STREAMS=_streams([1, 384 * 1024, 1.0, 28, 2, 2]),
+            ),
+            _phase(
+                "optimize", 0.65, loop_size=3900, seed=32,
+                ADD=5.8, MUL=0.9, BEQ=1.5, BNE=1.3, LD=2.7, SD=1.1,
+                REG_DIST=4, B_PATTERN=0.21,
+                STREAMS=_streams(
+                    [1, 512 * 1024, 0.8, 32, 2, 2],
+                    [2, 64 * 1024, 0.2, 8, 16, 4],
+                ),
+            ),
+        ],
+    ),
+    # hmmer: profile HMM search — compute-bound inner loop, high ILP,
+    # very predictable control flow.
+    "hmmer": ReferenceWorkload(
+        "hmmer",
+        "HMM search; compute-bound, high ILP, predictable branches",
+        [
+            _phase(
+                "viterbi", 0.85, loop_size=540, seed=41,
+                ADD=7.2, MUL=1.8, BEQ=0.8, BNE=0.4, LD=2.4, LW=0.6,
+                SD=1.0, REG_DIST=8, B_PATTERN=0.06,
+                STREAMS=_streams([1, 96 * 1024, 1.0, 8, 32, 4]),
+            ),
+            _phase(
+                "postproc", 0.15, loop_size=460, seed=42,
+                ADD=6.0, MUL=1.0, BEQ=1.0, BNE=0.6, LD=2.0, SD=0.8,
+                REG_DIST=6, B_PATTERN=0.18,
+                STREAMS=_streams([1, 32 * 1024, 1.0, 8, 16, 4]),
+            ),
+        ],
+    ),
+    # libquantum: quantum simulation — long unit-stride streams over a
+    # huge footprint, trivially predictable branches.
+    "libquantum": ReferenceWorkload(
+        "libquantum",
+        "quantum gate simulation; streaming over a large footprint",
+        [
+            _phase(
+                "toffoli", 0.8, loop_size=440, seed=51,
+                ADD=4.6, MUL=0.5, BEQ=1.0, BNE=0.3, LD=3.4, LW=0.5,
+                SD=1.8, SW=0.6, REG_DIST=6, B_PATTERN=0.12,
+                STREAMS=_streams([1, 1792 * 1024, 1.0, 16, 1, 1]),
+            ),
+            _phase(
+                "measure", 0.2, loop_size=420, seed=52,
+                ADD=5.0, MUL=0.4, BEQ=1.2, BNE=0.4, LD=3.0, SD=1.0,
+                REG_DIST=5, B_PATTERN=0.2,
+                STREAMS=_streams([1, 896 * 1024, 1.0, 16, 2, 2]),
+            ),
+        ],
+    ),
+    # mcf: network simplex — pointer chasing with terrible locality and
+    # a short dependency distance; the classic memory-bound benchmark.
+    "mcf": ReferenceWorkload(
+        "mcf",
+        "network simplex; pointer chasing, memory bound",
+        [
+            _phase(
+                "pbeampp", 0.75, loop_size=470, seed=61,
+                ADD=4.4, MUL=0.3, BEQ=1.6, BNE=1.2, LD=3.6, LW=0.8,
+                SD=0.9, SW=0.3, REG_DIST=2, B_PATTERN=0.33,
+                STREAMS=_streams(
+                    [1, 1536 * 1024, 0.8, 40, 1, 1],
+                    [2, 128 * 1024, 0.2, 8, 8, 2],
+                ),
+            ),
+            _phase(
+                "refresh", 0.25, loop_size=500, seed=62,
+                ADD=4.8, MUL=0.4, BEQ=1.4, BNE=1.0, LD=3.2, SD=1.2,
+                REG_DIST=2, B_PATTERN=0.29,
+                STREAMS=_streams([1, 1024 * 1024, 1.0, 48, 1, 1]),
+            ),
+        ],
+    ),
+    # sjeng: chess — branch-dominated search with moderate working set
+    # and hard-to-predict move-ordering branches.
+    "sjeng": ReferenceWorkload(
+        "sjeng",
+        "chess search; branch-dominated, hard-to-predict",
+        [
+            _phase(
+                "search", 0.7, loop_size=580, seed=71,
+                ADD=5.6, MUL=0.7, BEQ=2.3, BNE=1.9, LD=2.3, LW=0.5,
+                SD=0.7, SW=0.3, REG_DIST=4, B_PATTERN=0.46,
+                STREAMS=_streams([1, 112 * 1024, 1.0, 16, 8, 3]),
+            ),
+            _phase(
+                "evaluate", 0.3, loop_size=540, seed=72,
+                ADD=6.2, MUL=0.9, BEQ=1.8, BNE=1.4, LD=2.1, SD=0.6,
+                REG_DIST=5, B_PATTERN=0.30,
+                STREAMS=_streams([1, 64 * 1024, 1.0, 12, 8, 4]),
+            ),
+        ],
+    ),
+    # xalancbmk: XSLT processor — the largest instruction footprint of
+    # the suite, virtual-call-heavy control flow.
+    "xalancbmk": ReferenceWorkload(
+        "xalancbmk",
+        "XSLT; huge code footprint, indirect-branch heavy",
+        [
+            _phase(
+                "template", 0.55, loop_size=4800, seed=81,
+                ADD=5.0, MUL=0.5, BEQ=1.9, BNE=1.6, LD=3.0, LW=0.8,
+                SD=0.9, SW=0.4, REG_DIST=3, B_PATTERN=0.26,
+                STREAMS=_streams(
+                    [1, 448 * 1024, 0.75, 24, 2, 2],
+                    [2, 96 * 1024, 0.25, 8, 8, 3],
+                ),
+            ),
+            _phase(
+                "output", 0.45, loop_size=4400, seed=82,
+                ADD=5.4, MUL=0.4, BEQ=1.7, BNE=1.3, LD=2.8, SD=1.3,
+                REG_DIST=4, B_PATTERN=0.23,
+                STREAMS=_streams([1, 256 * 1024, 1.0, 20, 4, 2]),
+            ),
+        ],
+    ),
+}
+
+
+def benchmark_names() -> list[str]:
+    """Paper order: the eight Fig 2/3 benchmarks."""
+    return list(SPEC_BENCHMARKS)
+
+
+def get_benchmark(name: str) -> ReferenceWorkload:
+    """Look up a reference workload by SPEC name.
+
+    Raises:
+        KeyError: for names outside the suite.
+    """
+    if name not in SPEC_BENCHMARKS:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {benchmark_names()}"
+        )
+    return SPEC_BENCHMARKS[name]

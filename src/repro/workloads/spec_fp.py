@@ -1,0 +1,128 @@
+"""SPEC CPU2006 FP-like extension workloads.
+
+The paper evaluates on eight INT benchmarks; this extension suite adds
+four floating-point stand-ins so the FP-side knobs (FADD/FMUL fractions,
+FP dependency chains) get realistic cloning targets too.  Profiles follow
+the published characterizations: bwaves/lbm are bandwidth-bound stencil
+streams, milc mixes gather-style accesses with FP math, namd is
+compute-dense with high ILP.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.spec import Phase, ReferenceWorkload, _phase, _streams
+
+SPEC_FP_BENCHMARKS: dict[str, ReferenceWorkload] = {
+    # bwaves: blast-wave CFD — long unit-stride FP streams, large
+    # footprint, highly predictable control flow.
+    "bwaves": ReferenceWorkload(
+        "bwaves",
+        "CFD stencil; streaming FP, bandwidth bound",
+        [
+            _phase(
+                "stencil", 0.8, loop_size=520, seed=91,
+                ADD=2.2, FADDD=3.2, FMULD=2.8, BEQ=0.7, BNE=0.3,
+                LD=3.4, SD=1.6, REG_DIST=7, B_PATTERN=0.08,
+                STREAMS=_streams([1, 1536 * 1024, 1.0, 16, 1, 1]),
+            ),
+            _phase(
+                "boundary", 0.2, loop_size=480, seed=92,
+                ADD=3.0, FADDD=2.4, FMULD=2.0, BEQ=1.0, BNE=0.4,
+                LD=2.8, SD=1.2, REG_DIST=5, B_PATTERN=0.16,
+                STREAMS=_streams([1, 256 * 1024, 1.0, 24, 2, 2]),
+            ),
+        ],
+    ),
+    # milc: lattice QCD — gather-heavy SU(3) algebra, moderate reuse.
+    "milc": ReferenceWorkload(
+        "milc",
+        "lattice QCD; gathers plus dense FP multiply-add",
+        [
+            _phase(
+                "mult_su3", 0.65, loop_size=560, seed=93,
+                ADD=2.0, FADDD=3.4, FMULD=3.6, BEQ=0.8, BNE=0.3,
+                LD=3.0, SD=1.4, REG_DIST=6, B_PATTERN=0.12,
+                STREAMS=_streams(
+                    [1, 896 * 1024, 0.7, 40, 1, 1],
+                    [2, 96 * 1024, 0.3, 8, 8, 3],
+                ),
+            ),
+            _phase(
+                "gauge", 0.35, loop_size=500, seed=94,
+                ADD=2.6, FADDD=2.8, FMULD=2.6, BEQ=1.0, BNE=0.4,
+                LD=2.6, SD=1.6, REG_DIST=5, B_PATTERN=0.15,
+                STREAMS=_streams([1, 384 * 1024, 1.0, 32, 2, 2]),
+            ),
+        ],
+    ),
+    # namd: molecular dynamics — compute-dense inner loops, small
+    # working set, very high ILP.
+    "namd": ReferenceWorkload(
+        "namd",
+        "molecular dynamics; compute dense, high ILP",
+        [
+            _phase(
+                "pairlist", 0.75, loop_size=540, seed=95,
+                ADD=2.8, FADDD=3.8, FMULD=3.4, BEQ=0.9, BNE=0.3,
+                LD=2.4, SD=0.9, REG_DIST=9, B_PATTERN=0.07,
+                STREAMS=_streams([1, 64 * 1024, 1.0, 8, 16, 4]),
+            ),
+            _phase(
+                "integrate", 0.25, loop_size=460, seed=96,
+                ADD=3.2, FADDD=3.0, FMULD=2.4, BEQ=0.8, BNE=0.3,
+                LD=2.2, SD=1.2, REG_DIST=8, B_PATTERN=0.1,
+                STREAMS=_streams([1, 32 * 1024, 1.0, 8, 16, 4]),
+            ),
+        ],
+    ),
+    # lbm: lattice-Boltzmann — the classic memory-bandwidth virus:
+    # huge footprint, wide strides, stores as heavy as loads.
+    "lbm": ReferenceWorkload(
+        "lbm",
+        "lattice-Boltzmann; store-heavy streaming over a huge grid",
+        [
+            _phase(
+                "collide", 0.85, loop_size=500, seed=97,
+                ADD=1.8, FADDD=3.0, FMULD=2.6, BEQ=0.6, BNE=0.2,
+                LD=3.2, SD=2.8, REG_DIST=6, B_PATTERN=0.05,
+                STREAMS=_streams(
+                    [1, 1792 * 1024, 0.6, 24, 1, 1],
+                    [2, 1280 * 1024, 0.4, 24, 1, 1],
+                ),
+            ),
+            _phase(
+                "stream", 0.15, loop_size=440, seed=98,
+                ADD=2.2, FADDD=2.2, FMULD=1.8, BEQ=0.8, BNE=0.3,
+                LD=3.0, SD=2.4, REG_DIST=5, B_PATTERN=0.09,
+                STREAMS=_streams([1, 1024 * 1024, 1.0, 16, 1, 1]),
+            ),
+        ],
+    ),
+}
+
+
+def fp_benchmark_names() -> list[str]:
+    """The FP extension suite, in canonical order."""
+    return list(SPEC_FP_BENCHMARKS)
+
+
+def get_fp_benchmark(name: str) -> ReferenceWorkload:
+    """Look up an FP extension workload.
+
+    Raises:
+        KeyError: for names outside the extension suite.
+    """
+    if name not in SPEC_FP_BENCHMARKS:
+        raise KeyError(
+            f"unknown FP benchmark {name!r}; available: {fp_benchmark_names()}"
+        )
+    return SPEC_FP_BENCHMARKS[name]
+
+
+def all_benchmarks() -> dict[str, ReferenceWorkload]:
+    """INT suite plus the FP extension suite."""
+    from repro.workloads.spec import SPEC_BENCHMARKS
+
+    combined = dict(SPEC_BENCHMARKS)
+    combined.update(SPEC_FP_BENCHMARKS)
+    return combined

@@ -1,0 +1,114 @@
+"""Unit tests for the instruction-level generation model."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.instlevel import (
+    DEFAULT_ALPHABET,
+    FixedCodeParams,
+    GenomeEvaluator,
+    InstructionLevelSpace,
+    SequenceProfilePass,
+    genome_to_program,
+)
+
+
+class TestSequenceProfilePass:
+    def test_exact_sequence_materialized(self):
+        genome = ("ADD", "LD", "FMUL.D", "BEQ", "SD")
+        program = genome_to_program(genome)
+        assert tuple(i.mnemonic for i in program) == genome
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            SequenceProfilePass([])
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(KeyError):
+            SequenceProfilePass(["WARP"])
+
+
+class TestGenomeToProgram:
+    def test_program_validates(self):
+        genome = ("ADD",) * 10 + ("LD", "SD", "BEQ", "FMUL.D") * 3
+        genome_to_program(genome).validate()
+
+    def test_memoryless_genome(self):
+        program = genome_to_program(("ADD", "MUL", "BEQ", "ADD"))
+        assert program.memory_instructions() == []
+        program.validate()
+
+    def test_params_flow_through(self):
+        params = FixedCodeParams(dependency_distance=3,
+                                 mem_footprint_bytes=8192, mem_stride=16)
+        program = genome_to_program(("LD", "SD", "ADD", "ADD"), params)
+        assert program.metadata["dependency_distance"] == 3
+        mem = program.memory_instructions()
+        assert all(i.memory.footprint == 8192 for i in mem)
+
+    def test_genome_recorded_in_metadata(self):
+        genome = ("ADD", "LW")
+        program = genome_to_program(genome)
+        assert program.metadata["genome"] == genome
+        assert program.metadata["model"] == "instruction-level"
+
+    def test_simulates_end_to_end(self):
+        from repro.sim import SMALL_CORE, Simulator
+
+        genome = ("ADD", "LD", "FADD.D", "BNE", "SW") * 20
+        stats = Simulator(SMALL_CORE).run(
+            genome_to_program(genome), instructions=4_000
+        )
+        assert stats.ipc > 0
+
+
+class TestSpaceOperators:
+    def setup_method(self):
+        self.space = InstructionLevelSpace(length=20)
+        self.rng = np.random.default_rng(0)
+
+    def test_random_genome_shape_and_alphabet(self):
+        genome = self.space.random_genome(self.rng)
+        assert len(genome) == 20
+        assert set(genome) <= set(DEFAULT_ALPHABET)
+
+    def test_crossover_splices_subsequences(self):
+        a = ("ADD",) * 20
+        b = ("SD",) * 20
+        child = self.space.crossover(a, b, self.rng)
+        assert len(child) == 20
+        point = child.index("SD")
+        assert all(g == "ADD" for g in child[:point])
+        assert all(g == "SD" for g in child[point:])
+
+    def test_mutation_rate_zero_is_identity(self):
+        genome = self.space.random_genome(self.rng)
+        assert self.space.mutate(genome, 0.0, self.rng) == genome
+
+    def test_mutation_rate_one_rewrites_most_slots(self):
+        genome = ("ADD",) * 20
+        mutated = self.space.mutate(genome, 1.0, self.rng)
+        changed = sum(1 for a, b in zip(genome, mutated) if a != b)
+        assert changed > 12  # redraw may pick ADD again ~1/10 of the time
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            InstructionLevelSpace(length=1)
+        with pytest.raises(ValueError):
+            InstructionLevelSpace(alphabet=())
+        with pytest.raises(KeyError):
+            InstructionLevelSpace(alphabet=("NOPE",))
+
+
+class TestGenomeEvaluator:
+    def test_memoizes_identical_genomes(self):
+        calls = []
+        evaluator = GenomeEvaluator(
+            lambda program: calls.append(1) or {"y": float(len(program))}
+        )
+        genome = ("ADD", "SD")
+        evaluator.evaluate_genome(genome)
+        evaluator.evaluate_genome(genome)
+        assert evaluator.requested_evaluations == 2
+        assert evaluator.unique_evaluations == 1
+        assert len(calls) == 1

@@ -1,0 +1,266 @@
+"""Unit tests for individual code-synthesis passes."""
+
+import pytest
+
+from repro.codegen.passes.addresses import UpdateInstructionAddressesPass
+from repro.codegen.passes.branches import RandomizeByTypePass
+from repro.codegen.passes.building_block import SimpleBuildingBlockPass
+from repro.codegen.passes.memory import GenericMemoryStreamsPass, StreamSpec
+from repro.codegen.passes.profile import SetInstructionTypeByProfilePass, apportion
+from repro.codegen.passes.registers import (
+    DefaultRegisterAllocationPass,
+    InitializeRegistersPass,
+    ReserveRegistersPass,
+)
+from repro.codegen.passes.verify import VerifyProgramPass
+from repro.codegen.synthesizer import (
+    GenerationContext,
+    PassOrderingError,
+    Synthesizer,
+)
+from repro.isa.program import Program
+from repro.isa.registers import RegisterFile, RegisterKind
+
+
+def _context():
+    return GenerationContext()
+
+
+class TestApportion:
+    def test_exact_split(self):
+        counts = apportion({"A": 1, "B": 1}, 10)
+        assert counts == {"A": 5, "B": 5}
+
+    def test_sums_to_total(self):
+        counts = apportion({"A": 1, "B": 2, "C": 4}, 100)
+        assert sum(counts.values()) == 100
+
+    def test_each_count_within_one_of_ideal(self):
+        weights = {"A": 3, "B": 5, "C": 7, "D": 11}
+        total = 97
+        counts = apportion(weights, total)
+        wsum = sum(weights.values())
+        for k, w in weights.items():
+            ideal = w / wsum * total
+            assert abs(counts[k] - ideal) < 1.0
+
+    def test_empty_weights_raise(self):
+        with pytest.raises(ValueError):
+            apportion({}, 10)
+
+    def test_negative_weight_raises(self):
+        with pytest.raises(ValueError):
+            apportion({"A": -1}, 10)
+
+    def test_zero_sum_raises(self):
+        with pytest.raises(ValueError):
+            apportion({"A": 0.0}, 10)
+
+
+class TestBuildingBlock:
+    def test_creates_requested_slots(self):
+        program = Program()
+        SimpleBuildingBlockPass(123).run(program, _context())
+        assert len(program) == 123
+        assert all(i.mnemonic == "NOP" for i in program)
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            SimpleBuildingBlockPass(0)
+
+
+class TestProfilePass:
+    def _program(self, n=100):
+        program = Program()
+        SimpleBuildingBlockPass(n).run(program, _context())
+        return program
+
+    def test_distribution_matches_profile_exactly(self):
+        program = self._program(100)
+        SetInstructionTypeByProfilePass({"ADD": 3, "MUL": 1}).run(
+            program, _context()
+        )
+        counts = {}
+        for i in program:
+            counts[i.mnemonic] = counts.get(i.mnemonic, 0) + 1
+        assert counts == {"ADD": 75, "MUL": 25}
+
+    def test_unknown_mnemonic_rejected_at_construction(self):
+        with pytest.raises(KeyError):
+            SetInstructionTypeByProfilePass({"BOGUS": 1})
+
+    def test_classes_are_interleaved_not_clustered(self):
+        program = self._program(200)
+        SetInstructionTypeByProfilePass({"ADD": 1, "MUL": 1}).run(
+            program, _context()
+        )
+        # A fully clustered assignment would have exactly 1 transition;
+        # interleaving should produce many.
+        transitions = sum(
+            1
+            for a, b in zip(program.body, program.body[1:])
+            if a.mnemonic != b.mnemonic
+        )
+        assert transitions > 20
+
+
+class TestReserveAndInit:
+    def test_reserved_registers_leave_pool(self):
+        program = Program()
+        ctx = _context()
+        ReserveRegistersPass(["x5", "f3"]).run(program, ctx)
+        assert ctx.registers.is_reserved(RegisterFile.parse("x5"))
+        assert ctx.registers.is_reserved(RegisterFile.parse("f3"))
+
+    def test_initialize_literal_value(self):
+        program = Program()
+        InitializeRegistersPass(value=7).run(program, _context())
+        values = program.metadata["register_init"]
+        assert set(values.values()) == {7}
+
+    def test_initialize_random_is_deterministic(self):
+        p1, p2 = Program(), Program()
+        InitializeRegistersPass().run(p1, _context())
+        InitializeRegistersPass().run(p2, _context())
+        assert p1.metadata["register_init"] == p2.metadata["register_init"]
+
+
+class TestRegisterAllocation:
+    def _profiled_program(self, profile, n=60):
+        program = Program()
+        ctx = _context()
+        SimpleBuildingBlockPass(n).run(program, ctx)
+        SetInstructionTypeByProfilePass(profile).run(program, ctx)
+        return program, ctx
+
+    def test_dependency_distance_links_sources_to_producers(self):
+        program, ctx = self._profiled_program({"ADD": 1})
+        dd = 4
+        DefaultRegisterAllocationPass(dd=dd).run(program, ctx)
+        # After warmup, each source must equal the destination written
+        # dd instructions earlier.
+        body = program.body
+        for n in range(dd + 1, len(body)):
+            producer = body[n - dd]
+            assert body[n].srcs[0] == producer.dests[0]
+
+    def test_destination_not_rewritten_within_distance(self):
+        program, ctx = self._profiled_program({"ADD": 1})
+        dd = 5
+        DefaultRegisterAllocationPass(dd=dd).run(program, ctx)
+        body = program.body
+        for n, instr in enumerate(body):
+            for back in range(1, min(dd, n) + 1):
+                assert instr.dests != body[n - back].dests or back > dd
+
+    def test_bad_distance_raises(self):
+        with pytest.raises(ValueError):
+            DefaultRegisterAllocationPass(dd=0)
+
+    def test_distance_too_large_for_pool_raises(self):
+        program, ctx = self._profiled_program({"ADD": 1})
+        for i in range(1, 29):
+            ctx.registers.reserve(RegisterFile.parse(f"x{i}"))
+        with pytest.raises(ValueError, match="allocatable"):
+            DefaultRegisterAllocationPass(dd=9).run(program, ctx)
+
+
+class TestMemoryStreams:
+    def _memory_program(self, n=60):
+        program = Program()
+        ctx = _context()
+        SimpleBuildingBlockPass(n).run(program, ctx)
+        SetInstructionTypeByProfilePass({"LD": 1, "SD": 1}).run(program, ctx)
+        return program, ctx
+
+    def test_single_stream_covers_all_memory_ops(self):
+        program, ctx = self._memory_program()
+        GenericMemoryStreamsPass([[1, 4096, 1.0, 64, 1, 1]]).run(program, ctx)
+        mem = program.memory_instructions()
+        assert all(i.memory is not None for i in mem)
+        assert {i.memory.stream_id for i in mem} == {1}
+
+    def test_ratio_split_is_proportional(self):
+        program, ctx = self._memory_program(120)
+        GenericMemoryStreamsPass(
+            [[1, 4096, 0.75, 64, 1, 1], [2, 8192, 0.25, 8, 1, 1]]
+        ).run(program, ctx)
+        mem = program.memory_instructions()
+        ones = sum(1 for i in mem if i.memory.stream_id == 1)
+        assert abs(ones / len(mem) - 0.75) < 0.05
+
+    def test_step_equals_stream_population(self):
+        program, ctx = self._memory_program(80)
+        GenericMemoryStreamsPass([[1, 4096, 1.0, 64, 1, 1]]).run(program, ctx)
+        mem = program.memory_instructions()
+        for instr in mem:
+            assert instr.memory.step == len(mem)
+
+    def test_phases_are_unique_within_stream(self):
+        program, ctx = self._memory_program(80)
+        GenericMemoryStreamsPass([[1, 4096, 1.0, 64, 1, 1]]).run(program, ctx)
+        phases = [i.memory.phase for i in program.memory_instructions()]
+        assert sorted(phases) == list(range(len(phases)))
+
+    def test_no_streams_raises(self):
+        with pytest.raises(ValueError):
+            GenericMemoryStreamsPass([])
+
+    def test_oversized_stream_rejected(self):
+        with pytest.raises(ValueError):
+            StreamSpec(1, 1 << 30, 1.0, 64)
+
+
+class TestBranchesAndAddresses:
+    def test_branch_pass_attaches_behaviour(self):
+        program = Program()
+        ctx = _context()
+        SimpleBuildingBlockPass(40).run(program, ctx)
+        SetInstructionTypeByProfilePass({"BEQ": 1, "ADD": 3}).run(program, ctx)
+        RandomizeByTypePass(0.4).run(program, ctx)
+        for br in program.branch_instructions():
+            assert br.branch is not None
+            assert br.branch.random_ratio == 0.4
+
+    def test_branch_seeds_differ_per_instruction(self):
+        program = Program()
+        ctx = _context()
+        SimpleBuildingBlockPass(40).run(program, ctx)
+        SetInstructionTypeByProfilePass({"BNE": 1}).run(program, ctx)
+        RandomizeByTypePass(1.0).run(program, ctx)
+        seeds = [b.branch.seed for b in program.branch_instructions()]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_addresses_are_sequential(self):
+        program = Program()
+        ctx = _context()
+        SimpleBuildingBlockPass(10).run(program, ctx)
+        UpdateInstructionAddressesPass().run(program, ctx)
+        addrs = [i.address for i in program]
+        assert addrs == [program.entry_address + 4 * n for n in range(10)]
+        assert program.metadata["code_bytes"] == 40
+
+    def test_invalid_ratio_raises(self):
+        with pytest.raises(ValueError):
+            RandomizeByTypePass(1.5)
+
+
+class TestSynthesizerOrdering:
+    def test_pass_ordering_is_enforced(self):
+        synth = Synthesizer(
+            passes=[
+                SimpleBuildingBlockPass(10),
+                # Register allocation before the profile: must fail.
+                DefaultRegisterAllocationPass(dd=2),
+                SetInstructionTypeByProfilePass({"ADD": 1}),
+            ]
+        )
+        with pytest.raises(PassOrderingError, match="requires"):
+            synth.synthesize()
+
+    def test_verify_requires_layout(self):
+        synth = Synthesizer(
+            passes=[SimpleBuildingBlockPass(10), VerifyProgramPass()]
+        )
+        with pytest.raises(PassOrderingError):
+            synth.synthesize()

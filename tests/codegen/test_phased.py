@@ -1,0 +1,94 @@
+"""Unit tests for phased (multi-section) test-case generation."""
+
+import pytest
+
+from repro.codegen.phased import generate_phased_test_case, split_sections
+from repro.codegen.wrapper import GenerationOptions
+
+QUIET = dict(ADD=4, BEQ=1, REG_DIST=1, B_PATTERN=0.0)
+LOUD = dict(ADD=1, FADDD=3, FMULD=3, LD=2, SD=3, BEQ=1,
+            REG_DIST=10, MEM_SIZE=16, B_PATTERN=0.0)
+
+
+@pytest.fixture(scope="module")
+def phased():
+    return generate_phased_test_case(
+        [QUIET, LOUD], GenerationOptions(loop_size=400)
+    )
+
+
+class TestGeneration:
+    def test_program_validates(self, phased):
+        phased.validate()
+
+    def test_sections_recorded(self, phased):
+        assert phased.metadata["sections"] == [(0, 200), (200, 400)]
+
+    def test_addresses_are_contiguous(self, phased):
+        addrs = [i.address for i in phased.body]
+        assert addrs == [phased.entry_address + 4 * n
+                         for n in range(len(phased))]
+
+    def test_sections_have_distinct_mixes(self, phased):
+        first, second = split_sections(phased)
+        assert first.group_fractions().get("float", 0.0) == 0.0
+        assert second.group_fractions().get("float", 0.0) > 0.2
+
+    def test_stream_ids_do_not_collide_across_sections(self):
+        both_mem = generate_phased_test_case(
+            [dict(LOUD), dict(LOUD)], GenerationOptions(loop_size=300)
+        )
+        first, second = split_sections(both_mem)
+        ids_a = {i.memory.stream_id for i in first.memory_instructions()}
+        ids_b = {i.memory.stream_id for i in second.memory_instructions()}
+        assert ids_a.isdisjoint(ids_b)
+
+    def test_single_section_rejected(self):
+        with pytest.raises(ValueError, match=">= 2 sections"):
+            generate_phased_test_case([QUIET])
+
+    def test_three_sections(self):
+        program = generate_phased_test_case(
+            [QUIET, LOUD, QUIET], GenerationOptions(loop_size=300)
+        )
+        assert len(program.metadata["sections"]) == 3
+
+
+class TestSplit:
+    def test_split_round_trips_sizes(self, phased):
+        parts = split_sections(phased)
+        assert [len(p) for p in parts] == [200, 200]
+        for part in parts:
+            part.validate()
+
+    def test_unphased_program_rejected(self):
+        from repro.codegen import generate_test_case
+
+        with pytest.raises(ValueError, match="section metadata"):
+            split_sections(generate_test_case(QUIET))
+
+
+class TestSimulationAndDroop:
+    def test_phased_program_simulates(self, phased):
+        from repro.sim import LARGE_CORE, Simulator
+
+        stats = Simulator(LARGE_CORE).run(phased, instructions=8_000)
+        assert stats.ipc > 0
+        fractions = stats.group_fractions
+        assert 0.0 < fractions.get("float", 0.0) < 0.4  # the loud half
+
+    def test_alternation_droops_more_than_uniform(self):
+        from repro.power.droop import analyze_phased_program
+        from repro.sim import LARGE_CORE
+
+        alternating = generate_phased_test_case(
+            [QUIET, LOUD], GenerationOptions(loop_size=400)
+        )
+        uniform = generate_phased_test_case(
+            [LOUD, dict(LOUD)], GenerationOptions(loop_size=400)
+        )
+        droop_alt = analyze_phased_program(alternating, LARGE_CORE,
+                                           instructions=6_000)
+        droop_uni = analyze_phased_program(uniform, LARGE_CORE,
+                                           instructions=6_000)
+        assert droop_alt.droop_mv > droop_uni.droop_mv

@@ -1,0 +1,70 @@
+"""Property-based tests: any lattice knob config yields a sound program."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.codegen.wrapper import GenerationOptions, generate_test_case
+from repro.tuning.knobs import (
+    B_PATTERN_VALUES,
+    INSTRUCTION_FRACTIONS,
+    MEM_SIZE_VALUES,
+    MEM_STRIDE_VALUES,
+    MEM_TEMP1_VALUES,
+    MEM_TEMP2_VALUES,
+    MIX_KNOB_NAMES,
+    REG_DIST_VALUES,
+)
+
+lattice_config = st.fixed_dictionaries(
+    {
+        **{name: st.sampled_from(INSTRUCTION_FRACTIONS)
+           for name in MIX_KNOB_NAMES},
+        "REG_DIST": st.sampled_from(REG_DIST_VALUES),
+        "MEM_SIZE": st.sampled_from(MEM_SIZE_VALUES),
+        "MEM_STRIDE": st.sampled_from(MEM_STRIDE_VALUES),
+        "MEM_TEMP1": st.sampled_from(MEM_TEMP1_VALUES),
+        "MEM_TEMP2": st.sampled_from(MEM_TEMP2_VALUES),
+        "B_PATTERN": st.sampled_from(B_PATTERN_VALUES),
+    }
+)
+
+
+class TestLatticeConfigs:
+    @given(lattice_config)
+    @settings(max_examples=25, deadline=None)
+    def test_every_lattice_point_generates_valid_program(self, config):
+        program = generate_test_case(config, GenerationOptions(loop_size=120))
+        program.validate()
+        assert len(program) == 120
+
+    @given(lattice_config)
+    @settings(max_examples=25, deadline=None)
+    def test_group_fractions_track_knob_weights(self, config):
+        weights = {
+            "integer": config["ADD"] + config["MUL"],
+            "float": config["FADDD"] + config["FMULD"],
+            "branch": config["BEQ"] + config["BNE"],
+            "load": config["LD"] + config["LW"],
+            "store": config["SD"] + config["SW"],
+        }
+        total = sum(weights.values())
+        assume(total > 0)
+        program = generate_test_case(config, GenerationOptions(loop_size=200))
+        fractions = program.group_fractions()
+        for group, weight in weights.items():
+            expected = weight / total
+            # Apportionment rounds to whole slots out of 200.
+            assert abs(fractions.get(group, 0.0) - expected) < 0.02
+
+    @given(lattice_config)
+    @settings(max_examples=15, deadline=None)
+    def test_memory_attachments_complete_and_consistent(self, config):
+        assume(config["LD"] + config["LW"] + config["SD"] + config["SW"] > 0)
+        program = generate_test_case(config, GenerationOptions(loop_size=150))
+        mem = program.memory_instructions()
+        assert mem, "configs with memory weight include loads/stores"
+        for instr in mem:
+            assert instr.memory.footprint == config["MEM_SIZE"] * 1024
+            assert instr.memory.stride == config["MEM_STRIDE"]
+            assert instr.memory.reuse_count == config["MEM_TEMP1"]
+            assert instr.memory.reuse_period == config["MEM_TEMP2"]

@@ -1,0 +1,109 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_clone_flags(self):
+        args = build_parser().parse_args(
+            ["clone", "--application", "mcf", "--core", "small",
+             "--tuner", "ga", "--max-epochs", "5"]
+        )
+        assert args.application == "mcf"
+        assert args.tuner == "ga"
+        assert args.max_epochs == 5
+
+    def test_unknown_application_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["clone", "--application", "nope"])
+
+
+class TestCommands:
+    def test_cores_lists_both(self, capsys):
+        assert main(["cores"]) == 0
+        out = capsys.readouterr().out
+        assert '"small"' in out
+        assert '"large"' in out
+
+    def test_simpoints_prints_intervals(self, capsys):
+        assert main(["simpoints", "--application", "gcc"]) == 0
+        out = capsys.readouterr().out
+        assert "interval" in out
+        assert "weight" in out
+
+    def test_characterize_prints_table(self, capsys):
+        assert main(
+            ["characterize", "--application", "bzip2", "--core", "small"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "combined" in out
+
+    def test_stress_with_config_file(self, tmp_path, capsys):
+        from repro.core.config import MicroGradConfig
+
+        config = MicroGradConfig(
+            use_case="stress", metrics=("ipc",), core="small",
+            max_epochs=2, loop_size=150, instructions=3_000,
+            knobs=("ADD", "MUL", "LD", "SD"),
+        )
+        path = tmp_path / "stress.json"
+        config.to_json(path)
+        assert main(["stress", "--config", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "stress" in out
+        assert "ipc" in out
+
+    def test_clone_saves_artifacts(self, tmp_path, capsys):
+        from repro.core.config import MicroGradConfig
+
+        config = MicroGradConfig(
+            use_case="cloning", targets={"ipc": 1.0}, metrics=("ipc",),
+            core="small", max_epochs=2, loop_size=150, instructions=3_000,
+        )
+        path = tmp_path / "clone.json"
+        config.to_json(path)
+        out_dir = tmp_path / "result"
+        assert main(
+            ["clone", "--config", str(path), "--out", str(out_dir)]
+        ) == 0
+        assert (out_dir / "testcase.s").exists()
+        knobs = json.loads((out_dir / "knobs.json").read_text())
+        assert "ADD" in knobs
+
+
+class TestExtensionCommands:
+    def test_bottleneck_sweeps_and_finds_knee(self, capsys):
+        assert main(
+            ["bottleneck", "--knob", "MEM_SIZE", "--core", "small",
+             "--instructions", "4000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "MEM_SIZE=2" in out
+        assert "knee at" in out
+
+    def test_bottleneck_unknown_knob_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bottleneck", "--knob", "TURBO"])
+
+    def test_sensitivity_ranks_knobs(self, capsys):
+        assert main(
+            ["sensitivity", "--core", "small", "--instructions", "3000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "B_PATTERN" in out
+        assert "swing" in out
+
+    def test_droop_runs(self, capsys):
+        assert main(
+            ["droop", "--core", "small", "--max-epochs", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "peak droop" in out

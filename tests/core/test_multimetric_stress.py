@@ -1,0 +1,73 @@
+"""Tests for multi-metric stress testing (Section III-A2)."""
+
+import pytest
+
+from repro import MicroGrad, MicroGradConfig
+from repro.core.usecases.stress import StressTestingUseCase
+from repro.tuning.loss import CombinedStressLoss, StressLoss
+
+
+class TestCombinedStressLoss:
+    def test_sums_metric_contributions(self):
+        loss = CombinedStressLoss(metrics=("a", "b"))
+        assert loss({"a": 1.0, "b": 2.0}) == pytest.approx(3.0)
+
+    def test_maximize_negates(self):
+        loss = CombinedStressLoss(metrics=("a",), maximize=True)
+        assert loss({"a": 2.0}) == -2.0
+
+    def test_normalizers_rescale(self):
+        loss = CombinedStressLoss(
+            metrics=("ipc", "power"), normalizers={"power": 2.0}
+        )
+        assert loss({"ipc": 1.0, "power": 2.0}) == pytest.approx(2.0)
+
+    def test_weights_apply(self):
+        loss = CombinedStressLoss(metrics=("a", "b"), weights={"a": 3.0})
+        assert loss({"a": 1.0, "b": 1.0}) == pytest.approx(4.0)
+
+    def test_missing_metric_raises(self):
+        with pytest.raises(KeyError):
+            CombinedStressLoss(metrics=("a",))({"b": 1.0})
+
+    def test_empty_metrics_rejected(self):
+        with pytest.raises(ValueError):
+            CombinedStressLoss(metrics=())
+
+
+class TestUseCaseSelection:
+    def test_single_metric_uses_plain_loss(self):
+        config = MicroGradConfig(use_case="stress", metrics=("ipc",))
+        assert isinstance(StressTestingUseCase(config).loss(), StressLoss)
+
+    def test_multiple_metrics_use_combined_loss(self):
+        config = MicroGradConfig(
+            use_case="stress", metrics=("ipc", "mispredict_rate")
+        )
+        loss = StressTestingUseCase(config).loss()
+        assert isinstance(loss, CombinedStressLoss)
+        assert loss.metrics == ("ipc", "mispredict_rate")
+
+
+class TestEndToEnd:
+    def test_joint_ipc_and_mispredict_stress(self):
+        """Minimize IPC while also minimizing the mispredict rate: the
+        tuner must find low-IPC mixes that do NOT rely on mispredicts —
+        a qualitatively different optimum than IPC alone."""
+        joint = MicroGradConfig(
+            use_case="stress",
+            metrics=("ipc", "mispredict_rate"),
+            core="small",
+            max_epochs=6,
+            loop_size=200,
+            instructions=5_000,
+            knobs=("ADD", "MUL", "FADDD", "FMULD", "BEQ", "BNE",
+                   "LD", "LW", "SD", "SW"),
+            seed=4,
+        )
+        result = MicroGrad(joint).run()
+        assert result.metrics["ipc"] > 0
+        assert "mispredict_rate" in result.metrics
+        # Loss history must be monotone non-increasing (best-so-far).
+        curve = result.tuning.loss_curve()
+        assert all(a >= b for a, b in zip(curve, curve[1:]))

@@ -1,0 +1,72 @@
+"""Unit tests for the result/outputs container."""
+
+import json
+
+from repro.codegen import generate_test_case
+from repro.core.outputs import MicroGradResult
+from repro.tuning.base import EpochRecord, TuningResult
+
+
+def _result():
+    program = generate_test_case(
+        dict(ADD=4, BEQ=1, LD=2, SD=1, REG_DIST=3, MEM_SIZE=16,
+             B_PATTERN=0.2)
+    )
+    tuning = TuningResult(
+        best_config={"ADD": 4},
+        best_metrics={"ipc": 1.2},
+        best_loss=0.01,
+        epochs=3,
+        converged=True,
+        stop_reason="target_loss",
+        history=[
+            EpochRecord(1, 0.5, 0.5, {"ipc": 0.8}, {"ADD": 2}, 10),
+            EpochRecord(2, 0.1, 0.1, {"ipc": 1.1}, {"ADD": 3}, 20),
+            EpochRecord(3, 0.01, 0.01, {"ipc": 1.2}, {"ADD": 4}, 30),
+        ],
+        requested_evaluations=30,
+        unique_evaluations=25,
+    )
+    return MicroGradResult(
+        use_case="cloning",
+        core="small",
+        program=program,
+        knobs={"ADD": 4},
+        metrics={"ipc": 1.2},
+        targets={"ipc": 1.25},
+        accuracy={"ipc": 0.96},
+        mean_accuracy=0.96,
+        tuning=tuning,
+    )
+
+
+class TestMicroGradResult:
+    def test_assembly_is_generated(self):
+        result = _result()
+        assert "loop:" in result.assembly
+        assert "j loop" in result.assembly
+
+    def test_epoch_progression_shape(self):
+        rows = _result().epoch_progression()
+        assert [r["epoch"] for r in rows] == [1, 2, 3]
+        assert rows[-1]["evaluations"] == 30
+
+    def test_epoch_progression_empty_without_tuning(self):
+        result = _result()
+        result.tuning = None
+        assert result.epoch_progression() == []
+
+    def test_save_writes_all_artifacts(self, tmp_path):
+        out = _result().save(tmp_path / "run1")
+        assert (out / "testcase.s").exists()
+        assert (out / "knobs.json").exists()
+        metrics = json.loads((out / "metrics.json").read_text())
+        assert metrics["mean_accuracy"] == 0.96
+        epochs = json.loads((out / "epochs.json").read_text())
+        assert len(epochs) == 3
+
+    def test_summary_mentions_accuracy_and_epochs(self):
+        text = _result().summary()
+        assert "0.96" in text
+        assert "3 epochs" in text
+        assert "target_loss" in text

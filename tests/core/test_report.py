@@ -1,0 +1,74 @@
+"""Unit tests for the ASCII reporting helpers."""
+
+import pytest
+
+from repro.core.report import ascii_chart, format_table, radar_text
+
+
+class TestAsciiChart:
+    def test_renders_title_and_legend(self):
+        text = ascii_chart({"gd": [3, 2, 1], "ga": [3, 2.5, 2]},
+                           title="convergence")
+        assert text.splitlines()[0] == "convergence"
+        assert "*=gd" in text
+        assert "o=ga" in text
+
+    def test_height_and_width_respected(self):
+        text = ascii_chart({"s": [1, 2, 3]}, width=30, height=8)
+        body = [l for l in text.splitlines() if "|" in l]
+        assert len(body) == 8
+        assert all(len(l) <= 12 + 30 for l in body)
+
+    def test_constant_series_renders(self):
+        ascii_chart({"flat": [2.0, 2.0, 2.0]})  # must not divide by zero
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"nothing": []})
+
+    def test_extremes_land_on_edges(self):
+        text = ascii_chart({"s": [0.0, 10.0]}, width=20, height=5)
+        rows = [l for l in text.splitlines() if "|" in l]
+        assert "*" in rows[0]    # max at the top row
+        assert "*" in rows[-1]   # min at the bottom row
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        text = format_table(["name", "value"], [["a", 1.23456], ["bb", 2.0]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.235" in text
+        assert len(lines) == 4
+
+    def test_empty_rows(self):
+        text = format_table(["x"], [])
+        assert "x" in text
+
+
+class TestRadarText:
+    def test_perfect_clone_is_centered(self):
+        text = radar_text({"ipc": 1.0})
+        assert "1.000" in text
+        assert "|" in text
+
+    def test_deviation_grows_bar(self):
+        near = radar_text({"m": 1.02}).count("=")
+        far = radar_text({"m": 1.4}).count("=")
+        assert far > near
+
+    def test_clips_extreme_ratios(self):
+        radar_text({"m": 5.0})  # must not raise or overflow the width
+
+
+class TestRadarTextEdge:
+    def test_multiple_metrics_render_one_line_each(self):
+        text = radar_text({"ipc": 1.1, "l1d_hit_rate": 0.9, "branch": 1.0})
+        assert len(text.splitlines()) == 3
+
+    def test_below_target_bars_point_left(self):
+        line = radar_text({"m": 0.7}, width=20)
+        centre = line.index("|")
+        left = line[:centre].count("=")
+        right = line[centre:].count("=")
+        assert left > right

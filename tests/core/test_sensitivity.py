@@ -1,0 +1,96 @@
+"""Unit tests for the knob sensitivity screening."""
+
+import pytest
+
+from repro.core.platform import PerformancePlatform
+from repro.core.usecases.sensitivity import (
+    KnobSensitivity,
+    SensitivityAnalysis,
+)
+from repro.sim import SMALL_CORE
+from repro.tuning.knobs import Knob, KnobSpace
+
+BASELINE = dict(ADD=5, MUL=1, FADDD=1, FMULD=1, BEQ=1, BNE=1, LD=3, LW=1,
+                SD=1, SW=1, REG_DIST=4, MEM_SIZE=32, MEM_STRIDE=16,
+                MEM_TEMP1=4, MEM_TEMP2=2, B_PATTERN=0.2)
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    space = KnobSpace(
+        [
+            Knob("REG_DIST", (1.0, 4.0, 10.0)),
+            Knob("B_PATTERN", (0.0, 0.5, 1.0)),
+            Knob("MEM_STRIDE", (8.0, 16.0)),
+        ]
+    )
+    return SensitivityAnalysis(
+        platform=PerformancePlatform(SMALL_CORE, instructions=5_000),
+        knob_space=space,
+        baseline=BASELINE,
+        metric="ipc",
+        loop_size=200,
+    )
+
+
+@pytest.fixture(scope="module")
+def ranking(analysis):
+    return analysis.run()
+
+
+class TestScreening:
+    def test_every_knob_screened(self, ranking):
+        assert {r.knob for r in ranking} == {
+            "REG_DIST", "B_PATTERN", "MEM_STRIDE"
+        }
+
+    def test_sorted_by_swing(self, ranking):
+        swings = [r.swing for r in ranking]
+        assert swings == sorted(swings, reverse=True)
+
+    def test_branch_randomness_is_a_top_lever(self, ranking):
+        # On a branchy baseline, B_PATTERN swings IPC far more than the
+        # memory stride does.
+        by_name = {r.knob: r for r in ranking}
+        assert by_name["B_PATTERN"].swing > by_name["MEM_STRIDE"].swing
+
+    def test_best_and_worst_values_are_on_lattice(self, ranking):
+        by_name = {r.knob: r for r in ranking}
+        assert by_name["B_PATTERN"].best_value in (0.0, 0.5, 1.0)
+        assert by_name["B_PATTERN"].worst_value in (0.0, 0.5, 1.0)
+
+    def test_predictable_branches_maximize_ipc(self, ranking):
+        by_name = {r.knob: r for r in ranking}
+        assert by_name["B_PATTERN"].best_value == 0.0
+
+    def test_samples_recorded(self, ranking):
+        for r in ranking:
+            assert len(r.samples) >= 2
+
+
+class TestSubsampling:
+    def test_long_lattices_subsampled_with_endpoints(self):
+        space = KnobSpace([Knob("MEM_SIZE",
+                                tuple(float(2 ** k) for k in range(1, 12)))])
+        analysis = SensitivityAnalysis(
+            platform=PerformancePlatform(SMALL_CORE, instructions=4_000),
+            knob_space=space,
+            baseline=BASELINE,
+            loop_size=150,
+        )
+        ranking = analysis.run(max_values_per_knob=4)
+        values = [v for v, _ in ranking[0].samples]
+        assert len(values) == 4
+        assert values[0] == 2.0
+        assert values[-1] == 2048.0
+
+
+class TestFormatting:
+    def test_ranking_report(self):
+        ranking = [
+            KnobSensitivity("B_PATTERN", 1.2, 0.0, 1.0),
+            KnobSensitivity("MEM_STRIDE", 0.1, 8.0, 64.0),
+        ]
+        text = SensitivityAnalysis.format_ranking(ranking)
+        assert "B_PATTERN" in text
+        assert "1.200" in text

@@ -1,0 +1,109 @@
+"""Unit tests for the use-case builders."""
+
+import math
+
+import pytest
+
+from repro.core.config import MicroGradConfig
+from repro.core.platform import PerformancePlatform
+from repro.core.usecases.bottleneck import BottleneckAnalysis
+from repro.core.usecases.cloning import CloningUseCase
+from repro.core.usecases.stress import StressTestingUseCase
+from repro.sim import SMALL_CORE
+
+
+class TestCloningUseCase:
+    def test_explicit_targets_pass_through(self):
+        config = MicroGradConfig(
+            use_case="cloning", metrics=("ipc",), targets={"ipc": 1.5}
+        )
+        usecase = CloningUseCase(config)
+        assert usecase.resolve_targets() == {"ipc": 1.5}
+
+    def test_application_targets_are_characterized(self):
+        config = MicroGradConfig(
+            use_case="cloning", application="bzip2", core="small",
+            metrics=("ipc", "l1d_hit_rate"), instructions=6_000,
+        )
+        targets = CloningUseCase(config).resolve_targets()
+        assert set(targets) == {"ipc", "l1d_hit_rate"}
+        assert targets["ipc"] > 0
+
+    def test_missing_metric_target_raises(self):
+        config = MicroGradConfig(
+            use_case="cloning", metrics=("ipc", "bogus_metric"),
+            targets={"ipc": 1.0},
+        )
+        with pytest.raises(ValueError, match="bogus_metric"):
+            CloningUseCase(config).resolve_targets()
+
+    def test_target_loss_matches_accuracy(self):
+        config = MicroGradConfig(
+            use_case="cloning", targets={"ipc": 1.0}, metrics=("ipc",),
+            accuracy_target=0.99,
+        )
+        assert CloningUseCase(config).target_loss() == pytest.approx(
+            math.log(0.99) ** 2
+        )
+
+    def test_loss_is_zero_at_targets(self):
+        config = MicroGradConfig(
+            use_case="cloning", targets={"ipc": 2.0}, metrics=("ipc",)
+        )
+        usecase = CloningUseCase(config)
+        loss = usecase.loss(usecase.resolve_targets())
+        assert loss({"ipc": 2.0}) == pytest.approx(0.0)
+
+
+class TestStressUseCase:
+    def test_default_metric_is_ipc(self):
+        config = MicroGradConfig(use_case="stress", metrics=("ipc",))
+        assert StressTestingUseCase(config).metric == "ipc"
+
+    def test_maximize_flips_sign(self):
+        config = MicroGradConfig(
+            use_case="stress", metrics=("dynamic_power",), maximize=True
+        )
+        loss = StressTestingUseCase(config).loss()
+        assert loss({"dynamic_power": 2.0}) == -2.0
+
+    def test_target_loss_is_unbounded(self):
+        config = MicroGradConfig(use_case="stress", metrics=("ipc",))
+        assert StressTestingUseCase(config).target_loss() == -math.inf
+
+
+class TestBottleneckAnalysis:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        analysis = BottleneckAnalysis(
+            platform=PerformancePlatform(SMALL_CORE, instructions=5_000),
+            base_config=dict(ADD=5, BEQ=1, LD=3, SD=1, REG_DIST=4,
+                             MEM_STRIDE=64, MEM_TEMP1=1, MEM_TEMP2=1,
+                             B_PATTERN=0.1),
+            knob="MEM_SIZE",
+            values=[4, 16, 64, 256, 1024],
+            metric="ipc",
+            loop_size=200,
+        )
+        analysis.run()
+        return analysis
+
+    def test_one_point_per_value(self, sweep):
+        assert [p.value for p in sweep.points] == [4, 16, 64, 256, 1024]
+
+    def test_response_curve_shows_memory_bottleneck(self, sweep):
+        curve = sweep.response_curve()
+        # IPC must fall as the footprint outgrows the caches.
+        assert curve[0][1] > curve[-1][1]
+
+    def test_knee_is_past_the_l1_capacity(self, sweep):
+        knee = sweep.knee()
+        assert knee.value >= 16
+
+    def test_knee_requires_run(self):
+        analysis = BottleneckAnalysis(
+            platform=PerformancePlatform(SMALL_CORE),
+            base_config={}, knob="MEM_SIZE", values=[1], metric="ipc",
+        )
+        with pytest.raises(RuntimeError):
+            analysis.knee()

@@ -1,0 +1,62 @@
+"""Tests for cross-substrate validation (interpreter vs simulator)."""
+
+import pytest
+
+from repro.codegen import generate_test_case
+from repro.codegen.wrapper import GenerationOptions
+from repro.core.validate import cross_validate
+from repro.sim import LARGE_CORE, SMALL_CORE
+
+
+def _program(**overrides):
+    knobs = dict(ADD=4, MUL=1, FADDD=1, FMULD=1, BEQ=1, BNE=1, LD=2, SD=1,
+                 REG_DIST=4, MEM_SIZE=16, MEM_STRIDE=16,
+                 MEM_TEMP1=2, MEM_TEMP2=2, B_PATTERN=0.3)
+    knobs.update(overrides)
+    return generate_test_case(knobs, GenerationOptions(loop_size=120))
+
+
+class TestCrossValidation:
+    def test_substrates_agree_on_generated_programs(self):
+        report = cross_validate(_program(), SMALL_CORE)
+        assert report.consistent, report.mismatches
+
+    def test_agreement_on_both_cores(self):
+        program = _program()
+        for core in (SMALL_CORE, LARGE_CORE):
+            assert cross_validate(program, core).consistent
+
+    def test_memoryless_and_branchless_programs(self):
+        program = generate_test_case(
+            dict(ADD=5, MUL=2, REG_DIST=3),
+            GenerationOptions(loop_size=60),
+        )
+        report = cross_validate(program, SMALL_CORE)
+        assert report.consistent
+        assert "taken_branch_rate" not in report.checked
+
+    def test_checked_quantities_enumerated(self):
+        report = cross_validate(_program(), SMALL_CORE)
+        assert "fraction:integer" in report.checked
+        assert "memory_ops_per_iteration" in report.checked
+        assert "taken_branch_rate" in report.checked
+
+    def test_workload_phases_cross_validate(self):
+        from repro.workloads import get_benchmark
+
+        for program in get_benchmark("bzip2").programs():
+            report = cross_validate(program, SMALL_CORE, iterations=5)
+            assert report.consistent, report.mismatches
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_random_lattice_points_cross_validate(self, seed):
+        import numpy as np
+
+        from repro.tuning.knobs import default_cloning_space
+
+        space = default_cloning_space()
+        rng = np.random.default_rng(seed)
+        config = space.materialize(space.random_vector(rng))
+        program = generate_test_case(config, GenerationOptions(loop_size=100))
+        report = cross_validate(program, SMALL_CORE, iterations=10)
+        assert report.consistent, report.mismatches

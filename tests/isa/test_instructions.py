@@ -1,0 +1,81 @@
+"""Unit tests for instruction definitions and classes."""
+
+import pytest
+
+from repro.isa.instructions import (
+    CLASS_GROUPS,
+    INSTRUCTION_SET,
+    InstrClass,
+    class_of_group,
+    defs_by_class,
+    instruction_def,
+)
+from repro.isa.registers import RegisterKind
+
+
+class TestLookup:
+    def test_lookup_is_case_insensitive(self):
+        assert instruction_def("add") is instruction_def("ADD")
+
+    def test_unknown_mnemonic_raises(self):
+        with pytest.raises(KeyError, match="unknown mnemonic"):
+            instruction_def("VADD")
+
+    def test_fp_ops_use_fp_registers(self):
+        assert instruction_def("FMUL.D").operand_kind is RegisterKind.FP
+
+    def test_branch_has_no_destination(self):
+        d = instruction_def("BEQ")
+        assert d.num_dst == 0
+        assert d.num_src == 2
+        assert d.is_branch
+
+    def test_load_shape(self):
+        d = instruction_def("LD")
+        assert d.num_dst == 1
+        assert d.num_src == 1
+        assert d.mem_bytes == 8
+        assert d.is_memory
+
+    def test_store_shape(self):
+        d = instruction_def("SW")
+        assert d.num_dst == 0
+        assert d.num_src == 2
+        assert d.mem_bytes == 4
+
+
+class TestClasses:
+    def test_memory_classes(self):
+        assert InstrClass.LOAD.is_memory
+        assert InstrClass.STORE.is_memory
+        assert not InstrClass.BRANCH.is_memory
+
+    def test_fp_classes(self):
+        assert InstrClass.FP_ADD.is_fp
+        assert InstrClass.FP_DIV.is_fp
+        assert not InstrClass.INT_MUL.is_fp
+
+    def test_groups_cover_table3_columns(self):
+        assert set(CLASS_GROUPS) == {"integer", "float", "branch", "load", "store"}
+
+    def test_class_of_group(self):
+        assert class_of_group(InstrClass.INT_MUL) == "integer"
+        assert class_of_group(InstrClass.FP_DIV) == "float"
+        assert class_of_group(InstrClass.NOP) == "other"
+
+    def test_defs_by_class_nonempty_for_every_group_class(self):
+        for classes in CLASS_GROUPS.values():
+            for iclass in classes:
+                assert defs_by_class(iclass), f"no defs for {iclass}"
+
+    def test_every_def_has_positive_latency(self):
+        for d in INSTRUCTION_SET.values():
+            assert d.latency >= 1
+
+    def test_divides_are_slowest_in_their_files(self):
+        assert (
+            instruction_def("DIV").latency > instruction_def("MUL").latency
+        )
+        assert (
+            instruction_def("FDIV.D").latency > instruction_def("FMUL.D").latency
+        )

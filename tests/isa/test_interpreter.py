@@ -1,0 +1,106 @@
+"""Unit tests for the functional ISA interpreter."""
+
+import pytest
+
+from repro.codegen import generate_test_case
+from repro.codegen.wrapper import GenerationOptions
+from repro.isa.interpreter import Interpreter
+from repro.isa.instructions import InstrClass
+
+
+def _program(loop_size=120, **overrides):
+    knobs = dict(ADD=4, MUL=1, FADDD=1, FMULD=1, BEQ=1, BNE=1, LD=2, SD=1,
+                 REG_DIST=3, MEM_SIZE=16, MEM_STRIDE=16,
+                 MEM_TEMP1=2, MEM_TEMP2=2, B_PATTERN=0.5)
+    knobs.update(overrides)
+    return generate_test_case(knobs, GenerationOptions(loop_size=loop_size))
+
+
+class TestExecution:
+    def test_executes_exact_instruction_count(self):
+        program = _program(100)
+        result = Interpreter(program).run(iterations=7)
+        assert result.instructions == 700
+        assert result.iterations == 7
+
+    def test_class_counts_match_static_distribution(self):
+        program = _program(100)
+        result = Interpreter(program).run(iterations=3)
+        static = program.class_counts()
+        for iclass, count in static.items():
+            assert result.class_counts[iclass] == count * 3
+
+    def test_memory_traffic_counted(self):
+        program = _program(100)
+        result = Interpreter(program).run(iterations=4)
+        mem = program.memory_instructions()
+        loads = sum(1 for i in mem if i.iclass is InstrClass.LOAD)
+        stores = len(mem) - loads
+        assert result.loads == loads * 4
+        assert result.stores == stores * 4
+
+    def test_stored_values_are_loaded_back(self):
+        program = _program(100, MEM_TEMP1=4, MEM_TEMP2=4)
+        interp = Interpreter(program)
+        interp.run(iterations=10)
+        assert interp.memory, "stores must populate memory"
+
+    def test_taken_branch_rate_tracks_pattern(self):
+        # Fully deterministic pattern (T, T, F, T): 75% taken.
+        program = _program(200, B_PATTERN=0.0)
+        result = Interpreter(program).run(iterations=40)
+        branches = result.class_counts[InstrClass.BRANCH]
+        rate = result.taken_branches / branches
+        assert rate == pytest.approx(0.75, abs=0.05)
+
+    def test_x0_stays_zero(self):
+        program = _program(100)
+        interp = Interpreter(program)
+        interp.run(iterations=5)
+        assert interp.int_regs[0] == 0
+
+    def test_fp_registers_remain_finite(self):
+        program = _program(150, FMULD=6, FADDD=4, ADD=1)
+        interp = Interpreter(program)
+        result = interp.run(iterations=200)
+        for name, value in result.register_file.items():
+            if name.startswith("f"):
+                assert abs(value) < 1e9
+                assert value == value  # not NaN
+
+    def test_div_heavy_program_never_traps(self):
+        program = generate_test_case(
+            dict(DIV=5, ADD=1, REG_DIST=2, B_PATTERN=0.0),
+            GenerationOptions(loop_size=80),
+        )
+        Interpreter(program).run(iterations=20)  # must not raise
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            Interpreter(_program(50)).run(iterations=0)
+
+    def test_deterministic(self):
+        a = Interpreter(_program(100)).run(iterations=5)
+        b = Interpreter(_program(100)).run(iterations=5)
+        assert a.register_file == b.register_file
+        assert a.taken_branches == b.taken_branches
+
+
+class TestNativePlatform:
+    def test_metrics_shape(self):
+        from repro.core.platform import NativeExecutionPlatform
+
+        metrics = NativeExecutionPlatform(iterations=10).evaluate(_program(100))
+        for key in ("integer", "float", "load", "store", "branch",
+                    "loads_per_instr", "taken_branch_rate", "host_mips"):
+            assert key in metrics
+        assert metrics["host_mips"] > 0
+
+    def test_distribution_matches_program(self):
+        from repro.core.platform import NativeExecutionPlatform
+
+        program = _program(100)
+        metrics = NativeExecutionPlatform(iterations=5).evaluate(program)
+        fractions = program.group_fractions()
+        for group, fraction in fractions.items():
+            assert metrics[group] == pytest.approx(fraction, abs=1e-9)

@@ -1,0 +1,92 @@
+"""Property-based tests for the ISA substrate invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.program import BranchBehavior, MemoryAccess
+
+footprints = st.integers(min_value=64, max_value=1 << 21)
+strides = st.integers(min_value=1, max_value=512)
+reuse = st.integers(min_value=1, max_value=64)
+steps = st.integers(min_value=1, max_value=300)
+iterations = st.integers(min_value=1, max_value=400)
+
+
+class TestMemoryAccessProperties:
+    @given(footprints, strides, reuse, reuse, steps, iterations)
+    @settings(max_examples=60, deadline=None)
+    def test_addresses_always_within_footprint(
+        self, footprint, stride, reuse_count, reuse_period, step, iters
+    ):
+        ma = MemoryAccess(
+            stream_id=1, base=4096, footprint=footprint, stride=stride,
+            reuse_count=reuse_count, reuse_period=reuse_period, step=step,
+        )
+        addrs = ma.addresses(iters)
+        assert (addrs >= 4096).all()
+        assert (addrs < 4096 + footprint).all()
+
+    @given(footprints, strides, reuse, reuse, iterations)
+    @settings(max_examples=60, deadline=None)
+    def test_indices_are_monotone_nondecreasing_over_windows(
+        self, footprint, stride, reuse_count, reuse_period, iters
+    ):
+        ma = MemoryAccess(
+            stream_id=1, base=0, footprint=footprint, stride=stride,
+            reuse_count=reuse_count, reuse_period=reuse_period,
+        )
+        idx = ma.indices(iters)
+        window = reuse_count * reuse_period
+        # Window start indices never decrease.
+        starts = idx[::window] if window <= iters else idx[:1]
+        assert (np.diff(starts) >= 0).all()
+
+    @given(iterations)
+    @settings(max_examples=30, deadline=None)
+    def test_reuse_period_one_is_pure_stream(self, iters):
+        ma = MemoryAccess(stream_id=1, base=0, footprint=1 << 22, stride=8,
+                          reuse_period=1)
+        assert list(ma.indices(iters)) == list(range(iters))
+
+
+class TestBranchBehaviorProperties:
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.integers(min_value=1, max_value=2000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_outcomes_shape_and_dtype(self, ratio, seed, n):
+        bb = BranchBehavior(random_ratio=ratio, seed=seed)
+        out = bb.outcomes(n)
+        assert out.shape == (n,)
+        assert out.dtype == bool
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_zero_ratio_matches_pattern_exactly(self, seed):
+        pattern = (True, True, False)
+        bb = BranchBehavior(pattern=pattern, random_ratio=0.0, seed=seed)
+        out = bb.outcomes(9)
+        assert list(out) == [True, True, False] * 3
+
+    @given(
+        st.floats(min_value=0.1, max_value=0.9),
+        st.floats(min_value=0.1, max_value=0.9),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_higher_ratio_diverges_more_from_pattern(self, low, high):
+        if low > high:
+            low, high = high, low
+        if high - low < 0.2:
+            high = min(0.9, low + 0.3)
+        pattern = (True,)
+        n = 5000
+        out_low = BranchBehavior(pattern=pattern, random_ratio=low,
+                                 seed=1).outcomes(n)
+        out_high = BranchBehavior(pattern=pattern, random_ratio=high,
+                                  seed=1).outcomes(n)
+        flips_low = int(np.sum(~out_low))
+        flips_high = int(np.sum(~out_high))
+        assert flips_high >= flips_low

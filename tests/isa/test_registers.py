@@ -1,0 +1,93 @@
+"""Unit tests for the register file substrate."""
+
+import pytest
+
+from repro.isa.registers import Register, RegisterFile, RegisterKind, ZERO
+
+
+class TestRegister:
+    def test_int_register_name(self):
+        assert Register(RegisterKind.INT, 5).name == "x5"
+
+    def test_fp_register_name(self):
+        assert Register(RegisterKind.FP, 12).name == "f12"
+
+    def test_zero_register(self):
+        assert ZERO.name == "x0"
+
+    def test_registers_are_hashable_and_equal_by_value(self):
+        a = Register(RegisterKind.INT, 3)
+        b = Register(RegisterKind.INT, 3)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_ordering_is_stable(self):
+        regs = sorted(
+            [Register(RegisterKind.FP, 1), Register(RegisterKind.FP, 0)]
+        )
+        assert [r.index for r in regs] == [0, 1]
+
+
+class TestParse:
+    @pytest.mark.parametrize(
+        "name,kind,index",
+        [("x0", RegisterKind.INT, 0), ("x31", RegisterKind.INT, 31),
+         ("f7", RegisterKind.FP, 7), (" X12 ", RegisterKind.INT, 12)],
+    )
+    def test_valid_names(self, name, kind, index):
+        reg = RegisterFile.parse(name)
+        assert reg.kind is kind
+        assert reg.index == index
+
+    @pytest.mark.parametrize("bad", ["", "y3", "x", "x32", "f-1", "xx1", "f99"])
+    def test_invalid_names_raise(self, bad):
+        with pytest.raises(ValueError):
+            RegisterFile.parse(bad)
+
+
+class TestRegisterFile:
+    def test_all_registers_count(self):
+        assert len(RegisterFile().all_registers()) == 64
+
+    def test_allocatable_int_excludes_x0(self):
+        pool = RegisterFile().allocatable(RegisterKind.INT)
+        assert Register(RegisterKind.INT, 0) not in pool
+        assert len(pool) == 31
+
+    def test_allocatable_fp_includes_f0(self):
+        pool = RegisterFile().allocatable(RegisterKind.FP)
+        assert Register(RegisterKind.FP, 0) in pool
+        assert len(pool) == 32
+
+    def test_reserve_removes_from_pool(self):
+        rf = RegisterFile()
+        reg = Register(RegisterKind.INT, 5)
+        rf.reserve(reg)
+        assert rf.is_reserved(reg)
+        assert reg not in rf.allocatable(RegisterKind.INT)
+
+    def test_release_returns_to_pool(self):
+        rf = RegisterFile()
+        reg = Register(RegisterKind.INT, 5)
+        rf.reserve(reg)
+        rf.release(reg)
+        assert not rf.is_reserved(reg)
+        assert reg in rf.allocatable(RegisterKind.INT)
+
+    def test_release_unreserved_is_noop(self):
+        rf = RegisterFile()
+        rf.release(Register(RegisterKind.INT, 9))  # must not raise
+
+    def test_reserved_view_is_frozen(self):
+        rf = RegisterFile()
+        rf.reserve(Register(RegisterKind.FP, 2))
+        view = rf.reserved
+        assert isinstance(view, frozenset)
+        assert Register(RegisterKind.FP, 2) in view
+
+    def test_reservations_do_not_leak_across_instances(self):
+        a = RegisterFile()
+        a.reserve(Register(RegisterKind.INT, 1))
+        b = RegisterFile()
+        assert not b.is_reserved(Register(RegisterKind.INT, 1))

@@ -1,0 +1,103 @@
+"""Unit tests for the voltage-droop (dI/dt) model and platform."""
+
+import pytest
+
+from repro.power.droop import DroopModel, PdnParams
+
+
+class TestDroopModel:
+    def test_no_swing_no_droop(self):
+        report = DroopModel().estimate(1.0, 1.0)
+        assert report.droop_mv == 0.0
+        assert report.delta_current_a == 0.0
+
+    def test_droop_monotone_in_swing(self):
+        model = DroopModel()
+        small = model.estimate(1.0, 1.5).droop_mv
+        large = model.estimate(1.0, 2.5).droop_mv
+        assert large > small
+
+    def test_order_of_arguments_is_irrelevant(self):
+        model = DroopModel()
+        assert model.estimate(0.5, 2.0).droop_mv == pytest.approx(
+            model.estimate(2.0, 0.5).droop_mv
+        )
+
+    def test_sharper_ramp_droops_more(self):
+        slow = DroopModel(PdnParams(ramp_ns=10.0)).estimate(0.5, 2.0)
+        fast = DroopModel(PdnParams(ramp_ns=1.0)).estimate(0.5, 2.0)
+        assert fast.droop_mv > slow.droop_mv
+
+    def test_components_add_up(self):
+        params = PdnParams(vdd=1.0, resistance_mohm=1.0,
+                           inductance_ph=0.0, ramp_ns=1.0)
+        report = DroopModel(params).estimate(0.0, 2.0)
+        # Pure resistive: droop = dI * R = 2A * 1mOhm = 2 mV.
+        assert report.droop_mv == pytest.approx(2.0)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            DroopModel().estimate(-1.0, 2.0)
+
+
+class TestVoltageDroopPlatform:
+    @pytest.fixture(scope="class")
+    def platform(self):
+        from repro.core.platform import VoltageDroopPlatform
+        from repro.sim import LARGE_CORE
+
+        return VoltageDroopPlatform(LARGE_CORE, instructions=6_000)
+
+    def test_metrics_include_droop(self, platform):
+        from repro.codegen import generate_test_case
+
+        program = generate_test_case(
+            dict(ADD=1, FADDD=3, FMULD=3, LD=2, SD=2, BEQ=1,
+                 REG_DIST=10, MEM_SIZE=16, B_PATTERN=0.0)
+        )
+        metrics = platform.evaluate(program)
+        for key in ("droop_mv", "didt_a_per_ns", "power_swing_w",
+                    "dynamic_power", "ipc"):
+            assert key in metrics
+        assert metrics["droop_mv"] >= 0
+
+    def test_high_power_candidate_droops_more(self, platform):
+        from repro.codegen import generate_test_case
+
+        quiet = generate_test_case(
+            dict(ADD=3, BEQ=1, REG_DIST=1, B_PATTERN=0.0)
+        )
+        loud = generate_test_case(
+            dict(ADD=1, FADDD=3, FMULD=3, LD=2, SD=3, BEQ=1,
+                 REG_DIST=10, MEM_SIZE=16, B_PATTERN=0.0)
+        )
+        assert (
+            platform.evaluate(loud)["droop_mv"]
+            > platform.evaluate(quiet)["droop_mv"]
+        )
+
+    def test_baseline_power_positive(self, platform):
+        assert platform.baseline_power_w > 0
+
+
+class TestDroopStressEndToEnd:
+    def test_micrograd_maximizes_droop(self):
+        from repro import MicroGrad, MicroGradConfig
+        from repro.core.platform import VoltageDroopPlatform
+        from repro.sim import LARGE_CORE
+
+        config = MicroGradConfig(
+            use_case="stress",
+            metrics=("droop_mv",),
+            maximize=True,
+            core="large",
+            max_epochs=4,
+            loop_size=200,
+            instructions=5_000,
+            knobs=("ADD", "FADDD", "FMULD", "LD", "SD"),
+        )
+        platform = VoltageDroopPlatform(LARGE_CORE, instructions=5_000)
+        result = MicroGrad(config, platform=platform).run()
+        assert result.metrics["droop_mv"] > 0
+        first_epoch = result.tuning.history[0].loss
+        assert result.tuning.best_loss <= first_epoch

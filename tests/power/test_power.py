@@ -1,0 +1,93 @@
+"""Unit tests for the McPAT-like power model."""
+
+import pytest
+
+from repro.codegen import generate_test_case
+from repro.power.mcpat import (
+    LARGE_ENERGY,
+    SMALL_ENERGY,
+    EnergyTable,
+    PowerModel,
+    PowerReport,
+    energy_table_for_core,
+)
+from repro.sim import LARGE_CORE, SMALL_CORE, Simulator
+from repro.sim.stats import SimStats
+
+
+def _stats(core=SMALL_CORE, **overrides):
+    knobs = dict(ADD=5, MUL=1, FADDD=1, FMULD=1, BEQ=1, BNE=1,
+                 LD=3, LW=1, SD=1, SW=1,
+                 REG_DIST=4, MEM_SIZE=32, MEM_STRIDE=16,
+                 MEM_TEMP1=4, MEM_TEMP2=2, B_PATTERN=0.2)
+    knobs.update(overrides)
+    return Simulator(core).run(generate_test_case(knobs), instructions=10_000)
+
+
+class TestEnergyTables:
+    def test_large_scales_every_field(self):
+        from dataclasses import fields
+
+        for f in fields(EnergyTable):
+            assert getattr(LARGE_ENERGY, f.name) > getattr(SMALL_ENERGY, f.name)
+
+    def test_factory_matches_core(self):
+        assert energy_table_for_core(SMALL_CORE) is SMALL_ENERGY
+        assert energy_table_for_core(LARGE_CORE) is LARGE_ENERGY
+
+
+class TestPowerModel:
+    def test_report_structure(self):
+        report = PowerModel(SMALL_CORE).estimate(_stats())
+        assert isinstance(report, PowerReport)
+        assert report.dynamic_w > 0
+        assert report.leakage_w > 0
+        assert report.total_w == pytest.approx(
+            report.dynamic_w + report.leakage_w
+        )
+
+    def test_components_sum_to_dynamic(self):
+        report = PowerModel(SMALL_CORE).estimate(_stats())
+        assert sum(report.components.values()) == pytest.approx(
+            report.dynamic_w
+        )
+
+    def test_all_components_nonnegative(self):
+        report = PowerModel(SMALL_CORE).estimate(_stats())
+        assert all(v >= 0 for v in report.components.values())
+
+    def test_large_core_burns_more_for_same_program(self):
+        small = PowerModel(SMALL_CORE).estimate(_stats(SMALL_CORE))
+        large = PowerModel(LARGE_CORE).estimate(_stats(LARGE_CORE))
+        assert large.dynamic_w > small.dynamic_w
+
+    def test_fp_heavy_mix_burns_more_than_int(self):
+        # At maximal dependency distance neither mix is chain-bound, so
+        # the FP ops' higher per-event energy dominates.
+        int_mix = _stats(ADD=10, MUL=0, FADDD=0, FMULD=0, BEQ=1, BNE=0,
+                         LD=0, LW=0, SD=0, SW=0, B_PATTERN=0.0, REG_DIST=10)
+        fp_mix = _stats(ADD=1, MUL=0, FADDD=5, FMULD=5, BEQ=1, BNE=0,
+                        LD=0, LW=0, SD=0, SW=0, B_PATTERN=0.0, REG_DIST=10)
+        model = PowerModel(SMALL_CORE)
+        assert (
+            model.estimate(fp_mix).dynamic_w
+            > model.estimate(int_mix).dynamic_w * 0.9
+        )
+
+    def test_dram_traffic_adds_component(self):
+        streaming = _stats(MEM_SIZE=2048, MEM_TEMP1=1, MEM_TEMP2=1)
+        report = PowerModel(SMALL_CORE).estimate(streaming)
+        assert report.components["dram"] > 0
+
+    def test_missing_class_counts_raise(self):
+        bare = SimStats(
+            core="small", instructions=100, cycles=100.0, ipc=1.0,
+            l1i_hit_rate=1.0, l1d_hit_rate=1.0, l2_hit_rate=1.0,
+            mispredict_rate=0.0,
+        )
+        with pytest.raises(ValueError, match="class_counts"):
+            PowerModel(SMALL_CORE).estimate(bare)
+
+    def test_watts_in_plausible_range(self):
+        report = PowerModel(LARGE_CORE).estimate(_stats(LARGE_CORE))
+        assert 0.1 < report.dynamic_w < 4.0

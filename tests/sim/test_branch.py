@@ -1,0 +1,129 @@
+"""Unit tests for the branch predictors."""
+
+import numpy as np
+import pytest
+
+from repro.sim.branch import (
+    BimodalPredictor,
+    GSharePredictor,
+    predictor_for_core,
+)
+
+
+class TestBimodal:
+    def test_learns_always_taken(self):
+        p = BimodalPredictor(entries=64)
+        for _ in range(100):
+            p.predict_and_update(0x40, True)
+        p.reset_stats()
+        for _ in range(50):
+            p.predict_and_update(0x40, True)
+        assert p.mispredict_rate == 0.0
+
+    def test_learns_always_not_taken(self):
+        p = BimodalPredictor(entries=64)
+        for _ in range(100):
+            p.predict_and_update(0x40, False)
+        p.reset_stats()
+        for _ in range(50):
+            p.predict_and_update(0x40, False)
+        assert p.mispredict_rate == 0.0
+
+    def test_alternating_pattern_defeats_bimodal(self):
+        p = BimodalPredictor(entries=64)
+        for n in range(400):
+            p.predict_and_update(0x40, n % 2 == 0)
+        # Bimodal cannot capture strict alternation; gshare can.
+        assert p.mispredict_rate > 0.3
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(entries=100)
+
+    def test_idle_rate_is_zero(self):
+        assert BimodalPredictor().mispredict_rate == 0.0
+
+
+class TestGShare:
+    def test_learns_alternating_pattern(self):
+        p = GSharePredictor(entries=1024, history_bits=8)
+        for n in range(600):
+            p.predict_and_update(0x80, n % 2 == 0)
+        p.reset_stats()
+        for n in range(200):
+            p.predict_and_update(0x80, n % 2 == 0)
+        assert p.mispredict_rate < 0.05
+
+    def test_learns_periodic_pattern(self):
+        pattern = [True, True, False, True]
+        p = GSharePredictor(entries=4096, history_bits=10)
+        for n in range(2000):
+            p.predict_and_update(0x80, pattern[n % 4])
+        p.reset_stats()
+        for n in range(400):
+            p.predict_and_update(0x80, pattern[n % 4])
+        assert p.mispredict_rate < 0.05
+
+    def test_random_outcomes_mispredict_about_half(self):
+        rng = np.random.default_rng(0)
+        p = GSharePredictor(entries=1024, history_bits=8)
+        outcomes = rng.random(4000) < 0.5
+        for taken in outcomes:
+            p.predict_and_update(0x80, bool(taken))
+        assert 0.4 < p.mispredict_rate < 0.6
+
+    def test_more_random_means_more_mispredicts(self):
+        rng = np.random.default_rng(1)
+        rates = []
+        for ratio in (0.0, 0.3, 0.7, 1.0):
+            p = GSharePredictor(entries=2048, history_bits=9)
+            pattern = [True, True, False, True]
+            for n in range(3000):
+                if rng.random() < ratio:
+                    taken = bool(rng.random() < 0.5)
+                else:
+                    taken = pattern[n % 4]
+                p.predict_and_update(0x80, taken)
+            rates.append(p.mispredict_rate)
+        assert all(a <= b + 0.03 for a, b in zip(rates, rates[1:]))
+
+
+class TestFactory:
+    def test_core_sizing(self):
+        small = predictor_for_core("small")
+        large = predictor_for_core("large")
+        assert isinstance(small, GSharePredictor)
+        assert large.table.entries > small.table.entries
+
+
+class TestTournament:
+    def test_beats_bimodal_on_alternating(self):
+        from repro.sim.branch import TournamentPredictor
+
+        tournament = TournamentPredictor(entries=1024, history_bits=8)
+        bimodal = BimodalPredictor(entries=1024)
+        for n in range(1500):
+            tournament.predict_and_update(0x80, n % 2 == 0)
+            bimodal.predict_and_update(0x80, n % 2 == 0)
+        tournament.reset_stats()
+        bimodal.reset_stats()
+        for n in range(400):
+            tournament.predict_and_update(0x80, n % 2 == 0)
+            bimodal.predict_and_update(0x80, n % 2 == 0)
+        assert tournament.mispredict_rate < bimodal.mispredict_rate
+
+    def test_matches_best_component_on_biased_branches(self):
+        from repro.sim.branch import TournamentPredictor
+
+        rng = np.random.default_rng(0)
+        predictor = TournamentPredictor(entries=1024, history_bits=8)
+        # Strongly biased branch: bimodal is near-perfect; the chooser
+        # must not be worse than ~the bias noise floor.
+        for _ in range(3000):
+            predictor.predict_and_update(0x40, bool(rng.random() < 0.95))
+        assert predictor.mispredict_rate < 0.15
+
+    def test_idle_rate_zero(self):
+        from repro.sim.branch import TournamentPredictor
+
+        assert TournamentPredictor().mispredict_rate == 0.0

@@ -1,0 +1,77 @@
+"""Unit tests for the Table II core configurations."""
+
+import pytest
+
+from repro.sim.config import (
+    CacheGeometry,
+    LARGE_CORE,
+    SMALL_CORE,
+    core_by_name,
+    custom_core,
+)
+
+
+class TestTableII:
+    """The Small/Large cores must match Table II of the paper."""
+
+    def test_frequency_is_2ghz(self):
+        assert SMALL_CORE.frequency_ghz == 2.0
+        assert LARGE_CORE.frequency_ghz == 2.0
+
+    def test_front_end_widths(self):
+        assert SMALL_CORE.front_end_width == 3
+        assert LARGE_CORE.front_end_width == 8
+
+    def test_window_structures(self):
+        assert (SMALL_CORE.rob, SMALL_CORE.lsq, SMALL_CORE.rse) == (40, 16, 32)
+        assert (LARGE_CORE.rob, LARGE_CORE.lsq, LARGE_CORE.rse) == (160, 64, 128)
+
+    def test_unit_counts(self):
+        assert (SMALL_CORE.alu_units, SMALL_CORE.simd_units,
+                SMALL_CORE.fp_units) == (3, 2, 2)
+        assert (LARGE_CORE.alu_units, LARGE_CORE.simd_units,
+                LARGE_CORE.fp_units) == (6, 4, 4)
+
+    def test_cache_sizes(self):
+        assert SMALL_CORE.l1i.size_bytes == 16 * 1024
+        assert SMALL_CORE.l2.size_bytes == 256 * 1024
+        assert LARGE_CORE.l1i.size_bytes == 32 * 1024
+        assert LARGE_CORE.l2.size_bytes == 1024 * 1024
+
+    def test_only_large_core_prefetches(self):
+        assert not SMALL_CORE.l2_prefetcher
+        assert LARGE_CORE.l2_prefetcher
+
+    def test_memory_1gb(self):
+        assert SMALL_CORE.memory_gb == 1
+        assert LARGE_CORE.memory_gb == 1
+
+    def test_describe_mentions_prefetch_only_on_large(self):
+        assert "prefetch" not in SMALL_CORE.describe()["l2"]
+        assert "prefetch" in LARGE_CORE.describe()["l2"]
+
+
+class TestLookupAndCustomization:
+    def test_core_by_name(self):
+        assert core_by_name("small") is SMALL_CORE
+        assert core_by_name(" LARGE ") is LARGE_CORE
+
+    def test_unknown_core_raises(self):
+        with pytest.raises(KeyError):
+            core_by_name("medium")
+
+    def test_custom_core_overrides(self):
+        wide = custom_core(SMALL_CORE, front_end_width=6, name="custom")
+        assert wide.front_end_width == 6
+        assert wide.rob == SMALL_CORE.rob
+        assert SMALL_CORE.front_end_width == 3  # original untouched
+
+
+class TestCacheGeometry:
+    def test_num_sets(self):
+        geom = CacheGeometry(16 * 1024, 4, 64)
+        assert geom.num_sets == 64
+
+    def test_degenerate_geometry_raises(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(64, 4, 64).num_sets

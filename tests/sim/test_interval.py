@@ -1,0 +1,119 @@
+"""Unit tests for the interval timing model."""
+
+import pytest
+
+from repro.isa.instructions import InstrClass
+from repro.sim.config import LARGE_CORE, SMALL_CORE
+from repro.sim.interval import (
+    MissProfile,
+    compute_cycles,
+    effective_mlp,
+    throughput_cpi,
+)
+
+
+def _counts(**kwargs):
+    mapping = {
+        "alu": InstrClass.INT_ALU,
+        "mul": InstrClass.INT_MUL,
+        "div": InstrClass.INT_DIV,
+        "fp": InstrClass.FP_ADD,
+        "fpdiv": InstrClass.FP_DIV,
+        "br": InstrClass.BRANCH,
+        "ld": InstrClass.LOAD,
+        "st": InstrClass.STORE,
+    }
+    return {mapping[k]: v for k, v in kwargs.items()}
+
+
+class TestThroughputBounds:
+    def test_width_bound(self):
+        bounds = throughput_cpi(SMALL_CORE, _counts(alu=100), 100)
+        assert bounds["width"] == pytest.approx(1 / 3)
+
+    def test_alu_bound_counts_branches(self):
+        bounds = throughput_cpi(SMALL_CORE, _counts(alu=50, br=50), 100)
+        assert bounds["alu"] == pytest.approx(100 / (3 * 100))
+
+    def test_div_occupancy_inflates_simd_bound(self):
+        light = throughput_cpi(SMALL_CORE, _counts(mul=100), 100)
+        heavy = throughput_cpi(SMALL_CORE, _counts(div=100), 100)
+        assert heavy["simd"] > light["simd"] * 5
+
+    def test_mem_port_bound(self):
+        bounds = throughput_cpi(LARGE_CORE, _counts(ld=60, st=40), 100)
+        assert bounds["mem_ports"] == pytest.approx(100 / (4 * 100))
+
+
+class TestEffectiveMlp:
+    def test_serial_code_has_unit_mlp(self):
+        assert effective_mlp(SMALL_CORE, dependency_distance=1.0) == 1.0
+
+    def test_mlp_grows_with_dependency_distance(self):
+        low = effective_mlp(SMALL_CORE, 2.0)
+        high = effective_mlp(SMALL_CORE, 8.0)
+        assert high > low
+
+    def test_mlp_capped_by_lsq(self):
+        assert effective_mlp(SMALL_CORE, 100.0) <= SMALL_CORE.lsq / 4.0
+
+    def test_streams_help_sublinearly(self):
+        one = effective_mlp(LARGE_CORE, 4.0, parallel_streams=1)
+        four = effective_mlp(LARGE_CORE, 4.0, parallel_streams=4)
+        assert one < four < one * 4
+
+
+class TestComputeCycles:
+    def _cycles(self, core=SMALL_CORE, misses=None, **kwargs):
+        defaults = dict(
+            total_instructions=1000,
+            class_counts=_counts(alu=1000),
+            dep_cycles_per_iteration=10.0,
+            loop_size=100,
+            misses=misses or MissProfile(),
+        )
+        defaults.update(kwargs)
+        cycles, breakdown = compute_cycles(core, **defaults)
+        return cycles, breakdown
+
+    def test_base_cycles_at_least_width_bound(self):
+        cycles, _ = self._cycles()
+        assert cycles >= 1000 / SMALL_CORE.front_end_width
+
+    def test_mispredicts_add_penalty(self):
+        clean, _ = self._cycles()
+        dirty, breakdown = self._cycles(
+            misses=MissProfile(branch_mispredicts=50)
+        )
+        assert dirty == pytest.approx(
+            clean + 50 * SMALL_CORE.mispredict_penalty
+        )
+        assert breakdown["branch_mispredict"] == 50 * SMALL_CORE.mispredict_penalty
+
+    def test_load_misses_add_overlapped_penalty(self):
+        clean, _ = self._cycles()
+        missy, _ = self._cycles(misses=MissProfile(load_l2_misses=20))
+        assert missy > clean
+        # MLP overlap means less than the full serial latency.
+        assert missy - clean < 20 * SMALL_CORE.memory_latency
+
+    def test_store_misses_cheaper_than_load_misses(self):
+        loads, _ = self._cycles(misses=MissProfile(load_l2_misses=20))
+        stores, _ = self._cycles(misses=MissProfile(store_l2_misses=20))
+        assert stores < loads
+
+    def test_dependency_bound_can_dominate(self):
+        cycles, breakdown = self._cycles(dep_cycles_per_iteration=500.0)
+        assert breakdown["binding_bound"] == "dependency"
+        assert cycles >= 1000 / 100 * 500 * 0.99
+
+    def test_icache_misses_stall_frontend(self):
+        clean, _ = self._cycles()
+        stalled, _ = self._cycles(misses=MissProfile(icache_l1_misses=30))
+        assert stalled == pytest.approx(clean + 30 * SMALL_CORE.l2.latency)
+
+    def test_zero_instructions_rejected(self):
+        with pytest.raises(ValueError):
+            compute_cycles(
+                SMALL_CORE, 0, _counts(alu=1), 1.0, 100, MissProfile()
+            )

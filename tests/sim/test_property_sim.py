@@ -1,0 +1,80 @@
+"""Property-based tests: simulator contracts over the whole knob lattice."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.codegen.wrapper import GenerationOptions, generate_test_case
+from repro.sim import LARGE_CORE, SMALL_CORE, Simulator
+from repro.tuning.knobs import (
+    B_PATTERN_VALUES,
+    INSTRUCTION_FRACTIONS,
+    MEM_SIZE_VALUES,
+    MEM_STRIDE_VALUES,
+    MEM_TEMP1_VALUES,
+    MEM_TEMP2_VALUES,
+    MIX_KNOB_NAMES,
+    REG_DIST_VALUES,
+)
+
+# Small footprints keep the adaptive warmup short so each example is fast.
+fast_lattice_config = st.fixed_dictionaries(
+    {
+        **{name: st.sampled_from(INSTRUCTION_FRACTIONS)
+           for name in MIX_KNOB_NAMES},
+        "REG_DIST": st.sampled_from(REG_DIST_VALUES),
+        "MEM_SIZE": st.sampled_from(MEM_SIZE_VALUES[:6]),
+        "MEM_STRIDE": st.sampled_from(MEM_STRIDE_VALUES),
+        "MEM_TEMP1": st.sampled_from(MEM_TEMP1_VALUES[:6]),
+        "MEM_TEMP2": st.sampled_from(MEM_TEMP2_VALUES),
+        "B_PATTERN": st.sampled_from(B_PATTERN_VALUES),
+    }
+)
+
+
+class TestSimulatorContracts:
+    @given(fast_lattice_config, st.sampled_from(["small", "large"]))
+    @settings(max_examples=25, deadline=None)
+    def test_metrics_always_bounded(self, config, core_name):
+        core = SMALL_CORE if core_name == "small" else LARGE_CORE
+        program = generate_test_case(config, GenerationOptions(loop_size=80))
+        stats = Simulator(core).run(program, instructions=3_000)
+        metrics = stats.metrics()
+        assert 0.0 < metrics["ipc"] <= core.front_end_width
+        for key in ("l1i_hit_rate", "l1d_hit_rate", "l2_hit_rate",
+                    "mispredict_rate", "dtlb_miss_rate"):
+            assert 0.0 <= metrics[key] <= 1.0, key
+        distribution = sum(
+            metrics[g] for g in ("integer", "float", "load", "store",
+                                 "branch")
+        )
+        assert 0.99 <= distribution <= 1.01 or distribution == 0.0
+
+    @given(fast_lattice_config)
+    @settings(max_examples=15, deadline=None)
+    def test_simulation_is_deterministic(self, config):
+        program = generate_test_case(config, GenerationOptions(loop_size=80))
+        sim = Simulator(SMALL_CORE)
+        a = sim.run(program, instructions=3_000)
+        b = sim.run(program, instructions=3_000)
+        assert a.metrics() == b.metrics()
+
+    @given(fast_lattice_config)
+    @settings(max_examples=15, deadline=None)
+    def test_cycles_cover_all_breakdown_components(self, config):
+        program = generate_test_case(config, GenerationOptions(loop_size=80))
+        stats = Simulator(SMALL_CORE).run(program, instructions=3_000)
+        numeric = [v for k, v in stats.breakdown.items()
+                   if isinstance(v, (int, float))]
+        assert sum(numeric) > 0
+        assert abs(sum(numeric) - stats.cycles) / stats.cycles < 1e-6
+
+    @given(fast_lattice_config)
+    @settings(max_examples=10, deadline=None)
+    def test_power_is_finite_and_positive(self, config):
+        assume(sum(config[k] for k in MIX_KNOB_NAMES) > 0)
+        from repro.power import PowerModel
+
+        program = generate_test_case(config, GenerationOptions(loop_size=80))
+        stats = Simulator(LARGE_CORE).run(program, instructions=3_000)
+        report = PowerModel(LARGE_CORE).estimate(stats)
+        assert 0.0 < report.dynamic_w < 20.0

@@ -1,0 +1,64 @@
+"""Unit tests for the Gem5-style stats dump writer/reader."""
+
+import pytest
+
+from repro.codegen import generate_test_case
+from repro.sim import SMALL_CORE, Simulator
+from repro.sim.statdump import (
+    metrics_from_dump,
+    parse_stats_dump,
+    write_stats_dump,
+)
+
+
+@pytest.fixture(scope="module")
+def stats():
+    knobs = dict(ADD=4, MUL=1, BEQ=1, LD=2, SD=1, REG_DIST=4,
+                 MEM_SIZE=32, MEM_STRIDE=16, B_PATTERN=0.2)
+    return Simulator(SMALL_CORE).run(generate_test_case(knobs),
+                                     instructions=8_000)
+
+
+class TestWrite:
+    def test_dump_has_begin_end_markers(self, stats):
+        text = write_stats_dump(stats)
+        assert text.startswith("---------- Begin")
+        assert "End Simulation Statistics" in text
+
+    def test_dump_contains_core_counters(self, stats):
+        text = write_stats_dump(stats)
+        for counter in ("sim_insts", "numCycles", "ipc",
+                        "dcache.overall_hit_rate",
+                        "branchPred.condIncorrectRate", "dtb.missRate"):
+            assert counter in text
+
+    def test_write_to_file(self, stats, tmp_path):
+        path = tmp_path / "stats.txt"
+        write_stats_dump(stats, path)
+        assert path.read_text().startswith("---------- Begin")
+
+
+class TestRoundTrip:
+    def test_parse_recovers_values(self, stats):
+        values = parse_stats_dump(write_stats_dump(stats))
+        assert values["sim_insts"] == stats.instructions
+        assert values["ipc"] == pytest.approx(stats.ipc, abs=1e-6)
+
+    def test_metrics_from_dump_match_stats(self, stats):
+        metrics = metrics_from_dump(write_stats_dump(stats))
+        original = stats.metrics()
+        for key in ("ipc", "l1d_hit_rate", "mispredict_rate", "load"):
+            assert metrics[key] == pytest.approx(original[key], abs=1e-6)
+
+    def test_parser_ignores_foreign_lines(self):
+        text = (
+            "warning: something\n"
+            "ipc 1.5 # comment\n"
+            "not_a_number abc\n"
+        )
+        values = parse_stats_dump(text)
+        assert values == {"ipc": 1.5}
+
+    def test_missing_counter_raises(self):
+        with pytest.raises(KeyError):
+            metrics_from_dump("ipc 1.0\n")

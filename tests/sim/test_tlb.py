@@ -1,0 +1,82 @@
+"""Unit tests for the data TLB."""
+
+import pytest
+
+from repro.sim.tlb import PAGE_BYTES, DataTLB, tlb_for_core
+
+
+class TestDataTLB:
+    def test_cold_miss_then_hit(self):
+        tlb = DataTLB(entries=4)
+        assert tlb.access(0) is False
+        assert tlb.access(64) is True  # same page
+        assert tlb.miss_rate == 0.5
+
+    def test_distinct_pages_miss(self):
+        tlb = DataTLB(entries=8)
+        assert tlb.access(0) is False
+        assert tlb.access(PAGE_BYTES) is False
+        assert tlb.access(2 * PAGE_BYTES) is False
+
+    def test_lru_eviction(self):
+        tlb = DataTLB(entries=2)
+        tlb.access(0)                  # page 0
+        tlb.access(PAGE_BYTES)         # page 1
+        tlb.access(0)                  # page 0 now MRU
+        tlb.access(2 * PAGE_BYTES)     # evicts page 1
+        assert tlb.access(0) is True
+        assert tlb.access(PAGE_BYTES) is False
+
+    def test_capacity_bound(self):
+        tlb = DataTLB(entries=16)
+        for page in range(100):
+            tlb.access(page * PAGE_BYTES)
+        assert len(tlb._pages) <= 16
+
+    def test_reset_stats_keeps_translations(self):
+        tlb = DataTLB(entries=4)
+        tlb.access(0)
+        tlb.reset_stats()
+        assert tlb.misses == 0
+        assert tlb.access(0) is True
+
+    def test_idle_miss_rate_zero(self):
+        assert DataTLB().miss_rate == 0.0
+
+    def test_bad_entries_rejected(self):
+        with pytest.raises(ValueError):
+            DataTLB(entries=0)
+
+    def test_core_sizing(self):
+        assert tlb_for_core("large").entries > tlb_for_core("small").entries
+
+
+class TestSimulatorIntegration:
+    def _run(self, mem_size_kb, core=None):
+        from repro.codegen import generate_test_case
+        from repro.sim import SMALL_CORE, Simulator
+
+        knobs = dict(ADD=4, BEQ=1, LD=3, SD=1, REG_DIST=6,
+                     MEM_SIZE=mem_size_kb, MEM_STRIDE=64,
+                     MEM_TEMP1=1, MEM_TEMP2=1, B_PATTERN=0.1)
+        program = generate_test_case(knobs)
+        return Simulator(core or SMALL_CORE).run(program, instructions=10_000)
+
+    def test_metrics_include_dtlb(self):
+        stats = self._run(16)
+        assert "dtlb_miss_rate" in stats.metrics()
+        assert 0.0 <= stats.dtlb_miss_rate <= 1.0
+
+    def test_small_footprint_fits_tlb(self):
+        # 16 KB = 4 pages << 48 entries: no steady-state TLB misses.
+        assert self._run(16).dtlb_miss_rate < 0.02
+
+    def test_huge_footprint_misses_tlb(self):
+        # 2 MB = 512 pages >> 48 entries: the stream walks pages.
+        small = self._run(16).dtlb_miss_rate
+        huge = self._run(2048).dtlb_miss_rate
+        assert huge > small
+
+    def test_tlb_stall_in_breakdown(self):
+        stats = self._run(2048)
+        assert stats.breakdown["dtlb"] > 0

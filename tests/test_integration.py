@@ -1,0 +1,145 @@
+"""Cross-module integration tests: the full tuning loop end to end.
+
+These use reduced budgets so the suite stays fast; the full paper-scale
+experiments live under ``benchmarks/``.
+"""
+
+import pytest
+
+from repro import MicroGrad, MicroGradConfig
+from repro.tuning.knobs import MIX_KNOB_NAMES
+
+
+def _stress_config(tuner, seed=0, **overrides):
+    base = dict(
+        use_case="stress",
+        metrics=("ipc",),
+        core="large",
+        tuner=tuner,
+        knobs=MIX_KNOB_NAMES,
+        fixed_knobs={"REG_DIST": 10, "MEM_SIZE": 16, "B_PATTERN": 0.1,
+                     "MEM_TEMP1": 1, "MEM_TEMP2": 1, "MEM_STRIDE": 64},
+        max_epochs=10,
+        loop_size=250,
+        instructions=6_000,
+        seed=seed,
+    )
+    base.update(overrides)
+    return MicroGradConfig(**base)
+
+
+class TestStressLoopIntegration:
+    def test_gd_beats_random_start(self):
+        """The tuner must actually tune: the best IPC found is lower
+        than the first epoch's base configuration."""
+        result = MicroGrad(_stress_config("gd")).run()
+        first = result.tuning.history[0].loss
+        assert result.tuning.best_loss <= first
+
+    def test_gd_beats_random_search_at_equal_budget(self):
+        gd = MicroGrad(_stress_config("gd", seed=11)).run()
+        budget_epochs = max(
+            1, gd.tuning.requested_evaluations // 20
+        )
+        rnd = MicroGrad(
+            _stress_config("random", seed=11, max_epochs=budget_epochs)
+        ).run()
+        # Equal-ish evaluation budgets: GD should not lose decisively.
+        assert gd.metrics["ipc"] <= rnd.metrics["ipc"] * 1.15
+
+    def test_stress_maximize_and_minimize_diverge(self):
+        worst = MicroGrad(_stress_config("gd", seed=2)).run()
+        best_cfg = _stress_config("gd", seed=2)
+        best_cfg.maximize = True
+        best = MicroGrad(best_cfg).run()
+        assert best.metrics["ipc"] > worst.metrics["ipc"]
+
+
+class TestCloningLoopIntegration:
+    @pytest.fixture(scope="class")
+    def clone(self):
+        config = MicroGradConfig(
+            use_case="cloning",
+            application="bzip2",
+            core="small",
+            max_epochs=12,
+            loop_size=250,
+            instructions=6_000,
+            seed=0,
+        )
+        return MicroGrad(config).run()
+
+    def test_clone_reaches_reasonable_accuracy_fast(self, clone):
+        assert clone.mean_accuracy > 0.80
+
+    def test_distribution_axes_track_targets(self, clone):
+        for metric in ("load", "store", "branch"):
+            assert abs(clone.accuracy[metric] - 1.0) < 0.35
+
+    def test_clone_program_is_valid_and_500ish(self, clone):
+        clone.program.validate()
+        assert len(clone.program) == 250
+
+    def test_informed_initialization_helps(self):
+        """The seeded start must reach the same accuracy band in fewer
+        evaluations than a cold random start."""
+        from repro.core.usecases.cloning import CloningUseCase
+
+        config = MicroGradConfig(
+            use_case="cloning", application="bzip2", core="small",
+            max_epochs=5, loop_size=250, instructions=6_000,
+        )
+        usecase = CloningUseCase(config)
+        targets = usecase.resolve_targets()
+        mg = MicroGrad(config)
+        initial = usecase.initial_vector(targets, mg.knob_space)
+        seeded_config = mg.knob_space.materialize(initial)
+        # The seed alone should already track the mix targets loosely.
+        total = sum(
+            seeded_config[k] for k in MIX_KNOB_NAMES
+        )
+        load_share = (
+            seeded_config["LD"] + seeded_config["LW"]
+        ) / total
+        assert abs(load_share - targets["load"]) < 0.15
+
+
+class TestScopeOptions:
+    def test_simpoint_scope_targets_single_phase(self):
+        from repro.core.usecases.cloning import CloningUseCase
+        from repro.sim import SMALL_CORE, Simulator
+        from repro.workloads import get_benchmark
+
+        config = MicroGradConfig(
+            use_case="cloning", application="mcf", core="small",
+            metrics=("ipc",), instructions=5_000,
+        )
+        targets = CloningUseCase(config).resolve_targets()
+        workload = get_benchmark("mcf")
+        expected = workload.dominant_phase_metrics(
+            SMALL_CORE, instructions=5_000
+        )
+        assert targets["ipc"] == pytest.approx(expected["ipc"])
+
+    def test_combined_scope_targets_mixture(self):
+        from repro.core.usecases.cloning import CloningUseCase
+        from repro.sim import SMALL_CORE
+        from repro.workloads import get_benchmark
+
+        config = MicroGradConfig(
+            use_case="cloning", application="mcf", core="small",
+            metrics=("ipc",), instructions=5_000,
+            application_scope="combined",
+        )
+        targets = CloningUseCase(config).resolve_targets()
+        expected = get_benchmark("mcf").reference_metrics(
+            SMALL_CORE, instructions=5_000
+        )
+        assert targets["ipc"] == pytest.approx(expected["ipc"])
+
+    def test_invalid_scope_rejected(self):
+        with pytest.raises(ValueError, match="application_scope"):
+            MicroGradConfig(
+                use_case="cloning", application="mcf",
+                application_scope="whole-hog",
+            )

@@ -1,0 +1,57 @@
+"""Shared fixtures: fast synthetic optimization problems (no simulator)."""
+
+import numpy as np
+import pytest
+
+from repro.tuning.evaluator import Evaluator
+from repro.tuning.knobs import Knob, KnobSpace
+from repro.tuning.loss import StressLoss
+
+LATTICE = tuple(float(v) for v in range(10))
+
+
+def make_quadratic_problem(targets=(3.0, 7.0, 5.0)):
+    """A knob space + evaluator whose loss minimum sits at ``targets``."""
+    knobs = [Knob(f"K{i}", LATTICE) for i in range(len(targets))]
+    space = KnobSpace(knobs)
+
+    def evaluate(config):
+        y = sum(
+            (config[f"K{i}"] - t) ** 2 for i, t in enumerate(targets)
+        )
+        return {"y": y}
+
+    return space, Evaluator(space, evaluate), StressLoss(metric="y")
+
+
+def make_multimodal_problem():
+    """A problem with a deceptive local minimum at the origin.
+
+    Global minimum at (8, 8) with value 0; local basin at (1, 1) with
+    value 2.
+    """
+    knobs = [Knob("A", LATTICE), Knob("B", LATTICE)]
+    space = KnobSpace(knobs)
+
+    def evaluate(config):
+        a, b = config["A"], config["B"]
+        global_basin = (a - 8) ** 2 + (b - 8) ** 2
+        local_basin = (a - 1) ** 2 + (b - 1) ** 2 + 2.0
+        return {"y": min(global_basin, local_basin)}
+
+    return space, Evaluator(space, evaluate), StressLoss(metric="y")
+
+
+@pytest.fixture
+def quadratic_problem():
+    return make_quadratic_problem()
+
+
+@pytest.fixture
+def multimodal_problem():
+    return make_multimodal_problem()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)

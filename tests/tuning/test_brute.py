@@ -1,0 +1,82 @@
+"""Unit tests for brute-force search and the class-mix lattice."""
+
+import math
+
+import pytest
+
+from repro.tuning.brute import BruteForceSearch, class_mix_configs, compositions
+
+from tests.tuning.conftest import make_quadratic_problem
+
+
+class TestCompositions:
+    @pytest.mark.parametrize("total,parts", [(4, 2), (10, 5), (3, 3), (0, 2)])
+    def test_count_matches_stars_and_bars(self, total, parts):
+        expected = math.comb(total + parts - 1, parts - 1)
+        assert sum(1 for _ in compositions(total, parts)) == expected
+
+    def test_every_composition_sums_to_total(self):
+        for mix in compositions(7, 4):
+            assert sum(mix) == 7
+            assert all(m >= 0 for m in mix)
+
+    def test_single_part(self):
+        assert list(compositions(5, 1)) == [(5,)]
+
+    def test_compositions_are_unique(self):
+        mixes = list(compositions(6, 3))
+        assert len(mixes) == len(set(mixes))
+
+
+class TestClassMixConfigs:
+    def test_count_is_simplex_lattice(self):
+        configs = class_mix_configs(total=10)
+        # C(14,4) compositions of 10 into 5 parts (none all-zero).
+        assert len(configs) == math.comb(14, 4)
+
+    def test_float_share_on_class_representative(self):
+        configs = class_mix_configs(total=10)
+        sample = next(c for c in configs if c["FMULD"] > 0)
+        # One representative mnemonic per class: the whole float share
+        # rides on FMUL.D and the tuner's class space matches.
+        assert "FADDD" not in sample or sample.get("FADDD", 0) == 0
+
+    def test_fixed_knobs_applied(self):
+        configs = class_mix_configs(total=4, fixed={"REG_DIST": 3})
+        assert all(c["REG_DIST"] == 3 for c in configs)
+
+    def test_each_config_generates_valid_program(self):
+        from repro.codegen import generate_test_case
+        from repro.codegen.wrapper import GenerationOptions
+
+        for config in class_mix_configs(total=2)[:10]:
+            generate_test_case(
+                config, GenerationOptions(loop_size=60)
+            ).validate()
+
+
+class TestBruteForceSearch:
+    def test_finds_the_global_minimum(self):
+        space, evaluator, loss = make_quadratic_problem((3.0, 7.0, 5.0))
+        grid = [
+            {"K0": a, "K1": b, "K2": c}
+            for a in (1.0, 3.0, 5.0)
+            for b in (5.0, 7.0)
+            for c in (5.0,)
+        ]
+        result = BruteForceSearch(evaluator, loss, grid).run()
+        assert result.best_config == {"K0": 3.0, "K1": 7.0, "K2": 5.0}
+        assert result.best_loss == 0.0
+        assert result.converged
+        assert result.stop_reason == "exhausted"
+
+    def test_evaluation_count_equals_grid_size(self):
+        space, evaluator, loss = make_quadratic_problem()
+        grid = [{"K0": v, "K1": 0.0, "K2": 0.0} for v in range(5)]
+        result = BruteForceSearch(evaluator, loss, grid).run()
+        assert result.requested_evaluations == 5
+
+    def test_empty_grid_rejected(self):
+        space, evaluator, loss = make_quadratic_problem()
+        with pytest.raises(ValueError):
+            BruteForceSearch(evaluator, loss, [])

@@ -1,0 +1,54 @@
+"""Unit tests for the evaluation engine (memoization + accounting)."""
+
+import numpy as np
+
+from repro.tuning.evaluator import Evaluator
+from repro.tuning.knobs import Knob, KnobSpace
+
+
+def _space():
+    return KnobSpace([Knob("A", (1.0, 2.0, 3.0)), Knob("B", (5.0, 6.0))])
+
+
+class TestEvaluator:
+    def test_counts_requested_and_unique(self):
+        calls = []
+        ev = Evaluator(_space(), lambda c: calls.append(c) or {"y": c["A"]})
+        ev.evaluate(np.array([0.0, 0.0]))
+        ev.evaluate(np.array([0.0, 0.0]))
+        assert ev.requested_evaluations == 2
+        assert ev.unique_evaluations == 1
+        assert len(calls) == 1
+
+    def test_rounding_shares_cache_entries(self):
+        ev = Evaluator(_space(), lambda c: {"y": 0.0})
+        ev.evaluate(np.array([0.1, 0.0]))
+        ev.evaluate(np.array([-0.3, 0.4]))  # rounds to the same lattice point
+        assert ev.unique_evaluations == 1
+
+    def test_cache_disabled_reruns(self):
+        ev = Evaluator(_space(), lambda c: {"y": 0.0}, cache=False)
+        ev.evaluate(np.array([0.0, 0.0]))
+        ev.evaluate(np.array([0.0, 0.0]))
+        assert ev.unique_evaluations == 2
+
+    def test_evaluate_raw_shares_the_cache(self):
+        ev = Evaluator(_space(), lambda c: {"y": c["A"]})
+        config = _space().materialize(np.array([1.0, 1.0]))
+        first = ev.evaluate_raw(config)
+        again = ev.evaluate(np.array([1.0, 1.0]))
+        assert first == again
+        assert ev.unique_evaluations == 1
+
+    def test_reset_counters_keeps_cache(self):
+        ev = Evaluator(_space(), lambda c: {"y": 0.0})
+        ev.evaluate(np.array([0.0, 0.0]))
+        ev.reset_counters()
+        assert ev.requested_evaluations == 0
+        ev.evaluate(np.array([0.0, 0.0]))
+        assert ev.unique_evaluations == 0  # served from cache
+
+    def test_metrics_pass_through(self):
+        ev = Evaluator(_space(), lambda c: {"y": c["A"] + c["B"]})
+        metrics = ev.evaluate(np.array([2.0, 1.0]))
+        assert metrics == {"y": 3.0 + 6.0}

@@ -1,0 +1,124 @@
+"""Unit tests for the genetic-algorithm baseline (Table I)."""
+
+import numpy as np
+import pytest
+
+from repro.tuning.genetic import GAParams, GeneticTuner
+
+from tests.tuning.conftest import make_quadratic_problem
+
+
+class TestTableIDefaults:
+    """The GA defaults must match Table I of the paper."""
+
+    def test_population_size_50(self):
+        assert GAParams().population_size == 50
+
+    def test_mutation_rate_3_percent(self):
+        assert GAParams().mutation_rate == 0.03
+
+    def test_crossover_rate_100_percent(self):
+        assert GAParams().crossover_rate == 1.0
+
+    def test_tournament_size_5(self):
+        assert GAParams().tournament_size == 5
+
+    def test_elitism_enabled(self):
+        assert GAParams().elitism is True
+
+
+class TestOperators:
+    def _tuner(self, seed=0, **params):
+        space, evaluator, loss = make_quadratic_problem((3.0, 7.0, 5.0))
+        return GeneticTuner(
+            evaluator, loss, GAParams(**params), seed=seed
+        )
+
+    def test_crossover_takes_prefix_and_suffix(self):
+        tuner = self._tuner()
+        a = np.array([1.0, 1.0, 1.0])
+        b = np.array([9.0, 9.0, 9.0])
+        child = tuner._crossover(a, b)
+        assert len(child) == 3
+        assert all(g in (1.0, 9.0) for g in child)
+        # Single-point: once genes switch to b they stay b.
+        switched = False
+        for g in child:
+            if g == 9.0:
+                switched = True
+            elif switched:
+                pytest.fail("gene returned to parent A after crossover point")
+
+    def test_zero_crossover_rate_copies_parent(self):
+        tuner = self._tuner(crossover_rate=0.0)
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([7.0, 8.0, 9.0])
+        assert list(tuner._crossover(a, b)) == [1.0, 2.0, 3.0]
+
+    def test_mutation_rate_statistics(self):
+        tuner = self._tuner(mutation_rate=0.3)
+        genome = np.full(3, 5.0)
+        changed = 0
+        trials = 600
+        for _ in range(trials):
+            mutated = tuner._mutate(genome)
+            changed += int((mutated != genome).any())
+        # P(any of 3 genes redrawn) = 1-0.7^3 ~= 0.657; redraw may keep
+        # the old value (1/10), so expect slightly less.
+        assert 0.45 < changed / trials < 0.75
+
+    def test_mutated_genes_stay_on_lattice(self):
+        tuner = self._tuner(mutation_rate=1.0)
+        mutated = tuner._mutate(np.full(3, 5.0))
+        bounds = tuner.space.upper_bounds()
+        assert ((mutated >= 0) & (mutated <= bounds)).all()
+
+    def test_tournament_prefers_lower_loss(self):
+        tuner = self._tuner()
+        population = [np.full(3, v) for v in (0.0, 5.0, 9.0)]
+        losses = [100.0, 0.0, 50.0]
+        trials = 300
+        wins = sum(
+            (tuner._tournament(population, losses) == 5.0).all()
+            for _ in range(trials)
+        )
+        # Tournament of 5 with replacement over 3 individuals picks the
+        # best unless all 5 draws miss it: 1 - (2/3)^5 ~= 0.87.
+        assert wins / trials > 0.78
+
+
+class TestRun:
+    def test_converges_on_quadratic(self):
+        space, evaluator, loss = make_quadratic_problem((3.0, 7.0, 5.0))
+        result = GeneticTuner(
+            evaluator, loss, GAParams(max_epochs=15, population_size=30),
+            seed=1,
+        ).run()
+        assert result.best_loss <= 2.0
+
+    def test_epoch_cost_is_population_size(self):
+        space, evaluator, loss = make_quadratic_problem()
+        params = GAParams(max_epochs=4, population_size=20, target_loss=-1.0)
+        result = GeneticTuner(evaluator, loss, params, seed=0).run()
+        assert result.requested_evaluations == 4 * 20
+
+    def test_elitism_makes_best_loss_monotone(self):
+        space, evaluator, loss = make_quadratic_problem()
+        result = GeneticTuner(
+            evaluator, loss, GAParams(max_epochs=10, population_size=20),
+            seed=2,
+        ).run()
+        per_epoch_best = [r.loss for r in result.history]
+        assert all(
+            a >= b - 1e-9 for a, b in zip(per_epoch_best, per_epoch_best[1:])
+        )
+
+    def test_target_loss_stops_early(self):
+        space, evaluator, loss = make_quadratic_problem((3.0, 7.0, 5.0))
+        result = GeneticTuner(
+            evaluator, loss,
+            GAParams(max_epochs=50, population_size=40, target_loss=0.5),
+            seed=3,
+        ).run()
+        assert result.converged
+        assert result.epochs < 50

@@ -1,0 +1,86 @@
+"""Unit tests for the instruction-level GA tuner."""
+
+import pytest
+
+from repro.codegen.instlevel import GenomeEvaluator, InstructionLevelSpace
+from repro.tuning.genetic import GAParams
+from repro.tuning.instlevel_ga import InstructionLevelGeneticTuner
+from repro.tuning.loss import StressLoss
+
+
+def _synthetic_problem():
+    """Loss = fraction of non-SD genes: global optimum is all stores."""
+    space = InstructionLevelSpace(length=12)
+
+    def evaluate(program):
+        stores = sum(1 for i in program if i.mnemonic == "SD")
+        return {"y": 1.0 - stores / len(program)}
+
+    evaluator = GenomeEvaluator(evaluate)
+    return space, evaluator, StressLoss(metric="y")
+
+
+class TestInstructionLevelGA:
+    def test_converges_toward_optimum(self):
+        space, evaluator, loss = _synthetic_problem()
+        result = InstructionLevelGeneticTuner(
+            space, evaluator, loss,
+            GAParams(max_epochs=20, population_size=30), seed=0,
+        ).run()
+        assert result.best_loss < 0.35  # mostly stores
+
+    def test_epoch_cost_is_population_size(self):
+        space, evaluator, loss = _synthetic_problem()
+        result = InstructionLevelGeneticTuner(
+            space, evaluator, loss,
+            GAParams(max_epochs=3, population_size=15, target_loss=-1.0),
+            seed=1,
+        ).run()
+        assert result.requested_evaluations == 3 * 15
+
+    def test_result_config_carries_genome(self):
+        space, evaluator, loss = _synthetic_problem()
+        result = InstructionLevelGeneticTuner(
+            space, evaluator, loss, GAParams(max_epochs=2,
+                                             population_size=10),
+            seed=2,
+        ).run()
+        genome = result.best_config["GENOME"]
+        assert len(genome) == 12
+
+    def test_best_loss_monotone(self):
+        space, evaluator, loss = _synthetic_problem()
+        result = InstructionLevelGeneticTuner(
+            space, evaluator, loss,
+            GAParams(max_epochs=8, population_size=12), seed=3,
+        ).run()
+        curve = result.loss_curve()
+        assert all(a >= b for a, b in zip(curve, curve[1:]))
+
+    def test_target_loss_stops_early(self):
+        space, evaluator, loss = _synthetic_problem()
+        result = InstructionLevelGeneticTuner(
+            space, evaluator, loss,
+            GAParams(max_epochs=60, population_size=30, target_loss=0.35),
+            seed=4,
+        ).run()
+        assert result.converged
+        assert result.epochs < 60
+
+
+class TestModelComparisonOnSubstrate:
+    def test_instruction_level_ga_runs_on_real_platform(self):
+        """End to end on the simulator: minimize IPC over sequences."""
+        from repro.core.platform import PerformancePlatform
+        from repro.sim import SMALL_CORE
+
+        platform = PerformancePlatform(SMALL_CORE, instructions=3_000)
+        space = InstructionLevelSpace(length=40)
+        evaluator = GenomeEvaluator(platform.evaluate)
+        result = InstructionLevelGeneticTuner(
+            space, evaluator, StressLoss("ipc"),
+            GAParams(max_epochs=4, population_size=12), seed=5,
+        ).run()
+        assert result.best_metrics["ipc"] > 0
+        first = result.history[0].loss
+        assert result.best_loss <= first

@@ -1,0 +1,117 @@
+"""Unit tests for knobs and knob spaces."""
+
+import numpy as np
+import pytest
+
+from repro.tuning.knobs import (
+    B_PATTERN_VALUES,
+    INSTRUCTION_FRACTIONS,
+    Knob,
+    KnobSpace,
+    MEM_SIZE_VALUES,
+    MIX_KNOB_NAMES,
+    default_cloning_space,
+    full_stress_space,
+    instruction_mix_space,
+)
+
+
+class TestKnob:
+    def test_value_at_rounds_to_lattice(self):
+        knob = Knob("K", (10.0, 20.0, 30.0))
+        assert knob.value_at(0.4) == 10.0
+        assert knob.value_at(0.6) == 20.0
+        assert knob.value_at(2.9) == 30.0
+
+    def test_value_at_clips(self):
+        knob = Knob("K", (1.0, 2.0))
+        assert knob.value_at(-5.0) == 1.0
+        assert knob.value_at(99.0) == 2.0
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            Knob("K", ())
+
+
+class TestKnobSpace:
+    def _space(self):
+        return KnobSpace(
+            [Knob("A", (1.0, 2.0, 3.0)), Knob("B", (10.0, 20.0))],
+            fixed={"C": 7},
+        )
+
+    def test_materialize_includes_fixed(self):
+        config = self._space().materialize(np.array([0.0, 1.0]))
+        assert config == {"A": 1.0, "B": 20.0, "C": 7}
+
+    def test_materialize_shape_checked(self):
+        with pytest.raises(ValueError):
+            self._space().materialize(np.array([0.0]))
+
+    def test_clip_bounds(self):
+        space = self._space()
+        clipped = space.clip(np.array([-3.0, 9.0]))
+        assert list(clipped) == [0.0, 1.0]
+
+    def test_random_vector_within_bounds(self):
+        space = self._space()
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            v = space.random_vector(rng)
+            assert (v >= 0).all()
+            assert (v <= space.upper_bounds()).all()
+
+    def test_config_key_stable_under_rounding(self):
+        space = self._space()
+        k1 = space.config_key(np.array([1.1, 0.2]))
+        k2 = space.config_key(np.array([0.9, 0.0]))
+        assert k1 == k2
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            KnobSpace([Knob("A", (1.0,)), Knob("A", (2.0,))])
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ValueError):
+            KnobSpace([])
+
+
+class TestListingOneLattices:
+    """The knob lattices must match Listing 1 of the paper."""
+
+    def test_instruction_fractions(self):
+        # Listing 1's 1..10 plus the documented 0 extension.
+        assert INSTRUCTION_FRACTIONS == tuple(float(v) for v in range(0, 11))
+
+    def test_mem_size_values(self):
+        assert MEM_SIZE_VALUES == (2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048)
+
+    def test_b_pattern_values(self):
+        # Listing 1's 0.1..1.0 plus the documented fine-grained low end.
+        assert B_PATTERN_VALUES[0] == 0.0
+        assert B_PATTERN_VALUES[-1] == 1.0
+        for v in (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0):
+            assert v in B_PATTERN_VALUES
+        assert all(a < b for a, b in zip(B_PATTERN_VALUES,
+                                         B_PATTERN_VALUES[1:]))
+
+    def test_mix_space_has_ten_knobs(self):
+        space = instruction_mix_space()
+        assert len(space) == 10
+        assert tuple(space.names) == MIX_KNOB_NAMES
+
+    def test_mix_space_pins_non_mix_knobs(self):
+        config = instruction_mix_space().materialize(np.zeros(10))
+        assert "REG_DIST" in config
+        assert "B_PATTERN" in config
+
+    def test_cloning_space_has_sixteen_knobs(self):
+        assert len(default_cloning_space()) == 16
+
+    def test_fixed_overrides_flow_through(self):
+        space = instruction_mix_space(fixed={"REG_DIST": 7})
+        config = space.materialize(np.zeros(10))
+        assert config["REG_DIST"] == 7
+
+    def test_full_stress_space_matches_cloning_space(self):
+        assert full_stress_space().names == default_cloning_space().names

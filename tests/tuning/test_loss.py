@@ -1,0 +1,92 @@
+"""Unit tests for the use-case loss functions."""
+
+import math
+
+import pytest
+
+from repro.tuning.loss import (
+    CloningLoss,
+    StressLoss,
+    accuracy_report,
+    mean_accuracy,
+    metric_accuracy,
+)
+
+
+class TestCloningLoss:
+    def test_zero_at_exact_match(self):
+        loss = CloningLoss(targets={"ipc": 1.5, "l1d_hit_rate": 0.9})
+        assert loss({"ipc": 1.5, "l1d_hit_rate": 0.9}) == pytest.approx(0.0)
+
+    def test_positive_away_from_target(self):
+        loss = CloningLoss(targets={"ipc": 1.0})
+        assert loss({"ipc": 2.0}) > 0.0
+
+    def test_symmetric_in_ratio(self):
+        loss = CloningLoss(targets={"ipc": 1.0})
+        assert loss({"ipc": 2.0}) == pytest.approx(loss({"ipc": 0.5}), rel=0.05)
+
+    def test_weights_shift_emphasis(self):
+        targets = {"a": 1.0, "b": 1.0}
+        plain = CloningLoss(targets=targets)
+        weighted = CloningLoss(targets=targets, weights={"a": 10.0})
+        off_a = {"a": 2.0, "b": 1.0}
+        off_b = {"a": 1.0, "b": 2.0}
+        assert plain(off_a) == pytest.approx(plain(off_b))
+        assert weighted(off_a) > weighted(off_b)
+
+    def test_missing_metric_raises(self):
+        loss = CloningLoss(targets={"ipc": 1.0})
+        with pytest.raises(KeyError):
+            loss({"l2_hit_rate": 0.4})
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(ValueError):
+            CloningLoss(targets={})
+
+    def test_accuracy_target_maps_to_log_loss(self):
+        # 99% uniform accuracy <=> loss of ln(0.99)^2.
+        loss = CloningLoss(targets={"a": 1.0, "b": 2.0})
+        measured = {"a": 0.99, "b": 1.98}
+        assert loss(measured) == pytest.approx(
+            math.log(0.99) ** 2, rel=0.05
+        )
+
+
+class TestStressLoss:
+    def test_minimize_returns_metric(self):
+        loss = StressLoss(metric="ipc", maximize=False)
+        assert loss({"ipc": 2.5}) == 2.5
+
+    def test_maximize_negates(self):
+        loss = StressLoss(metric="dynamic_power", maximize=True)
+        assert loss({"dynamic_power": 2.0}) == -2.0
+
+    def test_missing_metric_raises(self):
+        with pytest.raises(KeyError):
+            StressLoss(metric="ipc")({"power": 1.0})
+
+
+class TestAccuracy:
+    def test_exact_match_is_one(self):
+        assert metric_accuracy(0.5, 0.5) == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        assert metric_accuracy(1.0, 2.0) == pytest.approx(
+            metric_accuracy(2.0, 1.0)
+        )
+
+    def test_both_zero_is_one(self):
+        assert metric_accuracy(0.0, 0.0) == 1.0
+
+    def test_report_is_ratio(self):
+        report = accuracy_report({"ipc": 1.2}, {"ipc": 1.0})
+        assert report["ipc"] == pytest.approx(1.2, rel=0.01)
+
+    def test_mean_accuracy_averages(self):
+        targets = {"a": 1.0, "b": 1.0}
+        metrics = {"a": 1.0, "b": 0.5}
+        assert mean_accuracy(metrics, targets) == pytest.approx(0.75, abs=0.01)
+
+    def test_missing_metric_counts_as_zero(self):
+        assert mean_accuracy({}, {"a": 1.0}) < 0.01

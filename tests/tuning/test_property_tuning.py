@@ -1,0 +1,84 @@
+"""Property-based tests for tuning invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tuning.brute import compositions
+from repro.tuning.knobs import Knob, KnobSpace
+from repro.tuning.loss import CloningLoss, metric_accuracy
+
+positions = st.lists(
+    st.floats(min_value=-50, max_value=50, allow_nan=False), min_size=1,
+    max_size=8,
+)
+
+
+def _space_for(n):
+    return KnobSpace([Knob(f"K{i}", tuple(range(1, 11))) for i in range(n)])
+
+
+class TestKnobSpaceProperties:
+    @given(positions)
+    @settings(max_examples=80, deadline=None)
+    def test_materialized_values_always_on_lattice(self, pos):
+        space = _space_for(len(pos))
+        config = space.materialize(space.clip(np.array(pos)))
+        for value in config.values():
+            assert value in set(range(1, 11))
+
+    @given(positions)
+    @settings(max_examples=50, deadline=None)
+    def test_clip_is_idempotent(self, pos):
+        space = _space_for(len(pos))
+        once = space.clip(np.array(pos))
+        twice = space.clip(once)
+        assert np.allclose(once, twice)
+
+
+class TestLossProperties:
+    metric_values = st.dictionaries(
+        st.sampled_from(["a", "b", "c"]),
+        st.floats(min_value=0.001, max_value=100.0),
+        min_size=3,
+        max_size=3,
+    )
+
+    @given(metric_values, metric_values)
+    @settings(max_examples=80, deadline=None)
+    def test_cloning_loss_nonnegative(self, targets, measured):
+        loss = CloningLoss(targets=targets)
+        assert loss(measured) >= 0.0
+
+    @given(metric_values)
+    @settings(max_examples=40, deadline=None)
+    def test_cloning_loss_zero_iff_match(self, targets):
+        loss = CloningLoss(targets=targets)
+        assert loss(dict(targets)) < 1e-9
+
+    @given(
+        st.floats(min_value=0.0, max_value=100.0),
+        st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_metric_accuracy_bounded(self, a, b):
+        acc = metric_accuracy(a, b)
+        assert 0.0 <= acc <= 1.0
+
+
+class TestCompositionProperties:
+    @given(
+        st.integers(min_value=0, max_value=8),
+        st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_all_compositions_valid(self, total, parts):
+        seen = set()
+        for mix in compositions(total, parts):
+            assert len(mix) == parts
+            assert sum(mix) == total
+            assert all(m >= 0 for m in mix)
+            seen.add(mix)
+        import math
+
+        assert len(seen) == math.comb(total + parts - 1, parts - 1)

@@ -1,0 +1,65 @@
+"""Unit tests for characteristics extraction and reporting."""
+
+from repro.codegen import generate_test_case
+from repro.sim import SMALL_CORE
+from repro.workloads.characteristics import (
+    characterize_program,
+    characterize_workload,
+    format_characteristics,
+)
+from repro.workloads.spec import get_benchmark
+
+
+def _program(**overrides):
+    knobs = dict(ADD=4, MUL=1, BEQ=1, LD=2, SD=1, REG_DIST=3,
+                 MEM_SIZE=64, MEM_STRIDE=16, B_PATTERN=0.2)
+    knobs.update(overrides)
+    return generate_test_case(knobs)
+
+
+class TestCharacterizeProgram:
+    def test_static_fields_present(self):
+        chars = characterize_program(_program())
+        for key in ("static_instructions", "code_bytes",
+                    "dependency_distance", "memory_footprint_bytes",
+                    "branch_random_ratio"):
+            assert key in chars
+
+    def test_fractions_reported_per_group(self):
+        chars = characterize_program(_program())
+        total = sum(chars[f"frac_{g}"] for g in
+                    ("integer", "float", "load", "store", "branch"))
+        assert abs(total - 1.0) < 1e-9
+
+    def test_knob_values_round_trip(self):
+        chars = characterize_program(_program(REG_DIST=7, MEM_SIZE=128))
+        assert chars["dependency_distance"] == 7
+        assert chars["memory_footprint_bytes"] == 128 * 1024
+
+    def test_memoryless_program_zero_footprint(self):
+        program = generate_test_case(dict(ADD=3, BEQ=1, B_PATTERN=0.0))
+        chars = characterize_program(program)
+        assert chars["memory_footprint_bytes"] == 0.0
+        assert "min_stride" not in chars
+
+
+class TestCharacterizeWorkload:
+    def test_per_phase_and_combined_entries(self):
+        workload = get_benchmark("bzip2")
+        report = characterize_workload(workload, SMALL_CORE,
+                                       instructions=6_000)
+        assert set(report) == {p.name for p in workload.phases} | {"combined"}
+        for phase in workload.phases:
+            assert "ipc" in report[phase.name]
+            assert report[phase.name]["weight"] == phase.weight
+
+    def test_format_produces_aligned_table(self):
+        workload = get_benchmark("bzip2")
+        report = characterize_workload(workload, SMALL_CORE,
+                                       instructions=6_000)
+        text = format_characteristics(report)
+        assert "combined" in text
+        assert "ipc" in text
+        # Every row has the same number of columns.
+        rows = text.splitlines()
+        assert len(rows) > 5

@@ -1,0 +1,99 @@
+"""Unit tests for structural BBV profiling."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import generate_test_case
+from repro.codegen.wrapper import GenerationOptions
+from repro.workloads.profiling import (
+    block_vector,
+    extract_basic_blocks,
+    profile_workload,
+)
+from repro.workloads.simpoint import select_simpoints
+from repro.workloads.spec import get_benchmark
+
+
+def _program(loop_size=120, **overrides):
+    knobs = dict(ADD=4, MUL=1, BEQ=1, BNE=1, LD=2, SD=1, REG_DIST=3,
+                 MEM_SIZE=16, B_PATTERN=0.3)
+    knobs.update(overrides)
+    return generate_test_case(knobs, GenerationOptions(loop_size=loop_size))
+
+
+class TestBasicBlocks:
+    def test_blocks_cover_whole_body(self):
+        program = _program()
+        blocks = extract_basic_blocks(program)
+        covered = sum(b.size for b in blocks)
+        assert covered == len(program)
+
+    def test_every_block_ends_at_branch_or_body_end(self):
+        program = _program()
+        blocks = extract_basic_blocks(program)
+        for block in blocks[:-1]:
+            assert program.body[block.end - 1].idef.is_branch
+
+    def test_branchless_program_is_one_block(self):
+        program = generate_test_case(
+            dict(ADD=3, MUL=1, REG_DIST=2),
+            GenerationOptions(loop_size=40),
+        )
+        blocks = extract_basic_blocks(program)
+        assert len(blocks) == 1
+        assert blocks[0].size == 40
+
+    def test_block_count_tracks_branch_count(self):
+        program = _program()
+        blocks = extract_basic_blocks(program)
+        branches = len(program.branch_instructions())
+        assert branches <= len(blocks) <= branches + 1
+
+
+class TestBlockVector:
+    def test_normalized(self):
+        v = block_vector(_program())
+        assert v.sum() == pytest.approx(1.0)
+        assert (v >= 0).all()
+
+    def test_dimension_respected(self):
+        assert block_vector(_program(), dims=32).shape == (32,)
+
+    def test_deterministic_per_interval(self):
+        program = _program()
+        a = block_vector(program, interval_index=3)
+        b = block_vector(program, interval_index=3)
+        assert np.allclose(a, b)
+
+    def test_noisy_phases_wobble_between_intervals(self):
+        program = _program(B_PATTERN=1.0)
+        a = block_vector(program, interval_index=0)
+        b = block_vector(program, interval_index=1)
+        assert not np.allclose(a, b)
+
+    def test_different_programs_differ(self):
+        a = block_vector(_program())
+        b = block_vector(_program(ADD=1, LD=5, BEQ=3))
+        assert np.linalg.norm(a - b) > 0.05
+
+
+class TestProfileWorkload:
+    def test_interval_counts_follow_weights(self):
+        workload = get_benchmark("mcf")  # weights 0.75 / 0.25
+        bbvs, labels = profile_workload(workload, intervals=20)
+        from collections import Counter
+
+        counts = Counter(labels)
+        assert counts["pbeampp"] > counts["refresh"]
+
+    def test_simpoints_recover_phases_from_structural_bbvs(self):
+        workload = get_benchmark("gcc")
+        bbvs, labels = profile_workload(workload, intervals=24)
+        simpoints = select_simpoints(bbvs, max_k=5, seed=0)
+        picked = {labels[s.interval] for s in simpoints}
+        assert picked == {p.name for p in workload.phases}
+
+    def test_rows_match_labels(self):
+        workload = get_benchmark("bzip2")
+        bbvs, labels = profile_workload(workload)
+        assert len(bbvs) == len(labels)

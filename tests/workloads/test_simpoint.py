@@ -1,0 +1,116 @@
+"""Unit tests for the SimPoint implementation."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.simpoint import (
+    bic_score,
+    kmeans,
+    random_projection,
+    select_simpoints,
+    workload_bbv_trace,
+)
+from repro.workloads.spec import get_benchmark
+
+
+def _two_blob_bbvs(n_per=20, dims=30, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(0.0, 0.05, (n_per, dims)) + np.linspace(0, 1, dims)
+    b = rng.normal(0.0, 0.05, (n_per, dims)) + np.linspace(1, 0, dims)
+    return np.abs(np.vstack([a, b]))
+
+
+class TestKMeans:
+    def test_two_obvious_clusters(self):
+        points = np.array(
+            [[0.0, 0.0], [0.1, 0.0], [0.0, 0.1], [5.0, 5.0], [5.1, 5.0],
+             [5.0, 5.1]]
+        )
+        labels, centers, inertia = kmeans(points, 2, seed=0)
+        assert len(set(labels[:3])) == 1
+        assert len(set(labels[3:])) == 1
+        assert labels[0] != labels[3]
+        assert inertia < 0.2
+
+    def test_k_equals_n_is_exact(self):
+        points = np.array([[0.0], [1.0], [2.0]])
+        labels, centers, inertia = kmeans(points, 3, seed=0)
+        assert inertia == pytest.approx(0.0)
+
+    def test_bad_k_rejected(self):
+        points = np.zeros((3, 2))
+        with pytest.raises(ValueError):
+            kmeans(points, 0)
+        with pytest.raises(ValueError):
+            kmeans(points, 4)
+
+    def test_deterministic_per_seed(self):
+        points = _two_blob_bbvs()
+        a = kmeans(points, 2, seed=5)[2]
+        b = kmeans(points, 2, seed=5)[2]
+        assert a == b
+
+
+class TestProjection:
+    def test_reduces_dimension(self):
+        bbvs = np.ones((10, 100))
+        assert random_projection(bbvs, dims=15).shape == (10, 15)
+
+    def test_small_input_passthrough(self):
+        bbvs = np.ones((10, 8))
+        assert random_projection(bbvs, dims=15).shape == (10, 8)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            random_projection(np.ones(5))
+
+
+class TestBic:
+    def test_tighter_clustering_scores_higher(self):
+        points = _two_blob_bbvs()
+        l1, c1, i1 = kmeans(points, 1, seed=0)
+        l2, c2, i2 = kmeans(points, 2, seed=0)
+        assert bic_score(points, l2, i2) > bic_score(points, l1, i1)
+
+
+class TestSelectSimpoints:
+    def test_recovers_two_blobs(self):
+        bbvs = _two_blob_bbvs()
+        simpoints = select_simpoints(bbvs, max_k=5, seed=0)
+        assert len(simpoints) == 2
+        assert sum(s.weight for s in simpoints) == pytest.approx(1.0)
+        # One representative from each half.
+        halves = sorted(s.interval < 20 for s in simpoints)
+        assert halves == [False, True]
+
+    def test_single_phase_collapses_to_one(self):
+        rng = np.random.default_rng(0)
+        bbvs = np.abs(rng.normal(1.0, 0.01, (30, 20)))
+        simpoints = select_simpoints(bbvs, max_k=4, seed=0)
+        assert len(simpoints) == 1
+        assert simpoints[0].weight == pytest.approx(1.0)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            select_simpoints(np.empty((0, 4)))
+
+    def test_weights_match_cluster_population(self):
+        bbvs = np.vstack([_two_blob_bbvs(n_per=30)[:30],
+                          _two_blob_bbvs(n_per=10)[30:]])
+        simpoints = select_simpoints(bbvs, max_k=4, seed=1)
+        assert sum(s.weight for s in simpoints) == pytest.approx(1.0)
+
+
+class TestWorkloadTrace:
+    def test_trace_rows_normalized(self):
+        workload = get_benchmark("bzip2")
+        bbvs, labels = workload_bbv_trace(workload, seed=0)
+        assert len(bbvs) == len(labels)
+        assert np.allclose(bbvs.sum(axis=1), 1.0)
+
+    def test_simpoints_recover_phase_structure(self):
+        workload = get_benchmark("gcc")
+        bbvs, labels = workload_bbv_trace(workload, seed=0)
+        simpoints = select_simpoints(bbvs, max_k=5, seed=0)
+        picked_phases = {labels[s.interval] for s in simpoints}
+        assert picked_phases == {p.name for p in workload.phases}

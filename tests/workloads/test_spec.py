@@ -1,0 +1,128 @@
+"""Unit tests for the SPEC-like reference workloads."""
+
+import pytest
+
+from repro.sim import LARGE_CORE, SMALL_CORE
+from repro.sim.stats import METRIC_KEYS
+from repro.workloads.spec import (
+    SPEC_BENCHMARKS,
+    benchmark_names,
+    get_benchmark,
+)
+
+PAPER_SUITE = [
+    "astar", "bzip2", "gcc", "hmmer", "libquantum", "mcf", "sjeng",
+    "xalancbmk",
+]
+
+
+class TestSuiteContents:
+    def test_the_eight_paper_benchmarks_exist(self):
+        assert benchmark_names() == PAPER_SUITE
+
+    def test_lookup_and_error(self):
+        assert get_benchmark("mcf").name == "mcf"
+        with pytest.raises(KeyError):
+            get_benchmark("povray")
+
+    def test_every_workload_has_weighted_phases(self):
+        for workload in SPEC_BENCHMARKS.values():
+            assert workload.phases
+            assert all(p.weight > 0 for p in workload.phases)
+
+    def test_phase_programs_generate_and_validate(self):
+        for workload in SPEC_BENCHMARKS.values():
+            for program in workload.programs():
+                program.validate()
+
+    def test_phase_programs_record_phase_name(self):
+        workload = get_benchmark("astar")
+        names = [p.metadata["phase"] for p in workload.programs()]
+        assert names == [p.name for p in workload.phases]
+
+
+class TestReferenceMetrics:
+    @pytest.fixture(scope="class")
+    def mcf_metrics(self):
+        return get_benchmark("mcf").reference_metrics(LARGE_CORE,
+                                                      instructions=8_000)
+
+    def test_metric_keys_complete(self, mcf_metrics):
+        for key in METRIC_KEYS:
+            assert key in mcf_metrics
+
+    def test_rates_bounded(self, mcf_metrics):
+        for key in ("mispredict_rate", "l1i_hit_rate", "l1d_hit_rate",
+                    "l2_hit_rate"):
+            assert 0.0 <= mcf_metrics[key] <= 1.0
+
+    def test_distribution_sums_to_one(self, mcf_metrics):
+        total = sum(
+            mcf_metrics[g]
+            for g in ("integer", "float", "load", "store", "branch")
+        )
+        assert total == pytest.approx(1.0, abs=0.01)
+
+    def test_deterministic(self):
+        a = get_benchmark("sjeng").reference_metrics(SMALL_CORE, 6_000)
+        b = get_benchmark("sjeng").reference_metrics(SMALL_CORE, 6_000)
+        assert a == b
+
+
+class TestBehaviouralSignatures:
+    """The stand-ins must show each benchmark's published personality."""
+
+    @pytest.fixture(scope="class")
+    def all_metrics(self):
+        return {
+            name: get_benchmark(name).reference_metrics(LARGE_CORE, 8_000)
+            for name in PAPER_SUITE
+        }
+
+    def test_mcf_is_the_memory_bound_one(self, all_metrics):
+        mcf = all_metrics["mcf"]["l1d_hit_rate"]
+        assert mcf == min(
+            m["l1d_hit_rate"] for m in all_metrics.values()
+        )
+
+    def test_hmmer_is_the_compute_bound_one(self, all_metrics):
+        hmmer = all_metrics["hmmer"]
+        assert hmmer["ipc"] == max(m["ipc"] for m in all_metrics.values())
+        assert hmmer["mispredict_rate"] == min(
+            m["mispredict_rate"] for m in all_metrics.values()
+        )
+
+    def test_sjeng_is_branchy_and_mispredicts(self, all_metrics):
+        sjeng = all_metrics["sjeng"]
+        assert sjeng["mispredict_rate"] == max(
+            m["mispredict_rate"] for m in all_metrics.values()
+        )
+
+    def test_xalancbmk_has_icache_pressure_on_small_core(self):
+        # The small core's 16k L1I cannot hold xalancbmk's code footprint;
+        # its IC hit rate is the suite's worst there (the paper's worst
+        # cloning residual, Section IV-B).
+        metrics = {
+            name: get_benchmark(name).reference_metrics(SMALL_CORE, 8_000)
+            for name in ("xalancbmk", "bzip2", "mcf", "sjeng")
+        }
+        xalan = metrics["xalancbmk"]["l1i_hit_rate"]
+        assert xalan == min(m["l1i_hit_rate"] for m in metrics.values())
+        assert xalan < 0.95
+
+    def test_libquantum_streams_through_l2(self, all_metrics):
+        # Streaming with a prefetching L2: far better L2 behaviour than
+        # pointer-chasing mcf.
+        libq = all_metrics["libquantum"]
+        assert libq["l2_hit_rate"] > 0.7
+        assert libq["l2_hit_rate"] > all_metrics["mcf"]["l2_hit_rate"]
+
+    def test_zero_weight_workload_rejected(self):
+        from repro.workloads.spec import Phase, ReferenceWorkload
+
+        broken = ReferenceWorkload(
+            "broken", "zero weights",
+            [Phase("p", 0.0, {"ADD": 1})],
+        )
+        with pytest.raises(ValueError):
+            broken.reference_metrics(SMALL_CORE)

@@ -1,0 +1,88 @@
+"""Unit tests for the FP extension workload suite."""
+
+import pytest
+
+from repro.sim import LARGE_CORE
+from repro.workloads.spec_fp import (
+    SPEC_FP_BENCHMARKS,
+    all_benchmarks,
+    fp_benchmark_names,
+    get_fp_benchmark,
+)
+
+
+class TestSuiteContents:
+    def test_four_fp_benchmarks(self):
+        assert fp_benchmark_names() == ["bwaves", "milc", "namd", "lbm"]
+
+    def test_lookup_and_error(self):
+        assert get_fp_benchmark("lbm").name == "lbm"
+        with pytest.raises(KeyError):
+            get_fp_benchmark("povray")
+
+    def test_programs_generate_and_validate(self):
+        for workload in SPEC_FP_BENCHMARKS.values():
+            for program in workload.programs():
+                program.validate()
+
+    def test_combined_registry_is_disjoint_union(self):
+        combined = all_benchmarks()
+        assert len(combined) == 12
+        assert "mcf" in combined
+        assert "lbm" in combined
+
+
+class TestFPSignatures:
+    @pytest.fixture(scope="class")
+    def metrics(self):
+        return {
+            name: get_fp_benchmark(name).reference_metrics(
+                LARGE_CORE, instructions=8_000
+            )
+            for name in fp_benchmark_names()
+        }
+
+    def test_every_fp_benchmark_is_fp_heavy(self, metrics):
+        for name, m in metrics.items():
+            assert m["float"] > 0.25, f"{name} float share {m['float']:.2f}"
+
+    def test_fp_benchmarks_are_predictable(self, metrics):
+        for name, m in metrics.items():
+            assert m["mispredict_rate"] < 0.2, name
+
+    def test_lbm_is_store_heavy_and_streaming(self, metrics):
+        lbm = metrics["lbm"]
+        assert lbm["store"] > 0.15
+        assert lbm["l1d_hit_rate"] < 0.9
+
+    def test_namd_has_highest_ipc(self, metrics):
+        assert metrics["namd"]["ipc"] == max(m["ipc"] for m in metrics.values())
+
+    def test_bwaves_streams(self, metrics):
+        # Unit-stride streaming with the Large core's prefetcher: the L2
+        # serves the stream even though L1 misses.
+        assert metrics["bwaves"]["l1d_hit_rate"] < 0.95
+
+
+class TestFPCloning:
+    def test_fp_benchmark_clones_with_explicit_registry(self):
+        """Cloning an FP workload end to end (distribution + IPC)."""
+        from repro import MicroGrad, MicroGradConfig
+        from repro.workloads.spec_fp import get_fp_benchmark
+
+        workload = get_fp_benchmark("namd")
+        targets = workload.dominant_phase_metrics(LARGE_CORE,
+                                                  instructions=5_000)
+        config = MicroGradConfig(
+            use_case="cloning",
+            targets={m: targets[m] for m in
+                     ("integer", "float", "load", "store", "branch", "ipc")},
+            metrics=("integer", "float", "load", "store", "branch", "ipc"),
+            core="large",
+            max_epochs=10,
+            loop_size=250,
+            instructions=5_000,
+        )
+        result = MicroGrad(config).run()
+        assert result.mean_accuracy > 0.85
+        assert abs(result.accuracy["float"] - 1.0) < 0.25
