@@ -140,7 +140,6 @@ def brute_force_stress(metric: str, maximize: bool, core: str):
     """Brute-force oracle over the class-mix simplex (the green lines)."""
     from repro.core.framework import MicroGrad as _MG
     from repro.tuning.brute import BruteForceSearch, class_mix_configs
-    from repro.tuning.evaluator import Evaluator
     from repro.tuning.loss import StressLoss
 
     config = stress_config(metric, maximize, core, tuner="gd")
@@ -149,9 +148,12 @@ def brute_force_stress(metric: str, maximize: bool, core: str):
         total=BUDGETS.brute_total,
         fixed=dict(config.fixed_knobs),
     )
-    evaluator = Evaluator(mg.knob_space, mg._evaluate_config)
+    evaluator = mg.build_evaluator()
     loss = StressLoss(metric=metric, maximize=maximize)
-    return BruteForceSearch(evaluator, loss, configs).run()
+    try:
+        return BruteForceSearch(evaluator, loss, configs).run()
+    finally:
+        mg.close()
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,80 @@
+"""Serial-vs-pool wall-clock harness for the batched evaluation engine.
+
+Not a paper figure: this benchmark records the engineering win of the
+``repro.exec`` execution backends.  A brute-force class-mix grid sweep —
+the most evaluation-bound workload in the repo — runs once on the serial
+backend and once on a 4-worker process pool; both must produce identical
+metrics, and on hosts with at least 4 cores the pool must be >1.5x
+faster.  The measured times land in ``results/parallel_speedup.json`` so
+speedup trajectories are tracked across runs alongside the paper data.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.codegen.wrapper import GenerationOptions
+from repro.core.platform import PerformancePlatform
+from repro.exec.backend import ProcessPoolBackend, SerialBackend
+from repro.exec.jobs import evaluate_configs
+from repro.sim.config import core_by_name
+from repro.tuning.brute import class_mix_configs
+
+from harness import BUDGETS, print_header, save_artifact
+
+POOL_WORKERS = 4
+SPEEDUP_TARGET = 1.5
+
+
+class TestParallelSpeedup:
+    def test_pool_sweep_matches_serial_and_records_speedup(self):
+        print_header(
+            "Parallel evaluation engine: brute-force sweep, serial vs pool",
+            f"engineering target: >{SPEEDUP_TARGET}x on {POOL_WORKERS} workers",
+        )
+        platform = PerformancePlatform(
+            core_by_name("large"), instructions=BUDGETS.stress_instructions
+        )
+        options = GenerationOptions(loop_size=BUDGETS.stress_loop)
+        configs = class_mix_configs(total=BUDGETS.brute_total)
+
+        start = time.perf_counter()
+        serial_metrics = evaluate_configs(
+            SerialBackend(), platform, options, configs
+        )
+        serial_s = time.perf_counter() - start
+
+        with ProcessPoolBackend(jobs=POOL_WORKERS) as pool:
+            pool.map(len, [[], []])  # warm the workers up front
+            start = time.perf_counter()
+            pool_metrics = evaluate_configs(pool, platform, options, configs)
+            pool_s = time.perf_counter() - start
+
+        speedup = serial_s / max(pool_s, 1e-9)
+        cores = os.cpu_count() or 1
+        print(f"grid     : {len(configs)} configurations")
+        print(f"serial   : {serial_s:6.2f} s")
+        print(f"pool[{POOL_WORKERS}]  : {pool_s:6.2f} s  "
+              f"(host cores: {cores})")
+        print(f"speedup  : {speedup:5.2f}x")
+        save_artifact("parallel_speedup", {
+            "configs": len(configs),
+            "workers": POOL_WORKERS,
+            "host_cores": cores,
+            "serial_s": serial_s,
+            "pool_s": pool_s,
+            "speedup": speedup,
+        })
+
+        assert pool_metrics == serial_metrics  # bit-identical results
+        if cores >= POOL_WORKERS:
+            assert speedup > SPEEDUP_TARGET, (
+                f"expected >{SPEEDUP_TARGET}x on {cores} cores, "
+                f"got {speedup:.2f}x"
+            )
+        else:
+            pytest.skip(
+                f"host has {cores} cores; speedup assertion needs "
+                f">= {POOL_WORKERS} (measured {speedup:.2f}x, recorded)"
+            )

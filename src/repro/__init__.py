@@ -22,7 +22,24 @@ Quickstart::
 from repro.core.config import MicroGradConfig
 from repro.core.framework import MicroGrad
 from repro.core.outputs import MicroGradResult
+from repro.exec import (
+    DiskResultCache,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    backend_for,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["MicroGrad", "MicroGradConfig", "MicroGradResult", "__version__"]
+__all__ = [
+    "MicroGrad",
+    "MicroGradConfig",
+    "MicroGradResult",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "backend_for",
+    "DiskResultCache",
+    "__version__",
+]

@@ -13,9 +13,11 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
 
 from repro.core.config import MicroGradConfig
 from repro.core.framework import MicroGrad
+from repro.exec.backend import BACKEND_NAMES
 from repro.sim.config import LARGE_CORE, SMALL_CORE, core_by_name
 from repro.workloads.characteristics import (
     characterize_workload,
@@ -32,10 +34,48 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--max-epochs", type=int, default=60)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", help="directory to save the result into")
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="evaluation worker processes (1 serial, 0 all cores)",
+    )
+    parser.add_argument(
+        "--backend", default=None, choices=list(BACKEND_NAMES),
+        help="evaluation execution backend (default: auto)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent evaluation result cache directory",
+    )
+
+
+def _execution_overrides(args: argparse.Namespace) -> dict:
+    """The --jobs/--backend/--cache-dir flags that were explicitly set."""
+    overrides = {}
+    if getattr(args, "jobs", None) is not None:
+        overrides["jobs"] = args.jobs
+    if getattr(args, "backend", None) is not None:
+        overrides["backend"] = args.backend
+    if getattr(args, "cache_dir", None) is not None:
+        overrides["cache_dir"] = args.cache_dir
+    return overrides
+
+
+def _config_from(args: argparse.Namespace, **kwargs) -> MicroGradConfig:
+    """Build the run config from a JSON file or flags, plus exec flags."""
+    overrides = _execution_overrides(args)
+    if args.config:
+        config = MicroGradConfig.from_json(args.config)
+        return replace(config, **overrides) if overrides else config
+    kwargs.update(overrides)
+    return MicroGradConfig(**kwargs)
 
 
 def _run_and_report(config: MicroGradConfig, out_dir: str | None) -> int:
-    result = MicroGrad(config).run()
+    mg = MicroGrad(config)
+    try:
+        result = mg.run()
+    finally:
+        mg.close()
     print(result.summary())
     print(json.dumps(result.metrics, indent=2))
     if out_dir:
@@ -45,34 +85,30 @@ def _run_and_report(config: MicroGradConfig, out_dir: str | None) -> int:
 
 
 def _cmd_clone(args: argparse.Namespace) -> int:
-    if args.config:
-        config = MicroGradConfig.from_json(args.config)
-    else:
-        config = MicroGradConfig(
-            use_case="cloning",
-            application=args.application,
-            core=args.core,
-            tuner=args.tuner,
-            max_epochs=args.max_epochs,
-            seed=args.seed,
-        )
+    config = _config_from(
+        args,
+        use_case="cloning",
+        application=args.application,
+        core=args.core,
+        tuner=args.tuner,
+        max_epochs=args.max_epochs,
+        seed=args.seed,
+    )
     return _run_and_report(config, args.out)
 
 
 def _cmd_stress(args: argparse.Namespace) -> int:
-    if args.config:
-        config = MicroGradConfig.from_json(args.config)
-    else:
-        config = MicroGradConfig(
-            use_case="stress",
-            metrics=(args.metric,),
-            maximize=args.maximize,
-            core=args.core,
-            tuner=args.tuner,
-            max_epochs=args.max_epochs,
-            seed=args.seed,
-            with_power="power" in args.metric,
-        )
+    config = _config_from(
+        args,
+        use_case="stress",
+        metrics=(args.metric,),
+        maximize=args.maximize,
+        core=args.core,
+        tuner=args.tuner,
+        max_epochs=args.max_epochs,
+        seed=args.seed,
+        with_power="power" in args.metric,
+    )
     return _run_and_report(config, args.out)
 
 
@@ -103,7 +139,8 @@ def _cmd_cores(_args: argparse.Namespace) -> int:
 def _cmd_droop(args: argparse.Namespace) -> int:
     from repro.core.platform import VoltageDroopPlatform
 
-    config = MicroGradConfig(
+    config = _config_from(
+        args,
         use_case="stress",
         metrics=("droop_mv",),
         maximize=True,
@@ -115,7 +152,11 @@ def _cmd_droop(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     platform = VoltageDroopPlatform(core_by_name(args.core))
-    result = MicroGrad(config, platform=platform).run()
+    mg = MicroGrad(config, platform=platform)
+    try:
+        result = mg.run()
+    finally:
+        mg.close()
     print(result.summary())
     print(f"peak droop : {result.metrics['droop_mv']:.2f} mV")
     print(f"power swing: {result.metrics['power_swing_w']:.2f} W")

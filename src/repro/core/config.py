@@ -26,6 +26,8 @@ DEFAULT_CLONING_METRICS = (
     "ipc",
 )
 
+from repro.exec.backend import BACKEND_NAMES as _VALID_BACKENDS
+
 _VALID_USE_CASES = ("cloning", "stress")
 _VALID_TUNERS = ("gd", "ga", "random")
 
@@ -58,6 +60,13 @@ class MicroGradConfig:
         instructions: dynamic instruction budget per evaluation.
         with_power: attach the power model to the platform.
         seed: RNG seed for the whole run.
+        jobs: evaluation worker processes (``1`` serial, ``0`` all
+            cores).  Results are bit-identical at any worker count.
+        backend: evaluation execution backend — ``"auto"`` (process
+            pool whenever ``jobs`` asks for more than one worker),
+            ``"serial"`` or ``"process"``.
+        cache_dir: directory for the persistent evaluation result cache
+            (``None`` disables it).
     """
 
     use_case: str = "cloning"
@@ -77,6 +86,9 @@ class MicroGradConfig:
     instructions: int = 20_000
     with_power: bool = False
     seed: int = 0
+    jobs: int = 1
+    backend: str = "auto"
+    cache_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.use_case not in _VALID_USE_CASES:
@@ -103,6 +115,12 @@ class MicroGradConfig:
                 "application_scope must be 'simpoint' or 'combined', "
                 f"got {self.application_scope!r}"
             )
+        if self.backend not in _VALID_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {_VALID_BACKENDS}, got {self.backend!r}"
+            )
+        if self.jobs < 0:
+            raise ValueError("jobs must be >= 0 (0 means all cores)")
 
     # -- serialization --------------------------------------------------
 

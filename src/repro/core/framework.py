@@ -7,7 +7,10 @@ the whole of Fig 1 behind one class.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import math
+import pickle
 
 from repro.codegen.wrapper import GenerationOptions, generate_test_case
 from repro.core.config import MicroGradConfig
@@ -15,6 +18,14 @@ from repro.core.outputs import MicroGradResult
 from repro.core.platform import EvaluationPlatform, platform_for
 from repro.core.usecases.cloning import CloningUseCase
 from repro.core.usecases.stress import StressTestingUseCase
+from repro.exec import (
+    DiskResultCache,
+    ExecutionBackend,
+    SerialBackend,
+    backend_for,
+    evaluate_configs,
+    run_clone_jobs,
+)
 from repro.sim.config import core_by_name
 from repro.sim.simulator import Simulator
 from repro.tuning.base import TuningResult
@@ -49,14 +60,23 @@ class MicroGrad:
     """
 
     def __init__(self, config: MicroGradConfig,
-                 platform: EvaluationPlatform | None = None):
+                 platform: EvaluationPlatform | None = None,
+                 backend: ExecutionBackend | None = None):
         self.config = config
         self.platform = platform or platform_for(
             config.core,
             with_power=config.with_power or self._needs_power(),
             instructions=config.instructions,
         )
+        self.backend = backend or backend_for(config.backend, config.jobs)
+        self.disk_cache = (
+            DiskResultCache(config.cache_dir) if config.cache_dir else None
+        )
         self.knob_space = self._build_space()
+
+    def close(self) -> None:
+        """Release execution-backend workers (idempotent)."""
+        self.backend.close()
 
     def _needs_power(self) -> bool:
         return any("power" in m for m in self.config.metrics)
@@ -72,8 +92,11 @@ class MicroGrad:
             if unknown:
                 raise ValueError(f"unknown knob names: {sorted(unknown)}")
             knobs = [k for k in full.knobs if k.name in selected]
+            # Pin deselected knobs to the documented defaults; a knob the
+            # default table does not know (e.g. from an extended space)
+            # falls back to its own lattice midpoint instead of KeyError.
             fixed = {
-                k.name: DEFAULT_KNOB_VALUES[k.name]
+                k.name: DEFAULT_KNOB_VALUES.get(k.name, k.default_value())
                 for k in full.knobs
                 if k.name not in selected
             }
@@ -82,12 +105,56 @@ class MicroGrad:
 
     # -- evaluation bridge ----------------------------------------------
 
-    def _evaluate_config(self, knob_config: dict) -> dict[str, float]:
-        options = GenerationOptions(
+    def _generation_options(self) -> GenerationOptions:
+        return GenerationOptions(
             loop_size=self.config.loop_size, seed=self.config.seed
         )
-        program = generate_test_case(knob_config, options)
+
+    def _evaluate_config(self, knob_config: dict) -> dict[str, float]:
+        program = generate_test_case(knob_config, self._generation_options())
         return self.platform.evaluate(program)
+
+    def _evaluate_config_batch(
+        self, knob_configs: list[dict]
+    ) -> list[dict[str, float]]:
+        """Generate + evaluate a batch through the execution backend."""
+        return evaluate_configs(
+            self.backend, self.platform, self._generation_options(),
+            knob_configs,
+        )
+
+    def _cache_context(self) -> str:
+        """Disk-cache identity: everything but the knob configuration.
+
+        The platform is identified by a hash of its full pickled state,
+        not just its name — constructor parameters that change metrics
+        (instruction budgets, droop baselines, custom power models) must
+        not alias into the same cache entries.
+        """
+        try:
+            platform_id = hashlib.sha256(
+                pickle.dumps(self.platform)
+            ).hexdigest()[:16]
+        except Exception:
+            # Unpicklable custom platform (serial-only anyway): fall
+            # back to its coarse identity.
+            platform_id = (
+                f"{getattr(self.platform, 'instructions', '')}"
+            )
+        return (
+            f"{self.platform.name}|platform={platform_id}"
+            f"|loop={self.config.loop_size}|seed={self.config.seed}"
+        )
+
+    def build_evaluator(self) -> Evaluator:
+        """The batch-capable evaluation engine for this instance."""
+        return Evaluator(
+            self.knob_space,
+            self._evaluate_config,
+            batch_fn=self._evaluate_config_batch,
+            disk_cache=self.disk_cache,
+            cache_context=self._cache_context(),
+        )
 
     def _build_tuner(self, evaluator: Evaluator, loss, target_loss: float,
                      initial=None):
@@ -144,7 +211,7 @@ class MicroGrad:
             loss = usecase.loss()
             target_loss = usecase.target_loss()
 
-        evaluator = Evaluator(self.knob_space, self._evaluate_config)
+        evaluator = self.build_evaluator()
         tuner = self._build_tuner(evaluator, loss, target_loss, initial=initial)
         tuning: TuningResult = tuner.run()
 
@@ -188,7 +255,9 @@ class MicroGrad:
         sim = Simulator(core)
         phase_programs = dict(zip([p.name for p in workload.phases],
                                   workload.programs()))
-        results = []
+        phase_names = []
+        sub_configs = []
+        parallel = not isinstance(self.backend, SerialBackend)
         for sp in simpoints:
             phase_name = labels[sp.interval]
             stats = sim.run(
@@ -196,19 +265,35 @@ class MicroGrad:
                 instructions=self.config.instructions,
             )
             targets = stats.metrics()
-            sub_config = MicroGradConfig(
-                **{
-                    **self.config.__dict__,
-                    "targets": {
-                        m: targets[m] for m in self.config.metrics
-                    },
-                    "application": None,
-                    "use_simpoints": False,
-                }
+            sub_config = dataclasses.replace(
+                self.config,
+                targets={m: targets[m] for m in self.config.metrics},
+                application=None,
+                use_simpoints=False,
+                # When simpoints fan out across workers, each worker's
+                # cloning pass runs serially inside its process — the
+                # parallelism budget is spent at the simpoint level.
+                jobs=1 if parallel else self.config.jobs,
+                backend="serial" if parallel else self.config.backend,
             )
-            sub = MicroGrad(sub_config, platform=self.platform)
-            result = sub.run()
+            phase_names.append(phase_name)
+            sub_configs.append(sub_config)
+
+        if parallel:
+            # One clone per interesting phase, all phases in flight at
+            # once: each worker rebuilds MicroGrad from the (picklable)
+            # sub-config — and this instance's platform, so an injected
+            # custom platform is honored in parallel exactly as in
+            # serial — and returns the full result.
+            results = run_clone_jobs(self.backend, sub_configs,
+                                     platform=self.platform)
+        else:
+            results = [
+                MicroGrad(sub_config, platform=self.platform,
+                          backend=self.backend).run()
+                for sub_config in sub_configs
+            ]
+        for sp, phase_name, result in zip(simpoints, phase_names, results):
             result.knobs["_simpoint_weight"] = sp.weight
             result.knobs["_simpoint_phase"] = phase_name
-            results.append(result)
         return results

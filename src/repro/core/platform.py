@@ -27,8 +27,24 @@ class EvaluationPlatform(Protocol):
         """Run ``program`` and return its metric dict."""
         ...
 
+    def evaluate_many(self, programs: list[Program]) -> list[dict[str, float]]:
+        """Run several programs, metrics in input order."""
+        ...
 
-class PerformancePlatform:
+
+class BatchEvaluationMixin:
+    """Default ``evaluate_many``: evaluate in order, one at a time.
+
+    Platforms are picklable, so execution backends ship whole platform
+    instances (plus a chunk of programs) into worker processes and call
+    this there — generation and simulation both run worker-side.
+    """
+
+    def evaluate_many(self, programs: list[Program]) -> list[dict[str, float]]:
+        return [self.evaluate(program) for program in programs]
+
+
+class PerformancePlatform(BatchEvaluationMixin):
     """Performance-simulator platform (the Gem5 role).
 
     Produces the canonical metric keys of
@@ -46,7 +62,7 @@ class PerformancePlatform:
         return stats.metrics()
 
 
-class PowerPlatform:
+class PowerPlatform(BatchEvaluationMixin):
     """Performance + power platform (the Gem5 -> McPAT pipeline).
 
     Adds ``dynamic_power`` and ``total_power`` (watts) to the performance
@@ -74,7 +90,7 @@ class PowerPlatform:
         return metrics
 
 
-class VoltageDroopPlatform:
+class VoltageDroopPlatform(BatchEvaluationMixin):
     """dI/dt stress platform: alternate the candidate against a baseline.
 
     Models the classic dI/dt stressmark structure: execution alternates
@@ -130,7 +146,7 @@ class VoltageDroopPlatform:
         return metrics
 
 
-class NativeExecutionPlatform:
+class NativeExecutionPlatform(BatchEvaluationMixin):
     """Functional-execution platform (the "native hardware" role).
 
     Architecturally executes the test case with the ISA interpreter and
@@ -179,7 +195,7 @@ class NativeExecutionPlatform:
         return metrics
 
 
-class CompositePlatform:
+class CompositePlatform(BatchEvaluationMixin):
     """Merge the metric dicts of several platforms (later ones win ties)."""
 
     def __init__(self, platforms: list[EvaluationPlatform]):

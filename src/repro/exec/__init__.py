@@ -1,0 +1,29 @@
+"""Execution backends: where evaluation batches actually run.
+
+The tuning stack above this package is backend-agnostic — tuners hand the
+:class:`~repro.tuning.evaluator.Evaluator` a *batch* of candidate knob
+configurations per epoch, the evaluator dedups them, and whatever remains
+is dispatched here.  :func:`backend_for` picks between in-process serial
+execution and a ``concurrent.futures`` process pool from the
+``backend=``/``jobs=`` knobs of :class:`repro.core.config.MicroGradConfig`;
+:class:`DiskResultCache` persists finished evaluations across runs.
+"""
+
+from repro.exec.backend import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    backend_for,
+)
+from repro.exec.cache import DiskResultCache
+from repro.exec.jobs import evaluate_configs, run_clone_jobs
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "backend_for",
+    "DiskResultCache",
+    "evaluate_configs",
+    "run_clone_jobs",
+]

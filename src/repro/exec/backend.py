@@ -1,0 +1,151 @@
+"""Pluggable execution backends for independent evaluation jobs.
+
+Modeled on the worker-pool idiom of instrumentation infrastructures: the
+orchestration layer (tuners, the cloning driver) only ever says "run this
+function over these items"; *how* the items run — in-process, or fanned
+out over worker processes — is the backend's business.  Both backends
+preserve input order, so a tuning run is bit-identical regardless of which
+one executes it.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Protocol, Sequence, runtime_checkable
+
+#: Recognized ``MicroGradConfig.backend`` spellings.
+BACKEND_NAMES = ("auto", "serial", "process")
+
+
+def default_jobs() -> int:
+    """Worker count used when ``jobs=0`` asks for "all cores"."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Anything that can map a function over items, preserving order."""
+
+    name: str
+    jobs: int
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        """Apply ``fn`` to every item; results come back in input order."""
+        ...
+
+    def close(self) -> None:
+        """Release worker resources (idempotent)."""
+        ...
+
+
+class SerialBackend:
+    """In-process, one-at-a-time execution — the reference backend."""
+
+    name = "serial"
+    jobs = 1
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        return [fn(item) for item in items]
+
+    def close(self) -> None:  # nothing to release
+        pass
+
+
+class ProcessPoolBackend:
+    """Fan items out to a ``concurrent.futures`` process pool.
+
+    The pool is created lazily on first use and reused across calls, so
+    per-epoch batches do not pay worker startup repeatedly.  ``fn`` and
+    the items must be picklable.  If the host cannot spawn processes at
+    all (restricted sandboxes), the backend degrades to serial execution
+    — results are identical either way, only slower.
+    """
+
+    def __init__(self, jobs: int | None = None):
+        self.jobs = jobs if jobs and jobs > 0 else default_jobs()
+        self.name = f"process[{self.jobs}]"
+        self._pool: ProcessPoolExecutor | None = None
+        self._broken = False
+
+    def _ensure_pool(self) -> ProcessPoolExecutor | None:
+        if self._broken:
+            return None
+        if self._pool is None:
+            try:
+                self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            except (OSError, PermissionError):
+                self._broken = True
+                return None
+        return self._pool
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        items = list(items)
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        pool = self._ensure_pool()
+        if pool is None:
+            return [fn(item) for item in items]
+        try:
+            return list(pool.map(fn, items))
+        except BrokenProcessPool:
+            # A worker died (OOM, signal); recreate on next call but do
+            # not lose this batch.
+            self.close()
+            return [fn(item) for item in items]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "ProcessPoolBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def backend_for(backend: str = "auto", jobs: int | None = 1) -> ExecutionBackend:
+    """Build the execution backend a config asks for.
+
+    Args:
+        backend: ``"serial"``, ``"process"`` or ``"auto"``.  Auto picks
+            the process pool whenever more than one job is requested
+            (``jobs > 1`` or ``jobs == 0`` meaning "all cores").
+        jobs: worker count; ``0`` means all cores, ``None``/``1`` serial.
+    """
+    if backend not in BACKEND_NAMES:
+        raise ValueError(
+            f"backend must be one of {BACKEND_NAMES}, got {backend!r}"
+        )
+    if backend == "serial":
+        return SerialBackend()
+    if backend == "process":
+        return ProcessPoolBackend(jobs)
+    wants_parallel = jobs is not None and (jobs == 0 or jobs > 1)
+    return ProcessPoolBackend(jobs) if wants_parallel else SerialBackend()
+
+
+def chunk_evenly(items: Sequence, chunks: int) -> list[list]:
+    """Split ``items`` into at most ``chunks`` contiguous, even pieces.
+
+    Order is preserved under concatenation; no chunk is empty.
+    """
+    items = list(items)
+    chunks = max(1, min(chunks, len(items)))
+    size, extra = divmod(len(items), chunks)
+    out = []
+    start = 0
+    for i in range(chunks):
+        end = start + size + (1 if i < extra else 0)
+        out.append(items[start:end])
+        start = end
+    return out

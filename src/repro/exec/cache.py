@@ -1,0 +1,97 @@
+"""Persistent on-disk result cache for finished evaluations.
+
+Simulating one candidate test case is the expensive unit of work in every
+MicroGrad run, and the knob lattice is discrete — re-runs, seed sweeps
+and tuner comparisons revisit the same (core, instruction budget, knob
+configuration) points constantly.  This cache persists each evaluated
+point as one small JSON file so repeated runs skip the simulator
+entirely.  Files are written atomically (temp + rename), so concurrent
+worker processes sharing a cache directory can only ever race to write
+identical content.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+
+def _canonical_json(payload) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class DiskResultCache:
+    """JSON file-per-entry cache keyed by (context, knob configuration).
+
+    ``context`` identifies everything *besides* the knob configuration
+    that determines the metrics — platform/core name, instruction budget,
+    loop size and generation seed — so distinct experimental setups never
+    alias.  Entries record the key material alongside the metrics, which
+    makes the cache directory self-describing and auditable.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except (FileExistsError, NotADirectoryError) as exc:
+            raise ValueError(
+                f"cache_dir {str(self.root)!r} exists and is not a directory"
+            ) from exc
+        self._memory: dict[str, dict[str, float]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def digest(self, context: str, config_key: tuple) -> str:
+        """Stable content hash of one (context, configuration) point."""
+        material = _canonical_json(
+            {"context": context, "config": [list(kv) for kv in config_key]}
+        )
+        return hashlib.sha256(material.encode()).hexdigest()[:32]
+
+    def _path(self, digest: str) -> Path:
+        return self.root / f"{digest}.json"
+
+    def get(self, context: str, config_key: tuple) -> dict[str, float] | None:
+        """Look up cached metrics; ``None`` on a miss or unreadable entry."""
+        digest = self.digest(context, config_key)
+        if digest in self._memory:
+            self.hits += 1
+            return dict(self._memory[digest])
+        path = self._path(digest)
+        try:
+            entry = json.loads(path.read_text())
+            metrics = {k: float(v) for k, v in entry["metrics"].items()}
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self._memory[digest] = metrics
+        self.hits += 1
+        return dict(metrics)
+
+    def put(self, context: str, config_key: tuple,
+            metrics: dict[str, float]) -> None:
+        """Persist one evaluation result (atomic, last writer wins)."""
+        digest = self.digest(context, config_key)
+        self._memory[digest] = dict(metrics)
+        entry = {
+            "context": context,
+            "config": [list(kv) for kv in config_key],
+            "metrics": {k: float(v) for k, v in metrics.items()},
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(_canonical_json(entry))
+            os.replace(tmp, self._path(digest))
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))

@@ -1,0 +1,74 @@
+"""Picklable job functions dispatched through execution backends.
+
+Worker processes receive module-level functions plus plain-data arguments
+(platforms, generation options and knob configurations all pickle), so
+generation **and** simulation run inside the worker — the parent process
+only ships knob dictionaries out and metric dictionaries back.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import TYPE_CHECKING, Sequence
+
+from repro.codegen.wrapper import GenerationOptions, generate_test_case
+from repro.exec.backend import ExecutionBackend, chunk_evenly
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.config import MicroGradConfig
+    from repro.core.outputs import MicroGradResult
+    from repro.core.platform import EvaluationPlatform
+
+
+def _evaluate_chunk(platform, options: GenerationOptions,
+                    configs: list[dict]) -> list[dict[str, float]]:
+    """Generate and evaluate one contiguous chunk of configurations."""
+    programs = [generate_test_case(config, options) for config in configs]
+    return platform.evaluate_many(programs)
+
+
+def evaluate_configs(
+    backend: ExecutionBackend,
+    platform: "EvaluationPlatform",
+    options: GenerationOptions,
+    configs: Sequence[dict],
+) -> list[dict[str, float]]:
+    """Evaluate knob configurations through ``backend``, preserving order.
+
+    Configurations are split into one contiguous chunk per worker so the
+    platform is pickled once per chunk, not once per configuration; each
+    worker generates its test cases and runs them via the platform's
+    :meth:`evaluate_many`.
+    """
+    configs = list(configs)
+    if not configs:
+        return []
+    chunks = chunk_evenly(configs, backend.jobs)
+    job = partial(_evaluate_chunk, platform, options)
+    results: list[dict[str, float]] = []
+    for chunk_metrics in backend.map(job, chunks):
+        results.extend(chunk_metrics)
+    return results
+
+
+def _clone_job(job) -> "MicroGradResult":
+    """Run one full cloning pass (used for per-simpoint fan-out)."""
+    from repro.core.framework import MicroGrad
+
+    config, platform = job
+    return MicroGrad(config, platform=platform).run()
+
+
+def run_clone_jobs(
+    backend: ExecutionBackend,
+    configs: Sequence["MicroGradConfig"],
+    platform: "EvaluationPlatform | None" = None,
+) -> list["MicroGradResult"]:
+    """Run independent cloning passes through ``backend`` in input order.
+
+    ``platform`` (when picklable) ships to every worker so parallel
+    passes evaluate on exactly the platform the caller configured;
+    ``None`` lets each worker rebuild the default platform from its
+    sub-config.
+    """
+    return backend.map(_clone_job, [(config, platform) for config in configs])

@@ -65,6 +65,9 @@ class AdamTuner(Tuner):
     def _gradient(self, kc: np.ndarray) -> np.ndarray:
         p = self.params
         grad = np.zeros(len(self.space))
+        # Same batched probe set as the paper's GD: all 2-x-knobs
+        # gradient checks of the epoch go to the evaluator together.
+        probes: list[tuple[int, np.ndarray, np.ndarray, float]] = []
         for i in range(len(self.space)):
             e = np.zeros(len(kc))
             e[i] = p.delta
@@ -73,11 +76,15 @@ class AdamTuner(Tuner):
             span = plus[i] - minus[i]
             if span <= 0:
                 continue
+            probes.append((i, plus, minus, span))
+        vectors = [v for _, plus, minus, _ in probes for v in (plus, minus)]
+        metrics_batch = self.evaluator.evaluate_batch(vectors)
+        for n, (i, plus, minus, span) in enumerate(probes):
             loss_plus = self._observe(
-                self.space.materialize(plus), self.evaluator.evaluate(plus)
+                self.space.materialize(plus), metrics_batch[2 * n]
             )
             loss_minus = self._observe(
-                self.space.materialize(minus), self.evaluator.evaluate(minus)
+                self.space.materialize(minus), metrics_batch[2 * n + 1]
             )
             grad[i] = (loss_plus - loss_minus) / span
         return grad

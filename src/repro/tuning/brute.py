@@ -87,7 +87,13 @@ def class_mix_configs(
 
 
 class BruteForceSearch(Tuner):
-    """Exhaustively evaluate an iterable of knob configurations."""
+    """Exhaustively evaluate an iterable of knob configurations.
+
+    The grid is swept in batches of ``batch_size`` configurations so a
+    parallel execution backend keeps every worker busy; history records
+    land at the same 50-configuration cadence (and with the same
+    cumulative cost counters) as the sequential sweep.
+    """
 
     def __init__(
         self,
@@ -95,16 +101,25 @@ class BruteForceSearch(Tuner):
         loss: LossFn,
         configs: Iterable[dict],
         seed: int = 0,
+        batch_size: int = 50,
     ):
         super().__init__(evaluator, loss, seed=seed)
         self.configs = list(configs)
         if not self.configs:
             raise ValueError("brute force needs at least one configuration")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_size = batch_size
 
     def run(self) -> TuningResult:
-        for n, config in enumerate(self.configs, start=1):
-            metrics = self.evaluator.evaluate_raw(config)
-            value = self._observe(config, metrics)
-            if n % 50 == 0 or n == len(self.configs):
-                self._record_epoch(n, value, metrics, config)
-        return self._result(len(self.configs), True, "exhausted")
+        total = len(self.configs)
+        for start in range(0, total, self.batch_size):
+            chunk = self.configs[start:start + self.batch_size]
+            metrics_batch = self.evaluator.evaluate_raw_batch(chunk)
+            for n, (config, metrics) in enumerate(
+                zip(chunk, metrics_batch), start=start + 1
+            ):
+                value = self._observe(config, metrics)
+                if n % self.batch_size == 0 or n == total:
+                    self._record_epoch(n, value, metrics, config)
+        return self._result(total, True, "exhausted")

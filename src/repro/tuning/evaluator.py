@@ -1,4 +1,4 @@
-"""Knob-configuration evaluator with memoization and cost accounting.
+"""Knob-configuration evaluator with memoization, batching and accounting.
 
 The evaluator is the framework's inner loop: knob config -> Microprobe-style
 generation -> platform execution -> metrics.  It memoizes on the
@@ -6,17 +6,30 @@ materialized configuration (the knob lattice is discrete, so tuners revisit
 points constantly) and counts both *requested* evaluations — the paper's
 epoch-cost currency (2 x knobs per GD epoch, population size per GA epoch)
 — and *unique* evaluations, the actual simulation work.
+
+Tuners submit their per-epoch candidates as **batches**
+(:meth:`Evaluator.evaluate_batch`): the evaluator dedups the batch against
+its memo cache (and an optional persistent :class:`~repro.exec.cache.
+DiskResultCache`), then dispatches only the unique remainder through a
+``batch_fn`` — wired by the core framework to an execution backend that
+fans generation + simulation out across worker processes.  Results always
+come back in request order, so serial and parallel execution are
+bit-identical.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
-from repro.tuning.knobs import KnobSpace
+from repro.tuning.knobs import KnobSpace, canonical_config_key
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.exec.cache import DiskResultCache
 
 EvaluateFn = Callable[[dict], dict[str, float]]
+BatchEvaluateFn = Callable[[list[dict]], list[dict[str, float]]]
 
 
 class Evaluator:
@@ -27,6 +40,12 @@ class Evaluator:
         evaluate_config: config dict -> metric dict (wired by the core
             framework to generation + simulation + power estimation).
         cache: memoize identical materialized configurations.
+        batch_fn: list-of-configs -> list-of-metrics used by the batch
+            path; falls back to mapping ``evaluate_config`` serially.
+        disk_cache: optional persistent result cache shared across runs.
+        cache_context: identity of everything besides the knob config
+            that determines metrics (core, instruction budget, ...);
+            keys the disk cache.
     """
 
     def __init__(
@@ -34,38 +53,114 @@ class Evaluator:
         knob_space: KnobSpace,
         evaluate_config: EvaluateFn,
         cache: bool = True,
+        batch_fn: BatchEvaluateFn | None = None,
+        disk_cache: "DiskResultCache | None" = None,
+        cache_context: str = "",
     ):
         self.knob_space = knob_space
         self._evaluate_config = evaluate_config
+        self._batch_fn = batch_fn
         self._cache_enabled = cache
         self._cache: dict[tuple, dict[str, float]] = {}
+        self._disk_cache = disk_cache
+        self._cache_context = cache_context
         self.requested_evaluations = 0
         self.unique_evaluations = 0
 
+    # -- cache plumbing -------------------------------------------------
+
+    def _lookup(self, key: tuple) -> dict[str, float] | None:
+        """Memo first, then the persistent cache (promoting on hit)."""
+        if not self._cache_enabled:
+            return None
+        if key in self._cache:
+            return self._cache[key]
+        if self._disk_cache is not None:
+            metrics = self._disk_cache.get(self._cache_context, key)
+            if metrics is not None:
+                self._cache[key] = metrics
+                return metrics
+        return None
+
+    def _store(self, key: tuple, metrics: dict[str, float]) -> None:
+        if not self._cache_enabled:
+            return
+        self._cache[key] = metrics
+        if self._disk_cache is not None:
+            self._disk_cache.put(self._cache_context, key, metrics)
+
+    def _run_batch(self, configs: list[dict]) -> list[dict[str, float]]:
+        if not configs:
+            return []
+        if self._batch_fn is not None:
+            results = list(self._batch_fn(configs))
+            if len(results) != len(configs):
+                raise RuntimeError(
+                    f"batch_fn returned {len(results)} results for "
+                    f"{len(configs)} configs"
+                )
+            return results
+        return [self._evaluate_config(config) for config in configs]
+
+    # -- single-config paths --------------------------------------------
+
     def evaluate(self, positions: np.ndarray) -> dict[str, float]:
         """Evaluate a position vector (materialize, memoize, run)."""
-        self.requested_evaluations += 1
-        key = self.knob_space.config_key(positions)
-        if self._cache_enabled and key in self._cache:
-            return self._cache[key]
-        config = self.knob_space.materialize(positions)
-        metrics = self._evaluate_config(config)
-        self.unique_evaluations += 1
-        if self._cache_enabled:
-            self._cache[key] = metrics
-        return metrics
+        return self.evaluate_batch([positions])[0]
 
     def evaluate_raw(self, config: dict) -> dict[str, float]:
         """Evaluate a concrete knob configuration (still cached/counted)."""
-        self.requested_evaluations += 1
-        key = tuple(sorted(config.items()))
-        if self._cache_enabled and key in self._cache:
-            return self._cache[key]
-        metrics = self._evaluate_config(dict(config))
-        self.unique_evaluations += 1
-        if self._cache_enabled:
-            self._cache[key] = metrics
-        return metrics
+        return self.evaluate_raw_batch([config])[0]
+
+    # -- batch paths ----------------------------------------------------
+
+    def evaluate_batch(
+        self, positions_batch: Sequence[np.ndarray]
+    ) -> list[dict[str, float]]:
+        """Evaluate position vectors as one batch, results in input order.
+
+        Counts every entry as a requested evaluation, dedups the batch
+        against the caches *and against itself* (two vectors rounding to
+        the same lattice point cost one simulation), and dispatches only
+        the unique remainder.
+        """
+        configs = [self.knob_space.materialize(p) for p in positions_batch]
+        return self._evaluate_config_batch(configs)
+
+    def evaluate_raw_batch(
+        self, configs: Sequence[dict]
+    ) -> list[dict[str, float]]:
+        """Batch-evaluate concrete knob configurations (same accounting)."""
+        return self._evaluate_config_batch([dict(c) for c in configs])
+
+    def _evaluate_config_batch(
+        self, configs: list[dict]
+    ) -> list[dict[str, float]]:
+        self.requested_evaluations += len(configs)
+        if not self._cache_enabled:
+            # No memoization anywhere: every request is real work, even
+            # duplicates within the batch (matches the serial semantics).
+            metrics_batch = self._run_batch(configs)
+            self.unique_evaluations += len(configs)
+            return metrics_batch
+        results: list[dict[str, float] | None] = [None] * len(configs)
+        pending: dict[tuple, list[int]] = {}
+        for idx, config in enumerate(configs):
+            key = canonical_config_key(config)
+            cached = self._lookup(key)
+            if cached is not None:
+                results[idx] = cached
+            else:
+                pending.setdefault(key, []).append(idx)
+
+        unique_configs = [configs[indices[0]] for indices in pending.values()]
+        metrics_batch = self._run_batch(unique_configs)
+        self.unique_evaluations += len(unique_configs)
+        for (key, indices), metrics in zip(pending.items(), metrics_batch):
+            self._store(key, metrics)
+            for idx in indices:
+                results[idx] = metrics
+        return results  # type: ignore[return-value]
 
     def reset_counters(self) -> None:
         """Zero the evaluation counters (cache contents are kept)."""

@@ -81,14 +81,14 @@ class GeneticTuner(Tuner):
     def _evaluate_population(
         self, population: list[np.ndarray]
     ) -> tuple[list[float], list[dict]]:
-        losses = []
-        metrics_list = []
-        for genome in population:
-            metrics = self.evaluator.evaluate(genome)
-            metrics_list.append(metrics)
-            losses.append(
-                self._observe(self.space.materialize(genome), metrics)
-            )
+        # One generation = one batch: the 50-individual population goes
+        # to the evaluator together, which dedups repeat genomes and
+        # fans the unique ones out across the execution backend.
+        metrics_list = self.evaluator.evaluate_batch(population)
+        losses = [
+            self._observe(self.space.materialize(genome), metrics)
+            for genome, metrics in zip(population, metrics_list)
+        ]
         return losses, metrics_list
 
     # -- full run -------------------------------------------------------

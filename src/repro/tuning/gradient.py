@@ -97,6 +97,10 @@ class GradientDescentTuner(Tuner):
         p = self.params
         grad = np.zeros(len(self.space))
         skip_chance = p.skip_chance(epoch)
+        # Collect the epoch's whole probe set (+/- delta per non-skipped
+        # knob), then evaluate it as ONE batch — the evaluator dedups and
+        # the execution backend fans the unique probes out to workers.
+        probes: list[tuple[int, np.ndarray, np.ndarray, float]] = []
         for i in range(len(self.space)):
             if self.rng.random() < skip_chance:
                 continue
@@ -105,11 +109,15 @@ class GradientDescentTuner(Tuner):
             span = plus[i] - minus[i]
             if span <= 0:
                 continue
+            probes.append((i, plus, minus, span))
+        vectors = [v for _, plus, minus, _ in probes for v in (plus, minus)]
+        metrics_batch = self.evaluator.evaluate_batch(vectors)
+        for n, (i, plus, minus, span) in enumerate(probes):
             loss_plus = self._observe(
-                self.space.materialize(plus), self.evaluator.evaluate(plus)
+                self.space.materialize(plus), metrics_batch[2 * n]
             )
             loss_minus = self._observe(
-                self.space.materialize(minus), self.evaluator.evaluate(minus)
+                self.space.materialize(minus), metrics_batch[2 * n + 1]
             )
             grad[i] = (loss_plus - loss_minus) / span
 

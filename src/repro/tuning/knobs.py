@@ -10,9 +10,29 @@ lattices (Section III-D, step 7).
 
 from __future__ import annotations
 
+import numbers
 from dataclasses import dataclass
 
 import numpy as np
+
+
+def canonical_config_key(config: dict) -> tuple:
+    """Hashable, order- and numeric-type-insensitive configuration identity.
+
+    Every cache layer (the evaluator memo, the on-disk result cache) keys
+    on this: knob names sorted, numeric values normalized to ``float`` so
+    ``{"REG_DIST": 4}`` and ``{"REG_DIST": 4.0}`` cannot alias into two
+    entries, and non-numeric values (e.g. explicit ``STREAMS`` specs)
+    reduced to their ``repr``.
+    """
+    normalized = []
+    for name in sorted(config):
+        value = config[name]
+        if isinstance(value, numbers.Real):
+            normalized.append((name, float(value)))
+        else:
+            normalized.append((name, repr(value)))
+    return tuple(normalized)
 
 
 @dataclass(frozen=True)
@@ -34,6 +54,14 @@ class Knob:
         idx = int(round(position))
         idx = min(max(idx, 0), len(self.values) - 1)
         return self.values[idx]
+
+    def default_value(self) -> float:
+        """The knob's own fallback value: the middle of its lattice.
+
+        Used when a knob is pinned (excluded from tuning) but no explicit
+        pinned value is available for it anywhere else.
+        """
+        return self.values[(len(self.values) - 1) // 2]
 
 
 class KnobSpace:
@@ -88,7 +116,7 @@ class KnobSpace:
 
     def config_key(self, positions: np.ndarray) -> tuple:
         """Hashable identity of the materialized configuration."""
-        return tuple(sorted(self.materialize(positions).items()))
+        return canonical_config_key(self.materialize(positions))
 
 
 def _ten(*values) -> tuple[float, ...]:

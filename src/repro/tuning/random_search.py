@@ -34,12 +34,18 @@ class RandomSearch(Tuner):
     def run(self) -> TuningResult:
         epoch = 0
         for epoch in range(1, self.max_epochs + 1):
+            # Draw the epoch's samples up front and evaluate them as one
+            # batch (the draws never depend on the metrics, so the RNG
+            # stream is identical to the sequential formulation).
+            samples = [
+                self.space.random_vector(self.rng)
+                for _ in range(self.evaluations_per_epoch)
+            ]
+            metrics_batch = self.evaluator.evaluate_batch(samples)
             epoch_best = float("inf")
             epoch_metrics: dict = {}
             epoch_config: dict = {}
-            for _ in range(self.evaluations_per_epoch):
-                x = self.space.random_vector(self.rng)
-                metrics = self.evaluator.evaluate(x)
+            for x, metrics in zip(samples, metrics_batch):
                 value = self._observe(self.space.materialize(x), metrics)
                 if value < epoch_best:
                     epoch_best = value

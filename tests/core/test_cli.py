@@ -25,6 +25,25 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["clone", "--application", "nope"])
 
+    def test_execution_flags(self):
+        args = build_parser().parse_args(
+            ["stress", "--jobs", "4", "--backend", "process",
+             "--cache-dir", "/tmp/mg-cache"]
+        )
+        assert args.jobs == 4
+        assert args.backend == "process"
+        assert args.cache_dir == "/tmp/mg-cache"
+
+    def test_execution_flags_default_to_unset(self):
+        args = build_parser().parse_args(["stress"])
+        assert args.jobs is None
+        assert args.backend is None
+        assert args.cache_dir is None
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stress", "--backend", "gpu"])
+
 
 class TestCommands:
     def test_cores_lists_both(self, capsys):
@@ -60,6 +79,24 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "stress" in out
         assert "ipc" in out
+
+    def test_execution_flags_override_config_file(self, tmp_path, capsys):
+        from repro.core.config import MicroGradConfig
+
+        config = MicroGradConfig(
+            use_case="stress", metrics=("ipc",), core="small",
+            max_epochs=2, loop_size=120, instructions=2_000,
+            knobs=("ADD", "MUL", "LD", "SD"),
+        )
+        path = tmp_path / "stress.json"
+        config.to_json(path)
+        cache_dir = tmp_path / "cache"
+        assert main(
+            ["stress", "--config", str(path), "--jobs", "2",
+             "--backend", "process", "--cache-dir", str(cache_dir)]
+        ) == 0
+        # The run populated the persistent cache named on the CLI.
+        assert cache_dir.exists() and any(cache_dir.glob("*.json"))
 
     def test_clone_saves_artifacts(self, tmp_path, capsys):
         from repro.core.config import MicroGradConfig

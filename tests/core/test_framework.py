@@ -55,6 +55,15 @@ class TestKnobSpaceConstruction:
         with pytest.raises(ValueError, match="unknown knob"):
             MicroGrad(_fast_stress(knobs=("ADD", "WARP_SPEED")))
 
+    def test_missing_default_falls_back_to_lattice_midpoint(self, monkeypatch):
+        """A pinned knob absent from DEFAULT_KNOB_VALUES must not KeyError."""
+        from repro.core import framework as framework_module
+
+        monkeypatch.delitem(framework_module.DEFAULT_KNOB_VALUES, "MEM_TEMP2")
+        mg = MicroGrad(_fast_stress())
+        # MEM_TEMP2's lattice is 1..10; its own default is the midpoint.
+        assert mg.knob_space.fixed["MEM_TEMP2"] == 5.0
+
 
 class TestRuns:
     def test_cloning_run_produces_complete_result(self):

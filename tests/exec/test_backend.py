@@ -1,0 +1,98 @@
+"""Unit tests for the execution backends (ordering, selection, chunking)."""
+
+import pytest
+
+from repro.exec.backend import (
+    ProcessPoolBackend,
+    SerialBackend,
+    backend_for,
+    chunk_evenly,
+    default_jobs,
+)
+
+
+def _square(x):
+    return x * x
+
+
+class TestSerialBackend:
+    def test_maps_in_order(self):
+        assert SerialBackend().map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_empty(self):
+        assert SerialBackend().map(_square, []) == []
+
+    def test_close_is_idempotent(self):
+        backend = SerialBackend()
+        backend.close()
+        backend.close()
+
+
+class TestProcessPoolBackend:
+    def test_maps_in_order(self):
+        with ProcessPoolBackend(jobs=2) as backend:
+            assert backend.map(_square, list(range(8))) == [
+                x * x for x in range(8)
+            ]
+
+    def test_single_item_stays_in_process(self):
+        backend = ProcessPoolBackend(jobs=2)
+        assert backend.map(_square, [3]) == [9]
+        # No pool should have been spun up for a single item.
+        assert backend._pool is None
+        backend.close()
+
+    def test_jobs_zero_means_all_cores(self):
+        backend = ProcessPoolBackend(jobs=0)
+        assert backend.jobs == default_jobs()
+        backend.close()
+
+    def test_reusable_after_close(self):
+        backend = ProcessPoolBackend(jobs=2)
+        assert backend.map(_square, [1, 2]) == [1, 4]
+        backend.close()
+        assert backend.map(_square, [2, 3]) == [4, 9]
+        backend.close()
+
+
+class TestBackendFor:
+    def test_serial_by_name(self):
+        assert isinstance(backend_for("serial", jobs=8), SerialBackend)
+
+    def test_process_by_name(self):
+        backend = backend_for("process", jobs=3)
+        assert isinstance(backend, ProcessPoolBackend)
+        assert backend.jobs == 3
+        backend.close()
+
+    def test_auto_serial_for_one_job(self):
+        assert isinstance(backend_for("auto", jobs=1), SerialBackend)
+
+    def test_auto_process_for_many_jobs(self):
+        backend = backend_for("auto", jobs=4)
+        assert isinstance(backend, ProcessPoolBackend)
+        backend.close()
+
+    def test_auto_process_for_all_cores(self):
+        backend = backend_for("auto", jobs=0)
+        assert isinstance(backend, ProcessPoolBackend)
+        backend.close()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            backend_for("gpu", jobs=1)
+
+
+class TestChunkEvenly:
+    def test_concatenation_preserves_order(self):
+        items = list(range(11))
+        chunks = chunk_evenly(items, 3)
+        assert [x for chunk in chunks for x in chunk] == items
+
+    def test_no_empty_chunks(self):
+        assert all(chunk_evenly([1, 2], 5))
+
+    @pytest.mark.parametrize("n,chunks", [(10, 3), (7, 7), (1, 4), (12, 4)])
+    def test_sizes_differ_by_at_most_one(self, n, chunks):
+        sizes = [len(c) for c in chunk_evenly(list(range(n)), chunks)]
+        assert max(sizes) - min(sizes) <= 1

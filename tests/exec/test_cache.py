@@ -1,0 +1,59 @@
+"""Unit tests for the persistent on-disk result cache."""
+
+from repro.exec.cache import DiskResultCache
+
+KEY = (("ADD", 4.0), ("B_PATTERN", 0.3))
+METRICS = {"ipc": 1.25, "branch": 0.1}
+
+
+class TestDiskResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = DiskResultCache(tmp_path)
+        cache.put("perf:large|i=8000", KEY, METRICS)
+        assert cache.get("perf:large|i=8000", KEY) == METRICS
+
+    def test_miss_returns_none(self, tmp_path):
+        cache = DiskResultCache(tmp_path)
+        assert cache.get("ctx", KEY) is None
+
+    def test_survives_process_boundary(self, tmp_path):
+        DiskResultCache(tmp_path).put("ctx", KEY, METRICS)
+        fresh = DiskResultCache(tmp_path)
+        assert fresh.get("ctx", KEY) == METRICS
+
+    def test_context_isolates_entries(self, tmp_path):
+        cache = DiskResultCache(tmp_path)
+        cache.put("perf:large|i=8000", KEY, METRICS)
+        assert cache.get("perf:small|i=8000", KEY) is None
+        assert cache.get("perf:large|i=4000", KEY) is None
+
+    def test_different_configs_do_not_alias(self, tmp_path):
+        cache = DiskResultCache(tmp_path)
+        other_key = (("ADD", 5.0), ("B_PATTERN", 0.3))
+        cache.put("ctx", KEY, METRICS)
+        cache.put("ctx", other_key, {"ipc": 9.0})
+        assert cache.get("ctx", KEY) == METRICS
+        assert cache.get("ctx", other_key) == {"ipc": 9.0}
+        assert len(cache) == 2
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = DiskResultCache(tmp_path)
+        cache.put("ctx", KEY, METRICS)
+        digest = cache.digest("ctx", KEY)
+        (tmp_path / f"{digest}.json").write_text("{not json")
+        assert DiskResultCache(tmp_path).get("ctx", KEY) is None
+
+    def test_returns_a_copy(self, tmp_path):
+        cache = DiskResultCache(tmp_path)
+        cache.put("ctx", KEY, METRICS)
+        first = cache.get("ctx", KEY)
+        first["ipc"] = -1.0
+        assert cache.get("ctx", KEY)["ipc"] == 1.25
+
+    def test_hit_and_miss_counters(self, tmp_path):
+        cache = DiskResultCache(tmp_path)
+        cache.get("ctx", KEY)
+        cache.put("ctx", KEY, METRICS)
+        cache.get("ctx", KEY)
+        assert cache.misses == 1
+        assert cache.hits == 1

@@ -1,0 +1,49 @@
+"""Worker-job tests: generation + simulation inside backend workers."""
+
+from repro.codegen.wrapper import GenerationOptions
+from repro.core.platform import PerformancePlatform
+from repro.exec.backend import ProcessPoolBackend, SerialBackend
+from repro.exec.jobs import evaluate_configs
+from repro.sim.config import core_by_name
+
+CONFIGS = [
+    {"ADD": 4, "BEQ": 1, "REG_DIST": 2, "B_PATTERN": 0.1},
+    {"ADD": 1, "LD": 4, "SD": 2, "MEM_SIZE": 16, "REG_DIST": 4},
+    {"MUL": 3, "FADDD": 2, "BNE": 1, "REG_DIST": 6},
+]
+
+
+def _platform():
+    return PerformancePlatform(core_by_name("small"), instructions=2_000)
+
+
+class TestEvaluateConfigs:
+    def test_empty_batch(self):
+        assert evaluate_configs(
+            SerialBackend(), _platform(), GenerationOptions(loop_size=80), []
+        ) == []
+
+    def test_serial_results_in_order(self):
+        metrics = evaluate_configs(
+            SerialBackend(), _platform(),
+            GenerationOptions(loop_size=80), CONFIGS,
+        )
+        assert len(metrics) == len(CONFIGS)
+        assert all(m["ipc"] > 0 for m in metrics)
+
+    def test_process_pool_matches_serial_exactly(self):
+        platform = _platform()
+        options = GenerationOptions(loop_size=80)
+        serial = evaluate_configs(SerialBackend(), platform, options, CONFIGS)
+        with ProcessPoolBackend(jobs=2) as backend:
+            parallel = evaluate_configs(backend, platform, options, CONFIGS)
+        assert parallel == serial
+
+    def test_more_configs_than_workers(self):
+        platform = _platform()
+        options = GenerationOptions(loop_size=60)
+        configs = [{"ADD": n % 5 + 1, "REG_DIST": 2} for n in range(9)]
+        with ProcessPoolBackend(jobs=3) as backend:
+            parallel = evaluate_configs(backend, platform, options, configs)
+        serial = evaluate_configs(SerialBackend(), platform, options, configs)
+        assert parallel == serial
