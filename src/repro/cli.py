@@ -46,10 +46,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--cache-dir", default=None, metavar="DIR",
         help="persistent evaluation result cache directory",
     )
+    parser.add_argument(
+        "--cache-max-entries", type=int, default=None, metavar="N",
+        help="cap the result cache at N entries (LRU compaction)",
+    )
 
 
 def _execution_overrides(args: argparse.Namespace) -> dict:
-    """The --jobs/--backend/--cache-dir flags that were explicitly set."""
+    """The --jobs/--backend/--cache-* flags that were explicitly set."""
     overrides = {}
     if getattr(args, "jobs", None) is not None:
         overrides["jobs"] = args.jobs
@@ -57,6 +61,8 @@ def _execution_overrides(args: argparse.Namespace) -> dict:
         overrides["backend"] = args.backend
     if getattr(args, "cache_dir", None) is not None:
         overrides["cache_dir"] = args.cache_dir
+    if getattr(args, "cache_max_entries", None) is not None:
+        overrides["cache_max_entries"] = args.cache_max_entries
     return overrides
 
 

@@ -67,6 +67,9 @@ class MicroGradConfig:
             ``"serial"`` or ``"process"``.
         cache_dir: directory for the persistent evaluation result cache
             (``None`` disables it).
+        cache_max_entries: size cap for the persistent cache; least-
+            recently-used entries (by file mtime) are compacted away once
+            the cap is exceeded.  ``None`` means unbounded.
     """
 
     use_case: str = "cloning"
@@ -89,6 +92,7 @@ class MicroGradConfig:
     jobs: int = 1
     backend: str = "auto"
     cache_dir: str | None = None
+    cache_max_entries: int | None = None
 
     def __post_init__(self) -> None:
         if self.use_case not in _VALID_USE_CASES:
@@ -121,6 +125,8 @@ class MicroGradConfig:
             )
         if self.jobs < 0:
             raise ValueError("jobs must be >= 0 (0 means all cores)")
+        if self.cache_max_entries is not None and self.cache_max_entries < 1:
+            raise ValueError("cache_max_entries must be >= 1 (or None)")
 
     # -- serialization --------------------------------------------------
 

@@ -26,6 +26,7 @@ from repro.exec import (
     evaluate_configs,
     run_clone_jobs,
 )
+from repro.sim.artifact import trace_schema_fingerprint
 from repro.sim.config import core_by_name
 from repro.sim.simulator import Simulator
 from repro.tuning.base import TuningResult
@@ -70,7 +71,13 @@ class MicroGrad:
         )
         self.backend = backend or backend_for(config.backend, config.jobs)
         self.disk_cache = (
-            DiskResultCache(config.cache_dir) if config.cache_dir else None
+            DiskResultCache(
+                config.cache_dir,
+                max_entries=config.cache_max_entries,
+                schema=trace_schema_fingerprint(),
+            )
+            if config.cache_dir
+            else None
         )
         self.knob_space = self._build_space()
 
@@ -258,13 +265,19 @@ class MicroGrad:
         phase_names = []
         sub_configs = []
         parallel = not isinstance(self.backend, SerialBackend)
+        # Characterize each *distinct* phase once: simpoints frequently
+        # sample the same phase, and the trace artifact of a phase
+        # program is shared through the simulator's artifact cache.
+        stats_by_phase: dict[str, dict[str, float]] = {}
         for sp in simpoints:
             phase_name = labels[sp.interval]
-            stats = sim.run(
-                phase_programs[phase_name],
-                instructions=self.config.instructions,
-            )
-            targets = stats.metrics()
+            targets = stats_by_phase.get(phase_name)
+            if targets is None:
+                targets = sim.run(
+                    phase_programs[phase_name],
+                    instructions=self.config.instructions,
+                ).metrics()
+                stats_by_phase[phase_name] = targets
             sub_config = dataclasses.replace(
                 self.config,
                 targets={m: targets[m] for m in self.config.metrics},

@@ -13,6 +13,7 @@ from typing import Protocol, runtime_checkable
 
 from repro.isa.program import Program
 from repro.power.mcpat import PowerModel
+from repro.sim.artifact import TraceArtifact, artifact_for
 from repro.sim.config import CoreConfig, core_by_name
 from repro.sim.simulator import DEFAULT_INSTRUCTIONS, Simulator
 
@@ -51,14 +52,21 @@ class PerformancePlatform(BatchEvaluationMixin):
     :data:`repro.sim.stats.METRIC_KEYS`.
     """
 
+    #: Evaluation accepts a prebuilt trace artifact (composite sharing).
+    accepts_artifact = True
+
     def __init__(self, core: CoreConfig, instructions: int = DEFAULT_INSTRUCTIONS):
         self.core = core
         self.instructions = instructions
         self.simulator = Simulator(core)
         self.name = f"perf:{core.name}"
 
-    def evaluate(self, program: Program) -> dict[str, float]:
-        stats = self.simulator.run(program, instructions=self.instructions)
+    def evaluate(
+        self, program: Program, artifact: TraceArtifact | None = None
+    ) -> dict[str, float]:
+        stats = self.simulator.run(
+            program, instructions=self.instructions, artifact=artifact
+        )
         return stats.metrics()
 
 
@@ -68,6 +76,8 @@ class PowerPlatform(BatchEvaluationMixin):
     Adds ``dynamic_power`` and ``total_power`` (watts) to the performance
     metrics, mirroring the statistics transfer of Section IV-A2.
     """
+
+    accepts_artifact = True
 
     def __init__(
         self,
@@ -81,8 +91,12 @@ class PowerPlatform(BatchEvaluationMixin):
         self.power_model = power_model or PowerModel(core)
         self.name = f"power:{core.name}"
 
-    def evaluate(self, program: Program) -> dict[str, float]:
-        stats = self.simulator.run(program, instructions=self.instructions)
+    def evaluate(
+        self, program: Program, artifact: TraceArtifact | None = None
+    ) -> dict[str, float]:
+        stats = self.simulator.run(
+            program, instructions=self.instructions, artifact=artifact
+        )
         metrics = stats.metrics()
         report = self.power_model.estimate(stats)
         metrics["dynamic_power"] = report.dynamic_w
@@ -100,6 +114,8 @@ class VoltageDroopPlatform(BatchEvaluationMixin):
     ``droop_mv``, ``didt_a_per_ns``, ``power_swing_w`` and
     ``dynamic_power``.
     """
+
+    accepts_artifact = True
 
     def __init__(
         self,
@@ -133,8 +149,12 @@ class VoltageDroopPlatform(BatchEvaluationMixin):
         """Dynamic power of the fixed low-activity phase."""
         return self._baseline_power
 
-    def evaluate(self, program: Program) -> dict[str, float]:
-        stats = self.simulator.run(program, instructions=self.instructions)
+    def evaluate(
+        self, program: Program, artifact: TraceArtifact | None = None
+    ) -> dict[str, float]:
+        stats = self.simulator.run(
+            program, instructions=self.instructions, artifact=artifact
+        )
         metrics = stats.metrics()
         candidate_power = self.power_model.estimate(stats).dynamic_w
         report = self.droop_model.estimate(self._baseline_power,
@@ -196,7 +216,13 @@ class NativeExecutionPlatform(BatchEvaluationMixin):
 
 
 class CompositePlatform(BatchEvaluationMixin):
-    """Merge the metric dicts of several platforms (later ones win ties)."""
+    """Merge the metric dicts of several platforms (later ones win ties).
+
+    Members that simulate (``accepts_artifact``) receive a shared
+    :class:`~repro.sim.artifact.TraceArtifact` per distinct instruction
+    budget, so a perf + power + droop composite expands the trace and
+    simulates each event stream once per program, not once per member.
+    """
 
     def __init__(self, platforms: list[EvaluationPlatform]):
         if not platforms:
@@ -206,8 +232,17 @@ class CompositePlatform(BatchEvaluationMixin):
 
     def evaluate(self, program: Program) -> dict[str, float]:
         merged: dict[str, float] = {}
+        artifacts: dict[int, TraceArtifact] = {}
         for platform in self.platforms:
-            merged.update(platform.evaluate(program))
+            if getattr(platform, "accepts_artifact", False):
+                budget = platform.instructions
+                artifact = artifacts.get(budget)
+                if artifact is None:
+                    artifact = artifact_for(program, budget)
+                    artifacts[budget] = artifact
+                merged.update(platform.evaluate(program, artifact=artifact))
+            else:
+                merged.update(platform.evaluate(program))
         return merged
 
 

@@ -8,10 +8,13 @@ the bottleneck) or starts collapsing (it becomes one).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.codegen.wrapper import GenerationOptions, generate_test_case
 from repro.core.platform import EvaluationPlatform
+from repro.isa.program import Program
+from repro.sim.config import CoreConfig
+from repro.sim.simulator import DEFAULT_INSTRUCTIONS, Simulator
 
 
 @dataclass
@@ -20,6 +23,26 @@ class BottleneckPoint:
 
     value: float
     metrics: dict[str, float]
+
+
+def find_knee(points: list[BottleneckPoint], metric: str) -> BottleneckPoint:
+    """The sweep point with the largest metric response.
+
+    The knee is where the absolute metric change per step is largest —
+    the region where the swept characteristic actively bottlenecks the
+    core.
+
+    Raises:
+        RuntimeError: with fewer than two sweep points.
+    """
+    if len(points) < 2:
+        raise RuntimeError("run() the sweep (>= 2 points) before knee()")
+    deltas = [
+        abs(b.metrics[metric] - a.metrics[metric])
+        for a, b in zip(points, points[1:])
+    ]
+    knee_idx = max(range(len(deltas)), key=deltas.__getitem__)
+    return points[knee_idx + 1]
 
 
 @dataclass
@@ -59,22 +82,64 @@ class BottleneckAnalysis:
     def knee(self) -> BottleneckPoint:
         """The sweep point with the largest metric response.
 
-        The knee is where the absolute metric change per step is largest —
-        the region where the swept characteristic actively bottlenecks the
-        core.
-
         Raises:
             RuntimeError: if :meth:`run` has not produced >= 2 points.
         """
-        if len(self.points) < 2:
-            raise RuntimeError("run() the sweep (>= 2 points) before knee()")
-        deltas = [
-            abs(b.metrics[self.metric] - a.metrics[self.metric])
-            for a, b in zip(self.points, self.points[1:])
-        ]
-        knee_idx = max(range(len(deltas)), key=deltas.__getitem__)
-        return self.points[knee_idx + 1]
+        return find_knee(self.points, self.metric)
 
     def response_curve(self) -> list[tuple[float, float]]:
         """(knob value, metric) pairs of the completed sweep."""
+        return [(p.value, p.metrics[self.metric]) for p in self.points]
+
+
+@dataclass
+class CoreBottleneckAnalysis:
+    """Sweep one *core parameter* under a fixed program via ``run_many``.
+
+    The hardware-side dual of :class:`BottleneckAnalysis`: the program
+    stays fixed and a :class:`~repro.sim.config.CoreConfig` field (ROB
+    size, front-end width, functional-unit count, ...) sweeps its range.
+    All sweep points evaluate in one
+    :meth:`~repro.sim.simulator.Simulator.run_many` batch against a
+    shared trace artifact, so the sweep costs one trace expansion plus
+    the distinct event simulations — not one full simulation per point.
+
+    Attributes:
+        program: the (already generated) test case to hold fixed.
+        base_core: configuration the sweep perturbs.
+        parameter: name of the swept ``CoreConfig`` field.
+        values: parameter values to sample, in order.
+        metric: observed metric.
+        instructions: dynamic instruction budget per evaluation.
+    """
+
+    program: Program
+    base_core: CoreConfig
+    parameter: str
+    values: list[float]
+    metric: str = "ipc"
+    instructions: int = DEFAULT_INSTRUCTIONS
+    points: list[BottleneckPoint] = field(default_factory=list, init=False)
+
+    def run(self) -> list[BottleneckPoint]:
+        """Evaluate every sweep point (cached on self.points)."""
+        cores = [
+            replace(self.base_core, **{self.parameter: value})
+            for value in self.values
+        ]
+        stats = Simulator.run_many(
+            cores, self.program, instructions=self.instructions
+        )
+        self.points = [
+            BottleneckPoint(value=value, metrics=stat.metrics())
+            for value, stat in zip(self.values, stats)
+        ]
+        return self.points
+
+    def knee(self) -> BottleneckPoint:
+        """The sweep point with the largest metric response."""
+        return find_knee(self.points, self.metric)
+
+    def response_curve(self) -> list[tuple[float, float]]:
+        """(parameter value, metric) pairs of the completed sweep."""
         return [(p.value, p.metrics[self.metric]) for p in self.points]

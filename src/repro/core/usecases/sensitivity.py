@@ -12,10 +12,13 @@ sensitivity is the peak-to-peak metric swing it induces.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.codegen.wrapper import GenerationOptions, generate_test_case
 from repro.core.platform import EvaluationPlatform
+from repro.isa.program import Program
+from repro.sim.config import CoreConfig
+from repro.sim.simulator import DEFAULT_INSTRUCTIONS, Simulator
 from repro.tuning.knobs import KnobSpace
 
 
@@ -108,3 +111,78 @@ class SensitivityAnalysis:
                 f"{r.best_value:>8g} {r.worst_value:>8g}"
             )
         return "\n".join(lines)
+
+
+#: Default one-at-a-time lattices for the core-parameter screening —
+#: the scalar :class:`~repro.sim.config.CoreConfig` fields the interval
+#: model and event simulations respond to.
+CORE_PARAMETER_LATTICE: dict[str, tuple] = {
+    "front_end_width": (1, 2, 3, 4, 6, 8),
+    "rob": (20, 40, 80, 160, 320),
+    "lsq": (8, 16, 32, 64, 128),
+    "alu_units": (1, 2, 3, 4, 6),
+    "simd_units": (1, 2, 4),
+    "fp_units": (1, 2, 4),
+    "mem_ports": (1, 2, 4),
+    "mispredict_penalty": (6, 10, 14, 20),
+    "memory_latency": (90, 180, 270, 360),
+}
+
+
+@dataclass
+class CoreSensitivityAnalysis:
+    """One-at-a-time screening of *core* parameters for a fixed program.
+
+    The dual of :class:`SensitivityAnalysis`: instead of sweeping
+    generation knobs on one core, it sweeps core-configuration fields
+    under one generated program — which resource the test case actually
+    stresses.  Every variant in every sweep goes through one
+    :meth:`~repro.sim.simulator.Simulator.run_many` batch, so the trace
+    is expanded once and variants that the event simulations cannot
+    distinguish (e.g. ROB sizes) share their cache/branch streams.
+
+    Attributes:
+        program: the (already generated) test case under study.
+        base_core: configuration the sweeps perturb.
+        parameters: parameter -> lattice mapping; defaults to
+            :data:`CORE_PARAMETER_LATTICE`.
+        metric: observed metric (a :meth:`SimStats.metrics` key).
+        instructions: dynamic instruction budget per evaluation.
+    """
+
+    program: Program
+    base_core: CoreConfig
+    parameters: dict[str, tuple] | None = None
+    metric: str = "ipc"
+    instructions: int = DEFAULT_INSTRUCTIONS
+
+    def run(self) -> list[KnobSensitivity]:
+        """Screen every parameter; sensitivities sorted descending."""
+        parameters = self.parameters or CORE_PARAMETER_LATTICE
+        variants: list[CoreConfig] = []
+        labels: list[tuple[str, float]] = []
+        for name, values in parameters.items():
+            for value in values:
+                variants.append(replace(self.base_core, **{name: value}))
+                labels.append((name, value))
+        stats = Simulator.run_many(
+            variants, self.program, instructions=self.instructions
+        )
+        by_parameter: dict[str, list[tuple[float, float]]] = {}
+        for (name, value), stat in zip(labels, stats):
+            by_parameter.setdefault(name, []).append(
+                (value, stat.metrics()[self.metric])
+            )
+        results = []
+        for name, samples in by_parameter.items():
+            metrics = [m for _, m in samples]
+            results.append(
+                KnobSensitivity(
+                    knob=name,
+                    swing=max(metrics) - min(metrics),
+                    best_value=max(samples, key=lambda s: s[1])[0],
+                    worst_value=min(samples, key=lambda s: s[1])[0],
+                    samples=samples,
+                )
+            )
+        return sorted(results, key=lambda r: r.swing, reverse=True)

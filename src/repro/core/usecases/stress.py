@@ -9,9 +9,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.config import MicroGradConfig
 from repro.tuning.loss import CombinedStressLoss, StressLoss
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.isa.program import Program
+    from repro.sim.config import CoreConfig
 
 
 @dataclass
@@ -38,3 +43,27 @@ class StressTestingUseCase:
     def target_loss(self) -> float:
         """Stress has no a-priori target; only epochs/convergence stop it."""
         return -math.inf
+
+    def evaluate_across_cores(
+        self, program: "Program", cores: "Sequence[CoreConfig]"
+    ) -> list[tuple["CoreConfig", dict[str, float]]]:
+        """How a tuned stressmark generalizes across core configurations.
+
+        A stress test tuned against one core is routinely re-examined on
+        its neighbours (wider/narrower variants, different hierarchies)
+        to check the stress is microarchitectural rather than
+        incidental.  The whole sweep runs as one
+        :meth:`~repro.sim.simulator.Simulator.run_many` batch over a
+        shared trace artifact.
+
+        Returns:
+            ``(core, metrics)`` pairs in input order.
+        """
+        from repro.sim.simulator import Simulator
+
+        stats = Simulator.run_many(
+            list(cores), program, instructions=self.config.instructions
+        )
+        return [
+            (core, stat.metrics()) for core, stat in zip(cores, stats)
+        ]

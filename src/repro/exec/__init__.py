@@ -13,6 +13,7 @@ from repro.exec.backend import (
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
+    ThreadBackend,
     backend_for,
 )
 from repro.exec.cache import DiskResultCache
@@ -21,6 +22,7 @@ from repro.exec.jobs import evaluate_configs, run_clone_jobs
 __all__ = [
     "ExecutionBackend",
     "SerialBackend",
+    "ThreadBackend",
     "ProcessPoolBackend",
     "backend_for",
     "DiskResultCache",

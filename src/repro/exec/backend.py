@@ -11,12 +11,12 @@ one executes it.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Protocol, Sequence, runtime_checkable
 
 #: Recognized ``MicroGradConfig.backend`` spellings.
-BACKEND_NAMES = ("auto", "serial", "process")
+BACKEND_NAMES = ("auto", "serial", "thread", "process")
 
 
 def default_jobs() -> int:
@@ -51,6 +51,46 @@ class SerialBackend:
 
     def close(self) -> None:  # nothing to release
         pass
+
+
+class ThreadBackend:
+    """Fan items out to an in-process thread pool.
+
+    For platforms whose evaluation is dominated by pickling rather than
+    compute — :class:`~repro.core.platform.NativeExecutionPlatform`
+    interprets short windows, so shipping whole platforms and programs
+    to worker processes costs more than it saves — threads share memory
+    and skip serialization entirely.  Unpicklable platforms (closures,
+    injected fakes) also run fine here.  Results preserve input order,
+    so runs are bit-identical to serial execution.
+    """
+
+    def __init__(self, jobs: int | None = None):
+        self.jobs = jobs if jobs and jobs > 0 else default_jobs()
+        self.name = f"thread[{self.jobs}]"
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        items = list(items)
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        return list(self._ensure_pool().map(fn, items))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "ThreadBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class ProcessPoolBackend:
@@ -117,9 +157,11 @@ def backend_for(backend: str = "auto", jobs: int | None = 1) -> ExecutionBackend
     """Build the execution backend a config asks for.
 
     Args:
-        backend: ``"serial"``, ``"process"`` or ``"auto"``.  Auto picks
-            the process pool whenever more than one job is requested
-            (``jobs > 1`` or ``jobs == 0`` meaning "all cores").
+        backend: ``"serial"``, ``"thread"``, ``"process"`` or ``"auto"``.
+            Auto picks the process pool whenever more than one job is
+            requested (``jobs > 1`` or ``jobs == 0`` meaning "all
+            cores"); ``"thread"`` suits native-execution platforms where
+            process pickling is pure overhead.
         jobs: worker count; ``0`` means all cores, ``None``/``1`` serial.
     """
     if backend not in BACKEND_NAMES:
@@ -128,6 +170,8 @@ def backend_for(backend: str = "auto", jobs: int | None = 1) -> ExecutionBackend
         )
     if backend == "serial":
         return SerialBackend()
+    if backend == "thread":
+        return ThreadBackend(jobs)
     if backend == "process":
         return ProcessPoolBackend(jobs)
     wants_parallel = jobs is not None and (jobs == 0 or jobs > 1)

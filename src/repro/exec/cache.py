@@ -8,6 +8,18 @@ point as one small JSON file so repeated runs skip the simulator
 entirely.  Files are written atomically (temp + rename), so concurrent
 worker processes sharing a cache directory can only ever race to write
 identical content.
+
+Two guards keep long campaigns healthy:
+
+* ``max_entries`` caps the directory size; once exceeded, the least-
+  recently-used entries (by file mtime — disk hits re-touch their file)
+  are compacted away.
+* ``schema`` stamps every entry with the identity of the simulation
+  semantics that produced it (the trace-artifact fingerprint of
+  :func:`repro.sim.artifact.trace_schema_fingerprint`).  Entries
+  recorded under a *different* schema read as misses; entries without a
+  stamp (pre-schema caches) stay valid, so existing caches survive
+  refactors that keep metrics bit-identical.
 """
 
 from __future__ import annotations
@@ -31,9 +43,23 @@ class DiskResultCache:
     loop size and generation seed — so distinct experimental setups never
     alias.  Entries record the key material alongside the metrics, which
     makes the cache directory self-describing and auditable.
+
+    Args:
+        root: cache directory (created if missing).
+        max_entries: optional entry cap; LRU-by-mtime compaction keeps
+            the directory at or below it (checked every few writes).
+        schema: optional simulation-semantics stamp recorded in every
+            entry; a stamped entry with a different schema is a miss.
     """
 
-    def __init__(self, root: str | Path):
+    def __init__(
+        self,
+        root: str | Path,
+        max_entries: int | None = None,
+        schema: str | None = None,
+    ):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None)")
         self.root = Path(root)
         try:
             self.root.mkdir(parents=True, exist_ok=True)
@@ -41,9 +67,19 @@ class DiskResultCache:
             raise ValueError(
                 f"cache_dir {str(self.root)!r} exists and is not a directory"
             ) from exc
+        self.max_entries = max_entries
+        self.schema = schema
         self._memory: dict[str, dict[str, float]] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        # Compact every few writes, not every write: a glob per put is
+        # O(entries), so the interval amortizes it while bounding the
+        # overshoot to max_entries + interval.
+        self._compact_interval = (
+            min(64, max(1, max_entries // 8)) if max_entries else 0
+        )
+        self._puts_since_compact = 0
 
     def digest(self, context: str, config_key: tuple) -> str:
         """Stable content hash of one (context, configuration) point."""
@@ -60,6 +96,13 @@ class DiskResultCache:
         digest = self.digest(context, config_key)
         if digest in self._memory:
             self.hits += 1
+            if self.max_entries is not None:
+                # Keep recency honest for hits served from memory too,
+                # or compaction would evict the hottest entries first.
+                try:
+                    os.utime(self._path(digest))
+                except OSError:
+                    pass
             return dict(self._memory[digest])
         path = self._path(digest)
         try:
@@ -68,6 +111,17 @@ class DiskResultCache:
         except (OSError, ValueError, KeyError, TypeError):
             self.misses += 1
             return None
+        stamped = entry.get("schema")
+        if stamped is not None and self.schema is not None \
+                and stamped != self.schema:
+            # Produced under different simulation semantics: stale.
+            self.misses += 1
+            return None
+        try:
+            # Disk hit: refresh recency so LRU compaction spares it.
+            os.utime(path)
+        except OSError:
+            pass
         self._memory[digest] = metrics
         self.hits += 1
         return dict(metrics)
@@ -82,6 +136,8 @@ class DiskResultCache:
             "config": [list(kv) for kv in config_key],
             "metrics": {k: float(v) for k, v in metrics.items()},
         }
+        if self.schema is not None:
+            entry["schema"] = self.schema
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as handle:
@@ -92,6 +148,43 @@ class DiskResultCache:
                 os.unlink(tmp)
             except OSError:
                 pass
+            return
+        if self.max_entries is not None:
+            self._puts_since_compact += 1
+            if self._puts_since_compact >= self._compact_interval:
+                self._puts_since_compact = 0
+                self.compact()
+
+    def compact(self) -> int:
+        """Evict least-recently-used entries beyond ``max_entries``.
+
+        Returns:
+            Number of entries removed (0 when unbounded or under cap).
+        """
+        if self.max_entries is None:
+            return 0
+        entries = []
+        for path in self.root.glob("*.json"):
+            try:
+                entries.append((path.stat().st_mtime, path))
+            except OSError:
+                continue
+        excess = len(entries) - self.max_entries
+        if excess <= 0:
+            return 0
+        entries.sort(key=lambda pair: pair[0])
+        removed = 0
+        for _, path in entries[:excess]:
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            # Drop the promoted copy too, so an evicted point is really
+            # gone rather than resurrected from process memory.
+            self._memory.pop(path.stem, None)
+            removed += 1
+        self.evictions += removed
+        return removed
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*.json"))

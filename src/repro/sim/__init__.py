@@ -13,7 +13,12 @@ equivalent used by this reproduction:
   unit contention, window occupancy, dependency chains and miss events
   into a cycle count.
 
-The entry point is :class:`~repro.sim.simulator.Simulator`.
+The entry point is :class:`~repro.sim.simulator.Simulator`.  Simulation
+runs as a three-stage pipeline: a shared per-program
+:class:`~repro.sim.artifact.TraceArtifact` (stage 1), per-core event
+simulation (stage 2, :mod:`repro.sim.events`) and the batched interval
+timing model (stage 3); :meth:`Simulator.run_many` evaluates a batch of
+core configs against one artifact.
 """
 
 from repro.sim.config import CoreConfig, LARGE_CORE, SMALL_CORE, core_by_name
@@ -21,6 +26,12 @@ from repro.sim.cache import CacheConfig, SetAssociativeCache, cyclic_code_hits
 from repro.sim.branch import BimodalPredictor, GSharePredictor
 from repro.sim.stats import SimStats
 from repro.sim.simulator import Simulator
+from repro.sim.artifact import (
+    TraceArtifact,
+    TraceArtifactCache,
+    artifact_for,
+    program_fingerprint,
+)
 
 __all__ = [
     "CoreConfig",
@@ -34,4 +45,8 @@ __all__ = [
     "BimodalPredictor",
     "SimStats",
     "Simulator",
+    "TraceArtifact",
+    "TraceArtifactCache",
+    "artifact_for",
+    "program_fingerprint",
 ]

@@ -1,0 +1,355 @@
+"""Stage 1 of the simulator pipeline: shared per-program trace artifacts.
+
+Every :meth:`Simulator.run` used to re-expand the dynamic trace and
+re-analyze the dependency graph from scratch, even when the same program
+was evaluated under several core configs (sensitivity / stress /
+bottleneck sweeps, simpoint cloning) or by several platforms at once.
+A :class:`TraceArtifact` computes the program-derived work once per
+(program fingerprint, instruction budget) and memoizes every
+core-dependent stage under a key of exactly the core parameters that
+stage reads (see :mod:`repro.sim.events`), so a batch of core configs
+shares all the work their parameters cannot distinguish:
+
+* the expanded dynamic trace, per (iterations, line size);
+* the dependency-graph critical path, per L1D hit latency;
+* the stream wrap count, per L2 capacity;
+* cache / branch / TLB / I-cache event simulations, per the geometry
+  and predictor parameters each one consumes.
+
+Artifacts are held in a bounded :class:`TraceArtifactCache` (LRU); the
+module-level :func:`artifact_for` uses a process-wide cache shared by
+``Simulator.run_many`` and ``CompositePlatform``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import InstrClass
+from repro.isa.program import Program
+from repro.sim import events
+from repro.sim.config import CoreConfig
+from repro.sim.depgraph import critical_path_per_iteration
+from repro.sim.trace import ExpandedTrace, expand
+
+#: Upper bound on the adaptive warmup (loop iterations), keeping
+#: worst-case evaluation cost bounded.  Streams that cannot wrap within
+#: this many iterations behave identically cold or warm (they stream
+#: through caches far smaller than their footprint).
+MAX_WARMUP_ITERATIONS = 400
+#: Measured-window bounds (loop iterations).  The generated loops are
+#: periodic, so a short steady-state window yields exact rates.
+MIN_MEASURE_ITERATIONS = 24
+MAX_MEASURE_ITERATIONS = 160
+
+#: Identity of the trace-expansion / artifact semantics.  Bump when a
+#: change makes artifacts (and therefore metrics) non-bit-identical to
+#: earlier versions; persistent result caches record it per entry and
+#: treat a mismatch as a miss.
+TRACE_SCHEMA = "trace-artifact-v1"
+
+
+def trace_schema_fingerprint() -> str:
+    """Short stable hash of the active trace schema."""
+    return hashlib.sha256(TRACE_SCHEMA.encode()).hexdigest()[:12]
+
+
+def program_fingerprint(program: Program) -> str:
+    """Stable content hash of everything the simulator reads.
+
+    Two programs with equal fingerprints expand to bit-identical traces
+    and dependency graphs, so they can share one
+    :class:`TraceArtifact`.  The hash covers the full instruction stream
+    (operands, addresses, declarative memory/branch behaviour) plus the
+    metadata keys the timing model consumes.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(f"entry={program.entry_address};".encode())
+    meta = program.metadata
+    hasher.update(
+        (
+            f"code_bytes={meta.get('code_bytes')};"
+            f"dep={meta.get('dependency_distance')};"
+            f"streams={len(meta.get('memory_streams') or [])};"
+        ).encode()
+    )
+    for instr in program.body:
+        mem = instr.memory
+        mem_sig = (
+            (mem.stream_id, mem.base, mem.footprint, mem.stride,
+             mem.reuse_count, mem.reuse_period, mem.phase, mem.step)
+            if mem is not None
+            else None
+        )
+        br = instr.branch
+        br_sig = (
+            (br.pattern, br.random_ratio, br.seed, br.taken_bias)
+            if br is not None
+            else None
+        )
+        hasher.update(
+            repr(
+                (
+                    instr.idef.mnemonic,
+                    instr.idef.latency,
+                    instr.iclass.value,
+                    tuple(r.name for r in instr.dests),
+                    tuple(r.name for r in instr.srcs),
+                    instr.immediate,
+                    instr.address,
+                    mem_sig,
+                    br_sig,
+                )
+            ).encode()
+        )
+    return hasher.hexdigest()[:32]
+
+
+@dataclass
+class TraceArtifact:
+    """Everything one (program, instruction budget) pair shares.
+
+    Build with :meth:`TraceArtifact.build` (which validates the program
+    once) or fetch from a :class:`TraceArtifactCache`.  The accessor
+    methods memoize per core-parameter key, so calling them for many
+    core configs only pays for the distinct parameter combinations.
+    """
+
+    program: Program
+    fingerprint: str
+    instructions: int
+    loop_size: int
+    budget_iters: int
+    mem_per_iter: int
+    br_per_iter: int
+    static_counts: dict[InstrClass, int]
+    group_fractions: dict[str, float]
+    code_bytes: int
+    dependency_distance: float
+    parallel_streams: int
+    _traces: dict[tuple, ExpandedTrace] = field(
+        default_factory=dict, repr=False
+    )
+    _wrap: dict[tuple, int] = field(default_factory=dict, repr=False)
+    _dep: dict[tuple, float] = field(default_factory=dict, repr=False)
+    _schedules: dict[tuple, tuple[int, int]] = field(
+        default_factory=dict, repr=False
+    )
+    _memory: dict[tuple, events.MemoryEvents] = field(
+        default_factory=dict, repr=False
+    )
+    _branches: dict[tuple, tuple[int, int]] = field(
+        default_factory=dict, repr=False
+    )
+    _icache: dict[tuple, tuple[int, int, int]] = field(
+        default_factory=dict, repr=False
+    )
+
+    @classmethod
+    def build(
+        cls,
+        program: Program,
+        instructions: int,
+        fingerprint: str | None = None,
+    ) -> "TraceArtifact":
+        """Characterize ``program`` once for the given budget."""
+        program.validate()
+        loop = len(program)
+        meta = program.metadata
+        return cls(
+            program=program,
+            fingerprint=fingerprint or program_fingerprint(program),
+            instructions=instructions,
+            loop_size=loop,
+            budget_iters=max(2, round(instructions / loop)),
+            mem_per_iter=len(program.memory_instructions()),
+            br_per_iter=len(program.branch_instructions()),
+            static_counts=program.class_counts(),
+            group_fractions=program.group_fractions(),
+            code_bytes=meta.get("code_bytes", loop * 4),
+            dependency_distance=float(meta.get("dependency_distance", 4)),
+            parallel_streams=max(1, len(meta.get("memory_streams") or [])),
+        )
+
+    # -- stage 1: program-derived, core-parameter-keyed ------------------
+
+    def trace(self, iterations: int, line_bytes: int) -> ExpandedTrace:
+        """The expanded dynamic trace, shared across equal windows."""
+        key = (iterations, line_bytes)
+        trace = self._traces.get(key)
+        if trace is None:
+            trace = expand(self.program, iterations, line_bytes=line_bytes)
+            self._traces[key] = trace
+        return trace
+
+    def wrap_iterations(self, core: CoreConfig) -> int:
+        """Iterations until the slowest relevant stream wraps once."""
+        key = (core.l2.size_bytes,)
+        wrap = self._wrap.get(key)
+        if wrap is None:
+            wrap = 0
+            for instr in self.program.memory_instructions():
+                mem = instr.memory
+                if mem is None or mem.step <= 0:
+                    continue
+                # Footprints beyond ~1.2x the L2 stream cold or warm.
+                if mem.footprint > 1.2 * core.l2.size_bytes:
+                    continue
+                distinct_per_sweep = max(1, mem.footprint // mem.stride)
+                distinct_per_iter = max(1, mem.step // mem.reuse_period)
+                wrap = max(
+                    wrap, int(distinct_per_sweep / distinct_per_iter) + 1
+                )
+            self._wrap[key] = wrap
+        return wrap
+
+    def schedule(
+        self, core: CoreConfig, warmup_fraction: float
+    ) -> tuple[int, int]:
+        """(warmup iterations, measured iterations) for one core.
+
+        Mid-sized footprints (bigger than L1, not much bigger than L2)
+        only reach cache steady state after the streams wrap; the warmup
+        extends so they wrap once, then a short periodic window is
+        measured.  Footprints far beyond the L2 behave identically cold
+        or warm (both stream), so the budget is not wasted on them.
+        """
+        key = (core.l2.size_bytes, warmup_fraction)
+        cached = self._schedules.get(key)
+        if cached is not None:
+            return cached
+        wrap = self.wrap_iterations(core)
+        if wrap:
+            warmup_iters = min(
+                max(int(1.05 * wrap) + 1,
+                    int(self.budget_iters * warmup_fraction)),
+                MAX_WARMUP_ITERATIONS,
+            )
+        else:
+            warmup_iters = max(1, int(self.budget_iters * warmup_fraction))
+        measure_iters = min(
+            max(MIN_MEASURE_ITERATIONS, self.budget_iters - warmup_iters),
+            MAX_MEASURE_ITERATIONS,
+        )
+        self._schedules[key] = (warmup_iters, measure_iters)
+        return warmup_iters, measure_iters
+
+    def dep_cycles(self, core: CoreConfig) -> float:
+        """Steady-state critical-path cycles added per loop iteration."""
+        key = (core.l1d.latency,)
+        dep = self._dep.get(key)
+        if dep is None:
+            dep = critical_path_per_iteration(self.program, core)
+            self._dep[key] = dep
+        return dep
+
+    # -- stage 2: per-core event simulations, memoized -------------------
+
+    def memory_events(
+        self, core: CoreConfig, warmup_iters: int, iterations: int
+    ) -> events.MemoryEvents:
+        """Cache/TLB/prefetch events; shared across equal hierarchies."""
+        key = events.memory_event_key(core) + (warmup_iters, iterations)
+        res = self._memory.get(key)
+        if res is None:
+            trace = self.trace(iterations, core.l1d.line_bytes)
+            res = events.simulate_memory(
+                core, trace, warmup_iters * self.mem_per_iter
+            )
+            self._memory[key] = res
+        return res
+
+    def branch_events(
+        self, core: CoreConfig, warmup_iters: int, iterations: int
+    ) -> tuple[int, int]:
+        """(mispredicts, lookups); shared across equal predictors."""
+        key = events.branch_event_key(core) + (warmup_iters, iterations)
+        res = self._branches.get(key)
+        if res is None:
+            # Branch outcomes are independent of the cache line size, so
+            # any trace with the right window length serves.
+            trace = self.trace(iterations, core.l1d.line_bytes)
+            res = events.simulate_branches(
+                core, trace, warmup_iters * self.br_per_iter
+            )
+            self._branches[key] = res
+        return res
+
+    def icache_events(
+        self, core: CoreConfig, measure_iters: int
+    ) -> tuple[int, int, int]:
+        """(l1i hits, l1i misses, l2-side code misses) for the window."""
+        key = events.icache_event_key(core) + (measure_iters,)
+        res = self._icache.get(key)
+        if res is None:
+            res = events.simulate_icache(core, self.code_bytes, measure_iters)
+            self._icache[key] = res
+        return res
+
+
+class TraceArtifactCache:
+    """Bounded LRU cache of artifacts keyed by (fingerprint, budget).
+
+    Thread-safe: ``ThreadBackend`` workers share platform simulators
+    (and the process-wide cache), so lookup, LRU bookkeeping and
+    eviction are serialized under a lock.  Artifacts are built under
+    the lock too — a build is a one-time cost per (program, budget) and
+    racing duplicate builds would waste exactly the work this cache
+    exists to share.
+    """
+
+    def __init__(self, maxsize: int = 16):
+        if maxsize < 1:
+            raise ValueError("artifact cache needs maxsize >= 1")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[tuple, TraceArtifact] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def get_or_build(
+        self, program: Program, instructions: int
+    ) -> TraceArtifact:
+        """Fetch the artifact for (program content, budget), building on miss."""
+        key = (program_fingerprint(program), instructions)
+        with self._lock:
+            artifact = self._entries.get(key)
+            if artifact is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return artifact
+            self.misses += 1
+            artifact = TraceArtifact.build(
+                program, instructions, fingerprint=key[0]
+            )
+            self._entries[key] = artifact
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+            return artifact
+
+
+#: Process-wide artifact cache: ``Simulator.run_many`` and
+#: ``CompositePlatform`` share trace work through it by default.
+GLOBAL_ARTIFACT_CACHE = TraceArtifactCache(maxsize=32)
+
+
+def artifact_for(
+    program: Program,
+    instructions: int,
+    cache: TraceArtifactCache | None = None,
+) -> TraceArtifact:
+    """The shared artifact for (program, budget), via ``cache`` or the
+    process-wide default."""
+    return (cache or GLOBAL_ARTIFACT_CACHE).get_or_build(
+        program, instructions
+    )

@@ -1,0 +1,238 @@
+"""Stage 2 of the simulator pipeline: per-core event simulation.
+
+The functions here drive one core configuration's cache hierarchy, branch
+predictor, TLB and instruction cache over a shared
+:class:`~repro.sim.trace.ExpandedTrace` (stage 1,
+:mod:`repro.sim.artifact`) and count the miss events the interval timing
+model (stage 3, :mod:`repro.sim.interval`) charges for.
+
+Each simulation is a pure function of (core parameters, trace, warmup
+boundary), and each exposes a ``*_key`` companion returning exactly the
+core parameters it reads.  The keys let :class:`~repro.sim.artifact.
+TraceArtifact` memoize event results across a batch of core configs: two
+configs that differ only in back-end width share one memory simulation
+bit-for-bit, which is where ``Simulator.run_many`` earns its speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.branch import predictor_for_core
+from repro.sim.cache import cyclic_code_hits
+from repro.sim.config import CoreConfig
+from repro.sim.tlb import tlb_for_core
+from repro.sim.trace import ExpandedTrace
+
+
+@dataclass
+class MemoryEvents:
+    """L1D/L2/TLB/prefetch event counts for one measurement window."""
+
+    load_l1_misses: int = 0
+    load_l2_misses: int = 0
+    store_l1_misses: int = 0
+    store_l2_misses: int = 0
+    l1d_hits: int = 0
+    l1d_accesses: int = 0
+    l2_hits: int = 0
+    l2_accesses: int = 0
+    prefetch_installs: int = 0
+    prefetch_hits: int = 0
+    dtlb_misses: int = 0
+    dtlb_accesses: int = 0
+
+
+def memory_event_key(core: CoreConfig) -> tuple:
+    """Every core parameter :func:`simulate_memory` reads."""
+    return (
+        core.l1d.num_sets,
+        core.l1d.assoc,
+        core.l1d.line_bytes,
+        core.l2.num_sets,
+        core.l2.assoc,
+        core.l2_prefetcher,
+        tlb_for_core(core.name).entries,
+    )
+
+
+def simulate_memory(
+    core: CoreConfig, trace: ExpandedTrace, warmup_accesses: int
+) -> MemoryEvents:
+    """Drive the L1D/L2 hierarchy over the exact access trace.
+
+    This is the simulator's hot loop (tens of thousands of accesses per
+    evaluation, hundreds of evaluations per tuning run), so the per-set
+    LRU state is inlined as plain lists rather than going through
+    :class:`SetAssociativeCache` method calls.
+    """
+    l1_sets: list[list[int]] = [[] for _ in range(core.l1d.num_sets)]
+    l2_sets: list[list[int]] = [[] for _ in range(core.l2.num_sets)]
+    n1 = core.l1d.num_sets
+    n2 = core.l2.num_sets
+    a1 = core.l1d.assoc
+    a2 = core.l2.assoc
+    prefetching = core.l2_prefetcher
+    # Reference-prediction table: pc -> (last_line, stride, confirmed).
+    rpt: dict[int, tuple[int, int, bool]] = {}
+    prefetched: set[int] = set()
+    tlb = tlb_for_core(core.name)
+    # 64-byte lines, 4 KB pages: page = line >> 6.
+    page_shift = 6
+
+    res = MemoryEvents()
+    lines = trace.mem_lines.tolist()
+    stores = trace.mem_is_store.tolist()
+    pcs = trace.mem_pcs.tolist()
+    counting = warmup_accesses == 0
+    for k, (pc, line, is_store) in enumerate(zip(pcs, lines, stores)):
+        if not counting and k >= warmup_accesses:
+            counting = True
+            tlb.reset_stats()
+        tlb.access(line << page_shift)
+        set1 = l1_sets[line % n1]
+        if line in set1:
+            set1.remove(line)
+            set1.append(line)
+            if counting:
+                res.l1d_hits += 1
+                res.l1d_accesses += 1
+            continue
+        # L1 miss: fill L1, look up L2.
+        set1.append(line)
+        if len(set1) > a1:
+            del set1[0]
+        set2 = l2_sets[line % n2]
+        if line in set2:
+            l2_hit = True
+            set2.remove(line)
+            set2.append(line)
+            if counting and line in prefetched:
+                prefetched.discard(line)
+                res.prefetch_hits += 1
+        else:
+            l2_hit = False
+            set2.append(line)
+            if len(set2) > a2:
+                evicted = set2[0]
+                del set2[0]
+                prefetched.discard(evicted)
+        if prefetching:
+            last_line, last_stride, confirmed = rpt.get(pc, (line, 0, False))
+            stride = line - last_line
+            if stride:
+                confirmed = stride == last_stride
+            if confirmed and stride:
+                for d in (1, 2):
+                    target = line + stride * d
+                    pset = l2_sets[target % n2]
+                    if target not in pset:
+                        pset.append(target)
+                        if len(pset) > a2:
+                            evicted = pset[0]
+                            del pset[0]
+                            prefetched.discard(evicted)
+                        prefetched.add(target)
+                        if counting:
+                            res.prefetch_installs += 1
+            rpt[pc] = (line, stride if stride else last_stride, confirmed)
+        if counting:
+            res.l1d_accesses += 1
+            res.l2_accesses += 1
+            if l2_hit:
+                res.l2_hits += 1
+            if is_store:
+                res.store_l1_misses += 1
+                if not l2_hit:
+                    res.store_l2_misses += 1
+            else:
+                res.load_l1_misses += 1
+                if not l2_hit:
+                    res.load_l2_misses += 1
+    res.dtlb_misses = tlb.misses
+    res.dtlb_accesses = tlb.accesses
+    return res
+
+
+def branch_event_key(core: CoreConfig) -> tuple:
+    """Every core parameter :func:`simulate_branches` reads."""
+    reference = predictor_for_core(core.name)
+    return (reference.table.entries, getattr(reference, "history_bits", 0))
+
+
+def simulate_branches(
+    core: CoreConfig, trace: ExpandedTrace, warmup_branches: int
+) -> tuple[int, int]:
+    """gshare direction prediction over the exact outcome trace.
+
+    Functionally identical to :class:`repro.sim.branch.GSharePredictor`
+    but inlined with plain Python lists — this loop runs for every
+    dynamic branch of every evaluation and dominates tuning runtime
+    otherwise.  Returns ``(mispredicts, lookups)`` for the measured
+    window.
+    """
+    entries, history_bits = branch_event_key(core)
+    entry_mask = entries - 1
+    history_mask = (1 << history_bits) - 1
+
+    counters = [2] * entries  # weakly taken
+    history = 0
+    mispredicts = 0
+    lookups = 0
+    pcs = trace.branch_pcs.tolist()
+    outcomes = trace.branch_outcomes.tolist()
+    counting = warmup_branches == 0
+    for k, (pc, taken) in enumerate(zip(pcs, outcomes)):
+        if not counting and k >= warmup_branches:
+            counting = True
+        index = ((pc >> 2) ^ history) & entry_mask
+        c = counters[index]
+        if counting:
+            lookups += 1
+            if (c >= 2) != taken:
+                mispredicts += 1
+        if taken:
+            if c < 3:
+                counters[index] = c + 1
+            history = ((history << 1) | 1) & history_mask
+        else:
+            if c > 0:
+                counters[index] = c - 1
+            history = (history << 1) & history_mask
+    return mispredicts, lookups
+
+
+def icache_event_key(core: CoreConfig) -> tuple:
+    """Every core parameter :func:`simulate_icache` reads."""
+    return (
+        core.l1i.num_sets,
+        core.l1i.assoc,
+        core.l1i.line_bytes,
+        core.l2.size_bytes,
+        core.l2.line_bytes,
+        core.l2.num_sets,
+        core.l2.assoc,
+    )
+
+
+def simulate_icache(
+    core: CoreConfig, code_bytes: int, iterations: int
+) -> tuple[int, int, int]:
+    """(l1i hits, l1i misses, l2-side code misses) for the window."""
+    num_lines = max(1, code_bytes // core.l1i.line_bytes)
+    hits, misses = cyclic_code_hits(
+        num_lines, core.l1i.num_sets, core.l1i.assoc, iterations
+    )
+    # The loop's code always fits somewhere up the hierarchy; L2-side
+    # code misses only occur if the code exceeds the L2 too.
+    l2_lines_capacity = core.l2.size_bytes // core.l2.line_bytes
+    if num_lines > l2_lines_capacity:
+        _, l2_misses = cyclic_code_hits(
+            num_lines,
+            core.l2.num_sets,
+            core.l2.assoc,
+            iterations,
+        )
+    else:
+        l2_misses = 0
+    return hits, misses, l2_misses

@@ -9,7 +9,8 @@ detailed out-of-order simulator, preserving Gem5-like sensitivities.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.isa.instructions import InstrClass
 from repro.sim.config import CoreConfig
@@ -73,6 +74,52 @@ def throughput_cpi(core: CoreConfig, class_counts: dict[InstrClass, int],
         "fp": fp_slots / (core.fp_units * n),
         "mem_ports": mem_slots / (core.mem_ports * n),
     }
+
+
+@dataclass
+class IntervalInputs:
+    """One core's inputs to the batched interval model.
+
+    ``Simulator.run_many`` produces one of these per core config from a
+    shared :class:`~repro.sim.artifact.TraceArtifact` (stages 1-2) and
+    hands the whole batch to :func:`compute_cycles_batch` (stage 3).
+    """
+
+    core: CoreConfig
+    total_instructions: int
+    class_counts: dict[InstrClass, int]
+    dep_cycles_per_iteration: float
+    loop_size: int
+    misses: MissProfile = field(default_factory=MissProfile)
+    dependency_distance: float = 4.0
+    parallel_streams: int = 1
+
+
+def compute_cycles_batch(
+    batch: Sequence[IntervalInputs],
+) -> list[tuple[float, dict[str, float]]]:
+    """Evaluate a batch of core configs through the interval model.
+
+    Each entry is independent — the batch form exists so the staged
+    pipeline has a single timing entry point for N cores — and every
+    result is bit-identical to a lone :func:`compute_cycles` call.
+
+    Returns:
+        One ``(cycles, breakdown)`` pair per input, in input order.
+    """
+    return [
+        compute_cycles(
+            inputs.core,
+            inputs.total_instructions,
+            inputs.class_counts,
+            inputs.dep_cycles_per_iteration,
+            inputs.loop_size,
+            inputs.misses,
+            dependency_distance=inputs.dependency_distance,
+            parallel_streams=inputs.parallel_streams,
+        )
+        for inputs in batch
+    ]
 
 
 def compute_cycles(

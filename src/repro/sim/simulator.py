@@ -1,24 +1,37 @@
 """Top-level simulator: program in, :class:`SimStats` out.
 
-Pipeline per run: expand the dynamic trace, warm and measure the cache
-hierarchy and branch predictor on the exact event streams, analyze the
-dependency graph, then hand everything to the interval timing model.
+The simulation is an explicit three-stage pipeline:
+
+1. **Trace artifact** (:mod:`repro.sim.artifact`) — expand the dynamic
+   trace, analyze the dependency graph and characterize the instruction
+   mix once per (program fingerprint, instruction budget);
+2. **Event simulation** (:mod:`repro.sim.events`) — drive the cache
+   hierarchy, branch predictor and TLB of one core config over the
+   shared trace, memoized per the core parameters each event sim reads;
+3. **Interval timing** (:mod:`repro.sim.interval`) — convert instruction
+   mix + miss events into cycles, batched over core configs.
+
+:meth:`Simulator.run` evaluates one core; :meth:`Simulator.run_many`
+evaluates a batch of core configs against one shared artifact, which is
+several times faster than independent runs because stages 1-2 are shared
+wherever the configs' parameters cannot distinguish them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from repro.isa.instructions import InstrClass
 from repro.isa.program import Program
-from repro.sim.branch import predictor_for_core
-from repro.sim.cache import cyclic_code_hits
+from repro.sim.artifact import (
+    MAX_MEASURE_ITERATIONS as _MAX_MEASURE_ITERATIONS,
+    MAX_WARMUP_ITERATIONS as _MAX_WARMUP_ITERATIONS,
+    MIN_MEASURE_ITERATIONS as _MIN_MEASURE_ITERATIONS,
+    TraceArtifact,
+    TraceArtifactCache,
+    artifact_for,
+    program_fingerprint,
+)
 from repro.sim.config import CoreConfig
-from repro.sim.depgraph import critical_path_per_iteration
-from repro.sim.interval import MissProfile, compute_cycles
+from repro.sim.interval import IntervalInputs, MissProfile, compute_cycles_batch
 from repro.sim.stats import SimStats
-from repro.sim.tlb import tlb_for_core
-from repro.sim.trace import expand
 
 #: Default dynamic-instruction budget per evaluation.  The paper runs 10M
 #: dynamic instructions; our loops are periodic so steady-state metrics
@@ -27,21 +40,9 @@ from repro.sim.trace import expand
 #: :meth:`Simulator.run` to match the paper exactly.
 DEFAULT_INSTRUCTIONS = 20_000
 
-
-@dataclass
-class _MemSimResult:
-    load_l1_misses: int = 0
-    load_l2_misses: int = 0
-    store_l1_misses: int = 0
-    store_l2_misses: int = 0
-    l1d_hits: int = 0
-    l1d_accesses: int = 0
-    l2_hits: int = 0
-    l2_accesses: int = 0
-    prefetch_installs: int = 0
-    prefetch_hits: int = 0
-    dtlb_misses: int = 0
-    dtlb_accesses: int = 0
+#: Artifacts retained per Simulator instance (platforms re-evaluate the
+#: same program under one core repeatedly during a tuning epoch).
+_INSTANCE_CACHE_SIZE = 8
 
 
 class Simulator:
@@ -51,292 +52,105 @@ class Simulator:
 
         stats = Simulator(LARGE_CORE).run(program)
         print(stats.ipc, stats.metrics())
+
+    For a multi-config sweep over one program, use the batched form,
+    which shares the trace artifact across the whole batch::
+
+        stats_list = Simulator.run_many([core_a, core_b], program)
     """
 
-    def __init__(self, core: CoreConfig):
+    #: Iteration-schedule bounds (kept as class attributes for
+    #: backwards compatibility; the values live in ``repro.sim.artifact``).
+    MAX_WARMUP_ITERATIONS = _MAX_WARMUP_ITERATIONS
+    MIN_MEASURE_ITERATIONS = _MIN_MEASURE_ITERATIONS
+    MAX_MEASURE_ITERATIONS = _MAX_MEASURE_ITERATIONS
+
+    def __init__(self, core: CoreConfig,
+                 artifact_cache: TraceArtifactCache | None = None):
         self.core = core
-
-    # ------------------------------------------------------------------
-    # component simulations
-    # ------------------------------------------------------------------
-
-    def _simulate_memory(self, trace, warmup_accesses: int) -> _MemSimResult:
-        """Drive the L1D/L2 hierarchy over the exact access trace.
-
-        This is the simulator's hot loop (tens of thousands of accesses
-        per evaluation, hundreds of evaluations per tuning run), so the
-        per-set LRU state is inlined as plain lists rather than going
-        through :class:`SetAssociativeCache` method calls.
-        """
-        core = self.core
-        l1_sets: list[list[int]] = [
-            [] for _ in range(core.l1d.num_sets)
-        ]
-        l2_sets: list[list[int]] = [[] for _ in range(core.l2.num_sets)]
-        n1 = core.l1d.num_sets
-        n2 = core.l2.num_sets
-        a1 = core.l1d.assoc
-        a2 = core.l2.assoc
-        prefetching = core.l2_prefetcher
-        # Reference-prediction table: pc -> (last_line, stride, confirmed).
-        rpt: dict[int, tuple[int, int, bool]] = {}
-        prefetched: set[int] = set()
-        tlb = tlb_for_core(core.name)
-        # 64-byte lines, 4 KB pages: page = line >> 6.
-        page_shift = 6
-
-        res = _MemSimResult()
-        lines = trace.mem_lines.tolist()
-        stores = trace.mem_is_store.tolist()
-        pcs = trace.mem_pcs.tolist()
-        counting = warmup_accesses == 0
-        for k, (pc, line, is_store) in enumerate(zip(pcs, lines, stores)):
-            if not counting and k >= warmup_accesses:
-                counting = True
-                tlb.reset_stats()
-            tlb.access(line << page_shift)
-            set1 = l1_sets[line % n1]
-            if line in set1:
-                set1.remove(line)
-                set1.append(line)
-                if counting:
-                    res.l1d_hits += 1
-                    res.l1d_accesses += 1
-                continue
-            # L1 miss: fill L1, look up L2.
-            set1.append(line)
-            if len(set1) > a1:
-                del set1[0]
-            set2 = l2_sets[line % n2]
-            if line in set2:
-                l2_hit = True
-                set2.remove(line)
-                set2.append(line)
-                if counting and line in prefetched:
-                    prefetched.discard(line)
-                    res.prefetch_hits += 1
-            else:
-                l2_hit = False
-                set2.append(line)
-                if len(set2) > a2:
-                    evicted = set2[0]
-                    del set2[0]
-                    prefetched.discard(evicted)
-            if prefetching:
-                last_line, last_stride, confirmed = rpt.get(
-                    pc, (line, 0, False)
-                )
-                stride = line - last_line
-                if stride:
-                    confirmed = stride == last_stride
-                if confirmed and stride:
-                    for d in (1, 2):
-                        target = line + stride * d
-                        pset = l2_sets[target % n2]
-                        if target not in pset:
-                            pset.append(target)
-                            if len(pset) > a2:
-                                evicted = pset[0]
-                                del pset[0]
-                                prefetched.discard(evicted)
-                            prefetched.add(target)
-                            if counting:
-                                res.prefetch_installs += 1
-                rpt[pc] = (line, stride if stride else last_stride, confirmed)
-            if counting:
-                res.l1d_accesses += 1
-                res.l2_accesses += 1
-                if l2_hit:
-                    res.l2_hits += 1
-                if is_store:
-                    res.store_l1_misses += 1
-                    if not l2_hit:
-                        res.store_l2_misses += 1
-                else:
-                    res.load_l1_misses += 1
-                    if not l2_hit:
-                        res.load_l2_misses += 1
-        res.dtlb_misses = tlb.misses
-        res.dtlb_accesses = tlb.accesses
-        return res
-
-    def _simulate_branches(self, trace, warmup_branches: int) -> tuple[int, int]:
-        """gshare direction prediction over the exact outcome trace.
-
-        Functionally identical to
-        :class:`repro.sim.branch.GSharePredictor` but inlined with plain
-        Python lists — this loop runs for every dynamic branch of every
-        evaluation and dominates tuning runtime otherwise.
-        """
-        reference = predictor_for_core(self.core.name)
-        entries = reference.table.entries
-        history_bits = getattr(reference, "history_bits", 0)
-        entry_mask = entries - 1
-        history_mask = (1 << history_bits) - 1
-
-        counters = [2] * entries  # weakly taken
-        history = 0
-        mispredicts = 0
-        lookups = 0
-        pcs = trace.branch_pcs.tolist()
-        outcomes = trace.branch_outcomes.tolist()
-        counting = warmup_branches == 0
-        for k, (pc, taken) in enumerate(zip(pcs, outcomes)):
-            if not counting and k >= warmup_branches:
-                counting = True
-            index = ((pc >> 2) ^ history) & entry_mask
-            c = counters[index]
-            if counting:
-                lookups += 1
-                if (c >= 2) != taken:
-                    mispredicts += 1
-            if taken:
-                if c < 3:
-                    counters[index] = c + 1
-                history = ((history << 1) | 1) & history_mask
-            else:
-                if c > 0:
-                    counters[index] = c - 1
-                history = (history << 1) & history_mask
-        return mispredicts, lookups
-
-    def _instruction_cache(
-        self, program: Program, iterations: int
-    ) -> tuple[int, int, int]:
-        """(l1i hits, l1i misses, l2-side code misses) for the window."""
-        core = self.core
-        code_bytes = program.metadata.get(
-            "code_bytes", len(program) * 4
+        self._artifacts = artifact_cache or TraceArtifactCache(
+            maxsize=_INSTANCE_CACHE_SIZE
         )
-        num_lines = max(1, code_bytes // core.l1i.line_bytes)
-        hits, misses = cyclic_code_hits(
-            num_lines, core.l1i.num_sets, core.l1i.assoc, iterations
-        )
-        # The loop's code always fits somewhere up the hierarchy; L2-side
-        # code misses only occur if the code exceeds the L2 too.
-        l2_lines_capacity = core.l2.size_bytes // core.l2.line_bytes
-        if num_lines > l2_lines_capacity:
-            _, l2_misses = cyclic_code_hits(
-                num_lines,
-                core.l2.num_sets,
-                core.l2.assoc,
-                iterations,
-            )
-        else:
-            l2_misses = 0
-        return hits, misses, l2_misses
 
-    #: Upper bound on the adaptive warmup (loop iterations), keeping
-    #: worst-case evaluation cost bounded.  Streams that cannot wrap
-    #: within this many iterations behave identically cold or warm (they
-    #: stream through caches far smaller than their footprint).
-    MAX_WARMUP_ITERATIONS = 400
-    #: Measured-window bounds (loop iterations).  The generated loops are
-    #: periodic, so a short steady-state window yields exact rates.
-    MIN_MEASURE_ITERATIONS = 24
-    MAX_MEASURE_ITERATIONS = 160
+    # The artifact cache is per-process working state: excluding it from
+    # the pickled form keeps worker shipping cheap and — critically —
+    # keeps the pickled bytes identical to pre-pipeline Simulators, so
+    # platform-identity hashes (disk-cache contexts) survive unchanged.
+    def __getstate__(self) -> dict:
+        return {"core": self.core}
 
-    def _wrap_iterations(self, program: Program) -> int:
-        """Iterations until the slowest relevant stream wraps once."""
-        need = 0
-        for instr in program.memory_instructions():
-            mem = instr.memory
-            if mem is None or mem.step <= 0:
-                continue
-            # Footprints beyond ~1.2x the L2 stream whether cold or warm.
-            if mem.footprint > 1.2 * self.core.l2.size_bytes:
-                continue
-            distinct_per_sweep = max(1, mem.footprint // mem.stride)
-            distinct_per_iter = max(1, mem.step // mem.reuse_period)
-            need = max(need, int(distinct_per_sweep / distinct_per_iter) + 1)
-        return need
+    def __setstate__(self, state: dict) -> None:
+        self.core = state["core"]
+        self._artifacts = TraceArtifactCache(maxsize=_INSTANCE_CACHE_SIZE)
 
     # ------------------------------------------------------------------
-    # main entry point
+    # staged pipeline
     # ------------------------------------------------------------------
 
-    def run(
-        self,
-        program: Program,
-        instructions: int = DEFAULT_INSTRUCTIONS,
-        warmup_fraction: float = 0.2,
-    ) -> SimStats:
-        """Simulate ``instructions`` dynamic instructions of ``program``.
-
-        Args:
-            program: generated test case (endless loop body).
-            instructions: dynamic instruction budget; rounded to whole
-                loop iterations (minimum 2).
-            warmup_fraction: leading fraction of iterations used to warm
-                caches and predictors, excluded from the measured window.
-
-        Returns:
-            Measured-window statistics.
-        """
-        program.validate()
-        loop = len(program)
-        budget_iters = max(2, round(instructions / loop))
-        # Mid-sized footprints (bigger than L1, not much bigger than L2)
-        # only reach cache steady state after the streams wrap; extend the
-        # warmup so they wrap once, then measure a short periodic window.
-        # Footprints far beyond the L2 behave identically cold or warm
-        # (both stream), so the budget is not wasted on them.
-        wrap = self._wrap_iterations(program)
-        if wrap:
-            warmup_iters = min(
-                max(int(1.05 * wrap) + 1,
-                    int(budget_iters * warmup_fraction)),
-                self.MAX_WARMUP_ITERATIONS,
-            )
-        else:
-            warmup_iters = max(1, int(budget_iters * warmup_fraction))
-        measure_iters = min(
-            max(self.MIN_MEASURE_ITERATIONS,
-                budget_iters - warmup_iters),
-            self.MAX_MEASURE_ITERATIONS,
-        )
+    @staticmethod
+    def _event_pass(
+        core: CoreConfig, artifact: TraceArtifact, warmup_fraction: float
+    ) -> tuple[IntervalInputs, dict]:
+        """Stages 1-2 for one core: schedule, events, interval inputs."""
+        warmup_iters, measure_iters = artifact.schedule(core, warmup_fraction)
         iterations = warmup_iters + measure_iters
 
-        trace = expand(program, iterations, line_bytes=self.core.l1d.line_bytes)
-
-        mem_per_iter = len(program.memory_instructions())
-        br_per_iter = len(program.branch_instructions())
-        mem = self._simulate_memory(trace, warmup_iters * mem_per_iter)
-        mispredicts, branch_lookups = self._simulate_branches(
-            trace, warmup_iters * br_per_iter
+        mem = artifact.memory_events(core, warmup_iters, iterations)
+        mispredicts, branch_lookups = artifact.branch_events(
+            core, warmup_iters, iterations
         )
-        i_hits, i_misses, i_l2_misses = self._instruction_cache(
-            program, measure_iters
+        i_hits, i_misses, i_l2_misses = artifact.icache_events(
+            core, measure_iters
         )
 
-        static_counts = program.class_counts()
-        class_counts = {c: n * measure_iters for c, n in static_counts.items()}
-        total = loop * measure_iters
-
-        dep_cycles = critical_path_per_iteration(program, self.core)
-        dd = float(program.metadata.get("dependency_distance", 4))
-        streams = program.metadata.get("memory_streams") or []
-
-        misses = MissProfile(
-            branch_mispredicts=mispredicts,
-            icache_l1_misses=i_misses,
-            icache_l2_misses=i_l2_misses,
-            load_l1_misses=mem.load_l1_misses,
-            load_l2_misses=mem.load_l2_misses,
-            store_l1_misses=mem.store_l1_misses,
-            store_l2_misses=mem.store_l2_misses,
-            dtlb_misses=mem.dtlb_misses,
+        class_counts = {
+            c: n * measure_iters for c, n in artifact.static_counts.items()
+        }
+        inputs = IntervalInputs(
+            core=core,
+            total_instructions=artifact.loop_size * measure_iters,
+            class_counts=class_counts,
+            dep_cycles_per_iteration=artifact.dep_cycles(core),
+            loop_size=artifact.loop_size,
+            misses=MissProfile(
+                branch_mispredicts=mispredicts,
+                icache_l1_misses=i_misses,
+                icache_l2_misses=i_l2_misses,
+                load_l1_misses=mem.load_l1_misses,
+                load_l2_misses=mem.load_l2_misses,
+                store_l1_misses=mem.store_l1_misses,
+                store_l2_misses=mem.store_l2_misses,
+                dtlb_misses=mem.dtlb_misses,
+            ),
+            dependency_distance=artifact.dependency_distance,
+            parallel_streams=artifact.parallel_streams,
         )
-        cycles, breakdown = compute_cycles(
-            self.core,
-            total,
-            class_counts,
-            dep_cycles,
-            loop,
-            misses,
-            dependency_distance=dd,
-            parallel_streams=max(1, len(streams)),
-        )
+        context = {
+            "mem": mem,
+            "mispredicts": mispredicts,
+            "branch_lookups": branch_lookups,
+            "i_hits": i_hits,
+            "i_misses": i_misses,
+            "warmup_iters": warmup_iters,
+            "measure_iters": measure_iters,
+        }
+        return inputs, context
+
+    @staticmethod
+    def _assemble_stats(
+        core: CoreConfig,
+        artifact: TraceArtifact,
+        inputs: IntervalInputs,
+        context: dict,
+        cycles: float,
+        breakdown: dict,
+    ) -> SimStats:
+        """Package one core's pipeline outputs into :class:`SimStats`."""
+        mem = context["mem"]
+        mispredicts = context["mispredicts"]
+        branch_lookups = context["branch_lookups"]
+        i_hits, i_misses = context["i_hits"], context["i_misses"]
+        total = inputs.total_instructions
 
         l1d_hit_rate = (
             mem.l1d_hits / mem.l1d_accesses if mem.l1d_accesses else 1.0
@@ -348,12 +162,12 @@ class Simulator:
         l1i_hit_rate = (
             i_hits / (i_hits + i_misses) if (i_hits + i_misses) else 1.0
         )
-        mispredict_rate = mispredicts / branch_lookups if branch_lookups else 0.0
-
-        group_fractions = program.group_fractions()
+        mispredict_rate = (
+            mispredicts / branch_lookups if branch_lookups else 0.0
+        )
 
         return SimStats(
-            core=self.core.name,
+            core=core.name,
             instructions=total,
             cycles=cycles,
             ipc=total / cycles,
@@ -362,12 +176,12 @@ class Simulator:
             l2_hit_rate=l2_hit_rate,
             mispredict_rate=mispredict_rate,
             dtlb_miss_rate=dtlb_miss_rate,
-            group_fractions=group_fractions,
+            group_fractions=dict(artifact.group_fractions),
             breakdown=breakdown,
             extra={
-                "iterations": measure_iters,
-                "warmup_iterations": warmup_iters,
-                "dep_cycles_per_iteration": dep_cycles,
+                "iterations": context["measure_iters"],
+                "warmup_iterations": context["warmup_iters"],
+                "dep_cycles_per_iteration": inputs.dep_cycles_per_iteration,
                 "branch_lookups": branch_lookups,
                 "l1d_accesses": mem.l1d_accesses,
                 "l2_accesses": mem.l2_accesses,
@@ -376,7 +190,107 @@ class Simulator:
                 "prefetch_installs": mem.prefetch_installs,
                 "prefetch_hits": mem.prefetch_hits,
                 "class_counts": {
-                    c.value: n for c, n in class_counts.items()
+                    c.value: n for c, n in inputs.class_counts.items()
                 },
             },
         )
+
+    # ------------------------------------------------------------------
+    # main entry points
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        program: Program,
+        instructions: int = DEFAULT_INSTRUCTIONS,
+        warmup_fraction: float = 0.2,
+        artifact: TraceArtifact | None = None,
+    ) -> SimStats:
+        """Simulate ``instructions`` dynamic instructions of ``program``.
+
+        Args:
+            program: generated test case (endless loop body).
+            instructions: dynamic instruction budget; rounded to whole
+                loop iterations (minimum 2).
+            warmup_fraction: leading fraction of iterations used to warm
+                caches and predictors, excluded from the measured window.
+            artifact: optionally, a prebuilt trace artifact for this
+                (program, budget) pair — e.g. one shared by a
+                :class:`~repro.core.platform.CompositePlatform`.
+
+        Returns:
+            Measured-window statistics.
+        """
+        return self.run_many(
+            [self.core],
+            program,
+            instructions=instructions,
+            warmup_fraction=warmup_fraction,
+            artifact=artifact,
+            artifact_cache=self._artifacts,
+        )[0]
+
+    @classmethod
+    def run_many(
+        cls,
+        cores: list[CoreConfig],
+        program: Program,
+        instructions: int = DEFAULT_INSTRUCTIONS,
+        warmup_fraction: float = 0.2,
+        artifact: TraceArtifact | None = None,
+        artifact_cache: TraceArtifactCache | None = None,
+    ) -> list[SimStats]:
+        """Simulate one program under a batch of core configurations.
+
+        The trace artifact is computed (or fetched) once and shared by
+        the whole batch: trace expansion, dependency analysis and every
+        event simulation are memoized on the core parameters they read,
+        so configs differing only in back-end structure reuse each
+        other's event streams outright.  Results are bit-identical to
+        ``[Simulator(c).run(program, ...) for c in cores]``.
+
+        Args:
+            cores: core configurations to evaluate, in order.
+            program: generated test case (endless loop body).
+            instructions: dynamic instruction budget per evaluation.
+            warmup_fraction: warmup share of the iteration budget.
+            artifact: optional prebuilt artifact for (program, budget).
+            artifact_cache: cache to fetch/build the artifact through;
+                defaults to the process-wide artifact cache.
+
+        Returns:
+            One :class:`SimStats` per core, in input order.
+        """
+        if artifact is None:
+            artifact = artifact_for(
+                program, instructions, cache=artifact_cache
+            )
+        elif artifact.instructions != instructions:
+            raise ValueError(
+                f"artifact was built for a budget of "
+                f"{artifact.instructions} instructions, not {instructions}"
+            )
+        elif (
+            artifact.program is not program
+            and artifact.fingerprint != program_fingerprint(program)
+        ):
+            # Same-object is the common sharing path (free to check);
+            # otherwise the fingerprint catches an artifact reused
+            # across the wrong program before it misattributes stats.
+            raise ValueError(
+                "artifact was built for a different program "
+                f"(fingerprint {artifact.fingerprint})"
+            )
+        passes = [
+            cls._event_pass(core, artifact, warmup_fraction)
+            for core in cores
+        ]
+        timings = compute_cycles_batch([inputs for inputs, _ in passes])
+        return [
+            cls._assemble_stats(
+                core, artifact, inputs, context, cycles, breakdown
+            )
+            for core, (inputs, context), (cycles, breakdown) in zip(
+                cores, passes, timings
+            )
+        ]

@@ -5,6 +5,7 @@ import pytest
 from repro.exec.backend import (
     ProcessPoolBackend,
     SerialBackend,
+    ThreadBackend,
     backend_for,
     chunk_evenly,
     default_jobs,
@@ -26,6 +27,44 @@ class TestSerialBackend:
         backend = SerialBackend()
         backend.close()
         backend.close()
+
+
+class TestThreadBackend:
+    def test_maps_in_order(self):
+        with ThreadBackend(jobs=4) as backend:
+            assert backend.map(_square, list(range(8))) == [
+                x * x for x in range(8)
+            ]
+
+    def test_unpicklable_work_is_fine(self):
+        # The whole point of the thread backend: closures and platforms
+        # that cannot pickle still fan out (no serialization boundary).
+        offset = 10
+        with ThreadBackend(jobs=2) as backend:
+            assert backend.map(lambda x: x + offset, [1, 2, 3]) == [
+                11, 12, 13
+            ]
+
+    def test_single_item_stays_in_caller(self):
+        backend = ThreadBackend(jobs=2)
+        assert backend.map(_square, [3]) == [9]
+        assert backend._pool is None
+        backend.close()
+
+    def test_jobs_zero_means_all_cores(self):
+        backend = ThreadBackend(jobs=0)
+        assert backend.jobs == default_jobs()
+        backend.close()
+
+    def test_reusable_after_close(self):
+        backend = ThreadBackend(jobs=2)
+        assert backend.map(_square, [1, 2]) == [1, 4]
+        backend.close()
+        assert backend.map(_square, [2, 3]) == [4, 9]
+        backend.close()
+
+    def test_name_reports_workers(self):
+        assert ThreadBackend(jobs=3).name == "thread[3]"
 
 
 class TestProcessPoolBackend:
@@ -58,6 +97,12 @@ class TestProcessPoolBackend:
 class TestBackendFor:
     def test_serial_by_name(self):
         assert isinstance(backend_for("serial", jobs=8), SerialBackend)
+
+    def test_thread_by_name(self):
+        backend = backend_for("thread", jobs=3)
+        assert isinstance(backend, ThreadBackend)
+        assert backend.jobs == 3
+        backend.close()
 
     def test_process_by_name(self):
         backend = backend_for("process", jobs=3)

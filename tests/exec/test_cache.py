@@ -57,3 +57,103 @@ class TestDiskResultCache:
         cache.get("ctx", KEY)
         assert cache.misses == 1
         assert cache.hits == 1
+
+
+def _key(i):
+    return (("ADD", float(i)),)
+
+
+class TestEviction:
+    def test_size_cap_enforced(self, tmp_path):
+        cache = DiskResultCache(tmp_path, max_entries=4)
+        for i in range(10):
+            cache.put("ctx", _key(i), {"ipc": float(i)})
+        assert len(cache) <= 4
+        assert cache.evictions >= 6
+
+    def test_oldest_entries_evicted_first(self, tmp_path):
+        import os
+        import time
+
+        seed = DiskResultCache(tmp_path)
+        now = time.time()
+        for i in range(3):
+            seed.put("ctx", _key(i), {"ipc": float(i)})
+            # Backdate: entry 0 is the least recently used.
+            path = seed._path(seed.digest("ctx", _key(i)))
+            stamp = now - 300 + 100 * i
+            os.utime(path, (stamp, stamp))
+        cache = DiskResultCache(tmp_path, max_entries=2)
+        assert cache.compact() == 1
+        fresh = DiskResultCache(tmp_path)
+        assert fresh.get("ctx", _key(0)) is None
+        assert fresh.get("ctx", _key(2)) == {"ipc": 2.0}
+
+    def test_evicted_entries_forgotten_in_memory_too(self, tmp_path):
+        import os
+        import time
+
+        cache = DiskResultCache(tmp_path, max_entries=1)
+        cache.put("ctx", _key(0), {"ipc": 0.0})
+        path = cache._path(cache.digest("ctx", _key(0)))
+        old = time.time() - 300
+        os.utime(path, (old, old))
+        # The next put compacts and must evict entry 0 everywhere —
+        # including the in-process promotion map.
+        cache.put("ctx", _key(1), {"ipc": 1.0})
+        assert cache.get("ctx", _key(0)) is None
+        assert cache.get("ctx", _key(1)) == {"ipc": 1.0}
+
+    def test_memory_hits_refresh_recency(self, tmp_path):
+        import os
+        import time
+
+        cache = DiskResultCache(tmp_path, max_entries=1)
+        cache.put("ctx", _key(0), {"ipc": 0.0})
+        path = cache._path(cache.digest("ctx", _key(0)))
+        old = time.time() - 300
+        os.utime(path, (old, old))
+        # A memory-served hit must re-touch the file, or compaction
+        # would evict the hottest entry first.
+        cache.get("ctx", _key(0))
+        assert path.stat().st_mtime > old + 100
+
+    def test_unbounded_by_default(self, tmp_path):
+        cache = DiskResultCache(tmp_path)
+        for i in range(80):
+            cache.put("ctx", _key(i), {"ipc": float(i)})
+        assert len(cache) == 80
+        assert cache.compact() == 0
+
+    def test_invalid_cap_rejected(self, tmp_path):
+        import pytest
+
+        with pytest.raises(ValueError, match="max_entries"):
+            DiskResultCache(tmp_path, max_entries=0)
+
+
+class TestSchemaStamp:
+    def test_entries_record_the_schema(self, tmp_path):
+        import json
+
+        cache = DiskResultCache(tmp_path, schema="trace-v1")
+        cache.put("ctx", KEY, METRICS)
+        path = cache._path(cache.digest("ctx", KEY))
+        assert json.loads(path.read_text())["schema"] == "trace-v1"
+
+    def test_different_schema_is_a_miss(self, tmp_path):
+        DiskResultCache(tmp_path, schema="trace-v1").put("ctx", KEY, METRICS)
+        stale = DiskResultCache(tmp_path, schema="trace-v2")
+        assert stale.get("ctx", KEY) is None
+
+    def test_unstamped_entries_survive_schema_introduction(self, tmp_path):
+        # Pre-schema caches (including every entry written before this
+        # refactor) keep hitting: the pipeline is bit-identical.
+        DiskResultCache(tmp_path).put("ctx", KEY, METRICS)
+        upgraded = DiskResultCache(tmp_path, schema="trace-v1")
+        assert upgraded.get("ctx", KEY) == METRICS
+
+    def test_same_schema_hits(self, tmp_path):
+        DiskResultCache(tmp_path, schema="trace-v1").put("ctx", KEY, METRICS)
+        fresh = DiskResultCache(tmp_path, schema="trace-v1")
+        assert fresh.get("ctx", KEY) == METRICS
