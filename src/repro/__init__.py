@@ -24,13 +24,14 @@ from repro.core.framework import MicroGrad
 from repro.core.outputs import MicroGradResult
 from repro.exec import (
     DiskResultCache,
+    DistributedBackend,
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
     backend_for,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "MicroGrad",
@@ -39,6 +40,7 @@ __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",
+    "DistributedBackend",
     "backend_for",
     "DiskResultCache",
     "__version__",

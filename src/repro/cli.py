@@ -6,6 +6,7 @@ Commands:
     characterize  print a reference workload's characteristics
     simpoints     select simpoints for a reference workload
     cores         list the available core configurations
+    worker        serve evaluation jobs for a backend=dist coordinator
 """
 
 from __future__ import annotations
@@ -50,19 +51,26 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--cache-max-entries", type=int, default=None, metavar="N",
         help="cap the result cache at N entries (LRU compaction)",
     )
+    parser.add_argument(
+        "--dist-addr", default=None, metavar="HOST:PORT",
+        help="address the backend=dist coordinator binds "
+             "(workers join it with the 'worker' command)",
+    )
+    parser.add_argument(
+        "--dist-workers", type=int, default=None, metavar="N",
+        help="local worker processes the dist backend spawns "
+             "(0: only external workers)",
+    )
 
 
 def _execution_overrides(args: argparse.Namespace) -> dict:
-    """The --jobs/--backend/--cache-* flags that were explicitly set."""
+    """The --jobs/--backend/--cache-*/--dist-* flags explicitly set."""
     overrides = {}
-    if getattr(args, "jobs", None) is not None:
-        overrides["jobs"] = args.jobs
-    if getattr(args, "backend", None) is not None:
-        overrides["backend"] = args.backend
-    if getattr(args, "cache_dir", None) is not None:
-        overrides["cache_dir"] = args.cache_dir
-    if getattr(args, "cache_max_entries", None) is not None:
-        overrides["cache_max_entries"] = args.cache_max_entries
+    for flag in ("jobs", "backend", "cache_dir", "cache_max_entries",
+                 "dist_addr", "dist_workers"):
+        value = getattr(args, flag, None)
+        if value is not None:
+            overrides[flag] = value
     return overrides
 
 
@@ -139,6 +147,22 @@ def _cmd_simpoints(args: argparse.Namespace) -> int:
 def _cmd_cores(_args: argparse.Namespace) -> int:
     for core in (SMALL_CORE, LARGE_CORE):
         print(json.dumps(core.describe(), indent=2))
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.dist.worker import run_worker
+
+    print(f"worker joining coordinator at {args.addr}", flush=True)
+    executed = run_worker(
+        args.addr,
+        name=args.name,
+        cache_dir=args.cache_dir,
+        cache_max_entries=args.cache_max_entries,
+        connect_retry_s=args.connect_retry,
+        max_jobs=args.max_jobs,
+    )
+    print(f"worker done ({executed} jobs)", flush=True)
     return 0
 
 
@@ -250,6 +274,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     cores = sub.add_parser("cores", help="list core configurations")
     cores.set_defaults(func=_cmd_cores)
+
+    worker = sub.add_parser(
+        "worker",
+        help="serve evaluation jobs for a backend=dist coordinator",
+    )
+    worker.add_argument("--addr", required=True, metavar="HOST:PORT",
+                        help="coordinator address to join")
+    worker.add_argument("--name", default=None,
+                        help="worker name shown in coordinator logs")
+    worker.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="shared cache directory (enables the "
+                             "on-disk trace-artifact store)")
+    worker.add_argument("--cache-max-entries", type=int, default=None,
+                        metavar="N", help="artifact store entry cap")
+    worker.add_argument("--connect-retry", type=float, default=10.0,
+                        metavar="S", help="seconds to retry the initial "
+                                          "connect (default 10)")
+    worker.add_argument("--max-jobs", type=int, default=None, metavar="N",
+                        help="exit after N jobs (default: run until "
+                             "the coordinator shuts down)")
+    worker.set_defaults(func=_cmd_worker)
 
     droop = sub.add_parser("droop", help="generate a voltage-droop virus")
     _add_common(droop)

@@ -66,10 +66,19 @@ class MicroGradConfig:
             pool whenever ``jobs`` asks for more than one worker),
             ``"serial"`` or ``"process"``.
         cache_dir: directory for the persistent evaluation result cache
-            (``None`` disables it).
+            (``None`` disables it).  Also roots the shared on-disk
+            trace-artifact store (``<cache_dir>/artifacts``) that lets
+            worker processes — local pools and distributed workers alike
+            — compute each trace artifact once per cluster.
         cache_max_entries: size cap for the persistent cache; least-
             recently-used entries (by file mtime) are compacted away once
             the cap is exceeded.  ``None`` means unbounded.
+        dist_addr: ``host:port`` the ``backend="dist"`` coordinator
+            binds so remote workers can join (``None`` picks an
+            ephemeral loopback port for purely local fan-out).
+        dist_workers: local worker processes the dist backend spawns;
+            ``None`` defaults to local fan-out when no ``dist_addr`` is
+            given, ``0`` expects external ``repro.cli worker`` joins.
     """
 
     use_case: str = "cloning"
@@ -93,6 +102,8 @@ class MicroGradConfig:
     backend: str = "auto"
     cache_dir: str | None = None
     cache_max_entries: int | None = None
+    dist_addr: str | None = None
+    dist_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.use_case not in _VALID_USE_CASES:
@@ -127,6 +138,12 @@ class MicroGradConfig:
             raise ValueError("jobs must be >= 0 (0 means all cores)")
         if self.cache_max_entries is not None and self.cache_max_entries < 1:
             raise ValueError("cache_max_entries must be >= 1 (or None)")
+        if self.dist_workers is not None and self.dist_workers < 0:
+            raise ValueError("dist_workers must be >= 0 (or None)")
+        if self.dist_addr is not None:
+            from repro.dist.protocol import parse_addr
+
+            parse_addr(self.dist_addr)  # fail fast on malformed addresses
 
     # -- serialization --------------------------------------------------
 

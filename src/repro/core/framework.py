@@ -10,6 +10,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import math
+import os
 import pickle
 
 from repro.codegen.wrapper import GenerationOptions, generate_test_case
@@ -26,7 +27,12 @@ from repro.exec import (
     evaluate_configs,
     run_clone_jobs,
 )
-from repro.sim.artifact import trace_schema_fingerprint
+from repro.sim.artifact import (
+    active_artifact_store,
+    attach_artifact_store,
+    detach_artifact_store,
+    trace_schema_fingerprint,
+)
 from repro.sim.config import core_by_name
 from repro.sim.simulator import Simulator
 from repro.tuning.base import TuningResult
@@ -69,7 +75,14 @@ class MicroGrad:
             with_power=config.with_power or self._needs_power(),
             instructions=config.instructions,
         )
-        self.backend = backend or backend_for(config.backend, config.jobs)
+        self.backend = backend or backend_for(
+            config.backend,
+            config.jobs,
+            cache_dir=config.cache_dir,
+            cache_max_entries=config.cache_max_entries,
+            dist_addr=config.dist_addr,
+            dist_workers=config.dist_workers,
+        )
         self.disk_cache = (
             DiskResultCache(
                 config.cache_dir,
@@ -79,11 +92,30 @@ class MicroGrad:
             if config.cache_dir
             else None
         )
+        self._artifact_store = None
+        if config.cache_dir:
+            # Shared trace-artifact store: this process and every worker
+            # (pool or distributed) compute each artifact once between
+            # them.  Workers attach through the backend's store spec;
+            # this covers serial evaluation and re-runs.
+            self._artifact_store = attach_artifact_store(
+                os.path.join(config.cache_dir, "artifacts"),
+                max_entries=config.cache_max_entries,
+            )
         self.knob_space = self._build_space()
 
     def close(self) -> None:
-        """Release execution-backend workers (idempotent)."""
+        """Release execution-backend workers (idempotent).
+
+        Also detaches the process-wide artifact store this instance
+        attached (if it is still the active one), so a later run with
+        caching disabled does not keep reading and writing it.
+        """
         self.backend.close()
+        if self._artifact_store is not None \
+                and active_artifact_store() is self._artifact_store:
+            detach_artifact_store()
+        self._artifact_store = None
 
     def _needs_power(self) -> bool:
         return any("power" in m for m in self.config.metrics)

@@ -1,0 +1,22 @@
+"""Distributed evaluation service: coordinator, workers, wire protocol.
+
+The execution stack below :class:`~repro.tuning.evaluator.Evaluator` tops
+out at one machine's process pool; this package removes that ceiling.  A
+:class:`~repro.dist.coordinator.Coordinator` owns a job queue and leases
+jobs to :mod:`~repro.dist.worker` loops over a length-prefixed JSON+pickle
+TCP protocol (:mod:`~repro.dist.protocol`); a worker that dies mid-job has
+its leases rescheduled, so results are bit-identical to a serial run no
+matter how many workers join, leave, or crash.
+
+:class:`~repro.dist.backend.DistributedBackend` wraps the pair as a
+drop-in :class:`~repro.exec.backend.ExecutionBackend` (``backend=dist``),
+so every tuner and use case gets multi-host fan-out with zero call-site
+changes.  Workers join from anywhere: ``python -m repro.cli worker
+--addr host:port``.
+"""
+
+from repro.dist.backend import DistributedBackend
+from repro.dist.coordinator import Coordinator
+from repro.dist.worker import run_worker
+
+__all__ = ["Coordinator", "DistributedBackend", "run_worker"]

@@ -1,0 +1,179 @@
+"""``DistributedBackend``: the coordinator/worker pair as an ExecutionBackend.
+
+Selecting ``backend=dist`` gives every tuner and use case multi-host
+fan-out with zero call-site changes: the backend starts a
+:class:`~repro.dist.coordinator.Coordinator` inside the tuning process
+(bound to ``--dist-addr``, or an ephemeral loopback port), optionally
+spawns ``--dist-workers`` local worker processes, and then behaves
+exactly like every other backend — ``map(fn, items)`` in, ordered
+results out, bit-identical to serial execution.  Remote machines join
+the same run with ``python -m repro.cli worker --addr host:port``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Sequence
+
+from repro.dist.coordinator import Coordinator
+from repro.dist.protocol import dumps_payload, loads_payload, parse_addr
+from repro.dist.worker import run_worker
+
+# Safe despite repro.exec.__init__ importing this module eagerly:
+# repro.exec.backend itself only imports repro.dist lazily (inside the
+# backend_for factory), so the module graph stays acyclic.
+from repro.exec.backend import CacheSettingsMixin
+
+
+def _default_local_workers() -> int:
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+class DistributedBackend(CacheSettingsMixin):
+    """Fan items out to workers connected over the dist protocol.
+
+    Args:
+        jobs: chunking hint for callers (defaults to the worker count).
+        addr: ``host:port`` the coordinator binds; ``None`` picks an
+            ephemeral loopback port (purely local fan-out).
+        spawn_workers: local worker processes to launch; ``0`` expects
+            external workers to join (``repro.cli worker``).
+        cache_dir: shared cache directory handed to spawned workers (and
+            used locally) for the on-disk trace artifact store.
+        cache_max_entries: artifact/result store entry cap.
+        worker_grace: seconds ``map`` waits for a first worker before
+            failing a run pointed at an empty cluster.
+
+    If the host cannot bind sockets or spawn processes at all
+    (restricted sandboxes), the backend degrades to serial in-process
+    execution — results are identical either way, only slower.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        addr: str | None = None,
+        spawn_workers: int | None = None,
+        cache_dir: str | None = None,
+        cache_max_entries: int | None = None,
+        worker_grace: float = 60.0,
+    ):
+        if spawn_workers is None:
+            # Nothing to connect remotely and nothing local would
+            # deadlock; default to local fan-out when no addr is given.
+            spawn_workers = 0 if addr else _default_local_workers()
+        self.spawn_workers = spawn_workers
+        self.jobs = jobs if jobs and jobs > 0 else (
+            spawn_workers or _default_local_workers()
+        )
+        self.addr = addr
+        self._set_cache(cache_dir, cache_max_entries)
+        self.worker_grace = worker_grace
+        self.name = (
+            f"dist[{self.jobs}]" if addr is None
+            else f"dist[{self.jobs}]@{addr}"
+        )
+        self.coordinator: Coordinator | None = None
+        self._workers: list[multiprocessing.Process] = []
+        self._broken = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _ensure_started(self) -> Coordinator | None:
+        if self._broken:
+            return None
+        if self.coordinator is not None:
+            return self.coordinator
+        host, port = ("127.0.0.1", 0) if self.addr is None \
+            else parse_addr(self.addr)
+        coordinator = Coordinator(host=host, port=port)
+        try:
+            bound = coordinator.start()
+        except OSError as exc:
+            if self.addr is not None:
+                # The user asked for this address (remote workers will
+                # point at it): failing to bind must be loud, not a
+                # silent single-core fallback.
+                raise RuntimeError(
+                    f"cannot bind dist coordinator at {self.addr}: {exc}"
+                ) from exc
+            self._broken = True
+            return None
+        try:
+            for index in range(self.spawn_workers):
+                proc = multiprocessing.Process(
+                    target=run_worker,
+                    args=(bound,),
+                    kwargs={
+                        "name": f"local-{index}",
+                        "cache_dir": self.cache_dir,
+                        "cache_max_entries": self.cache_max_entries,
+                    },
+                    daemon=True,
+                )
+                proc.start()
+                self._workers.append(proc)
+        except (OSError, PermissionError) as exc:
+            coordinator.shutdown()
+            self._reap_workers()
+            if self.addr is not None:
+                raise RuntimeError(
+                    f"cannot spawn local dist workers for {self.addr}: {exc}"
+                ) from exc
+            self._broken = True
+            return None
+        self.coordinator = coordinator
+        return coordinator
+
+    def _reap_workers(self) -> None:
+        for proc in self._workers:
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+        self._workers.clear()
+
+    def close(self) -> None:
+        if self.coordinator is not None:
+            self.coordinator.shutdown()
+            self.coordinator = None
+        self._reap_workers()
+
+    def __enter__(self) -> "DistributedBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- execution ------------------------------------------------------
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        """Apply ``fn`` to every item via the cluster, in input order."""
+        items = list(items)
+        if not items:
+            return []
+        coordinator = self._ensure_started()
+        if coordinator is None:
+            return [fn(item) for item in items]
+        job_ids = [
+            coordinator.submit(dumps_payload((fn, item))) for item in items
+        ]
+        try:
+            outcomes = coordinator.wait(
+                job_ids, worker_grace=self.worker_grace
+            )
+        finally:
+            coordinator.forget(job_ids)
+        results = []
+        for outcome, value in outcomes:
+            if outcome != "ok":
+                raise RuntimeError(f"distributed job failed:\n{value}")
+            results.append(loads_payload(value))
+        return results

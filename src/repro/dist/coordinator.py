@@ -1,0 +1,313 @@
+"""Coordinator side of the distributed evaluation service.
+
+One :class:`Coordinator` runs inside the tuning process.  It listens on a
+TCP address, hands queued jobs to whatever workers connect, tracks which
+jobs each connection currently holds (its *leases*), and — when a
+connection dies with leases outstanding — puts those jobs back at the
+front of the queue for the surviving workers.  Callers interact with it
+like a future store: :meth:`submit` enqueues pickled jobs,
+:meth:`wait` blocks until a set of job ids has resolved.
+
+Fault model: a worker that disappears (crash, OOM kill, network cut)
+loses only wall-clock time — its leased jobs are rescheduled, and because
+jobs are pure functions of their pickled inputs, a rerun produces the
+identical result.  A job whose worker dies ``max_attempts`` times is
+declared poisonous and surfaces as an error instead of cycling forever.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.dist.protocol import format_addr, recv_msg, send_msg
+
+#: How long :meth:`Coordinator.wait` tolerates an empty cluster before
+#: concluding no worker will ever arrive.
+DEFAULT_WORKER_GRACE_S = 60.0
+
+
+@dataclass
+class _Job:
+    """One queued unit of work (payload is pickled ``(fn, item)``)."""
+
+    id: int
+    payload: bytes
+    attempts: int = 0
+
+
+@dataclass(eq=False)  # identity hash: connections live in a set
+class _Connection:
+    """Book-keeping for one worker connection."""
+
+    sock: socket.socket
+    peer: str
+    name: str = ""
+    leases: set[int] = field(default_factory=set)
+
+
+class Coordinator:
+    """Job queue + lease tracker + rescheduler behind a TCP listener.
+
+    Args:
+        host: interface to bind (default loopback).
+        port: TCP port; ``0`` picks a free ephemeral port.
+        max_attempts: times a job may be leased before a repeated
+            worker death marks it failed (guards against poison jobs
+            that crash every worker they touch).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 max_attempts: int = 3):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.host = host
+        self.port = port
+        self.max_attempts = max_attempts
+        self._listener: socket.socket | None = None
+        self._threads: list[threading.Thread] = []
+        self._connections: set[_Connection] = set()
+        self._queue: deque[int] = deque()
+        self._jobs: dict[int, _Job] = {}
+        self._results: dict[int, tuple[str, object]] = {}
+        self._next_id = 0
+        self._closing = False
+        self._cv = threading.Condition()
+        # observability counters
+        self.workers_seen = 0
+        self.jobs_completed = 0
+        self.reschedules = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> str:
+        """Bind, start the accept loop, and return the bound address."""
+        if self._listener is not None:
+            return self.addr
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen()
+        self.port = listener.getsockname()[1]
+        self._listener = listener
+        thread = threading.Thread(
+            target=self._accept_loop, name="dist-accept", daemon=True
+        )
+        thread.start()
+        self._threads.append(thread)
+        return self.addr
+
+    @property
+    def addr(self) -> str:
+        """The ``host:port`` workers should connect to."""
+        return format_addr(self.host, self.port)
+
+    def shutdown(self) -> None:
+        """Stop accepting, disconnect workers, fail pending waits."""
+        with self._cv:
+            if self._closing:
+                return
+            self._closing = True
+            connections = list(self._connections)
+            self._cv.notify_all()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        for conn in connections:
+            self._drop_socket(conn.sock)
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
+    @staticmethod
+    def _drop_socket(sock: socket.socket) -> None:
+        try:
+            sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    # -- client API -----------------------------------------------------
+
+    def submit(self, payload: bytes) -> int:
+        """Enqueue one pickled job; returns its id."""
+        with self._cv:
+            if self._closing:
+                raise RuntimeError("coordinator is shut down")
+            job_id = self._next_id
+            self._next_id += 1
+            self._jobs[job_id] = _Job(id=job_id, payload=payload)
+            self._queue.append(job_id)
+            return job_id
+
+    def wait(
+        self,
+        job_ids: list[int],
+        timeout: float | None = None,
+        worker_grace: float = DEFAULT_WORKER_GRACE_S,
+    ) -> list[tuple[str, object]]:
+        """Block until every job resolves; results in ``job_ids`` order.
+
+        Each entry is ``("ok", payload_bytes)`` or ``("error", text)``.
+        Raises ``TimeoutError`` when ``timeout`` elapses first, and
+        ``RuntimeError`` when the cluster stays *empty* — no worker ever
+        connected, or every worker disconnected — for ``worker_grace``
+        seconds with work still pending (a mis-pointed address or a
+        fully-crashed worker fleet would otherwise block forever).
+        """
+        pending = set(job_ids)
+        deadline = time.monotonic() + timeout if timeout else None
+        empty_since = time.monotonic()
+        with self._cv:
+            while True:
+                pending -= self._results.keys()
+                if not pending:
+                    return [self._results[i] for i in job_ids]
+                if self._closing:
+                    raise RuntimeError(
+                        "coordinator shut down with jobs outstanding"
+                    )
+                now = time.monotonic()
+                if deadline is not None and now >= deadline:
+                    raise TimeoutError(
+                        f"{len(pending)} distributed jobs still pending"
+                    )
+                if self._connections:
+                    empty_since = None
+                elif empty_since is None:
+                    empty_since = now
+                if empty_since is not None \
+                        and now - empty_since >= worker_grace:
+                    what = ("no worker connected to" if self.workers_seen
+                            == 0 else "every worker disconnected from")
+                    raise RuntimeError(
+                        f"{what} {self.addr} for {worker_grace:.0f}s with "
+                        f"{len(pending)} jobs pending; start workers with "
+                        f"'python -m repro.cli worker --addr {self.addr}'"
+                    )
+                waits = [0.5]
+                if deadline is not None:
+                    waits.append(deadline - now)
+                if empty_since is not None:
+                    waits.append(empty_since + worker_grace - now)
+                self._cv.wait(timeout=max(0.01, min(waits)))
+
+    def forget(self, job_ids: list[int]) -> None:
+        """Drop resolved results the caller has consumed (bounded memory)."""
+        with self._cv:
+            for job_id in job_ids:
+                self._results.pop(job_id, None)
+                self._jobs.pop(job_id, None)
+
+    # -- connection handling --------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while True:
+            try:
+                sock, peer = self._listener.accept()
+            except OSError:
+                return  # listener closed: shutting down
+            conn = _Connection(sock=sock, peer=f"{peer[0]}:{peer[1]}")
+            with self._cv:
+                if self._closing:
+                    self._drop_socket(sock)
+                    return
+                self._connections.add(conn)
+                self.workers_seen += 1
+                self._cv.notify_all()
+            thread = threading.Thread(
+                target=self._serve, args=(conn,),
+                name=f"dist-conn-{conn.peer}", daemon=True,
+            )
+            thread.start()
+            # Prune threads of connections that already left, so an
+            # elastic cluster (workers joining/leaving at will) does not
+            # accumulate one dead Thread per connection forever.
+            self._threads = [
+                t for t in self._threads if t.is_alive()
+            ] + [thread]
+
+    def _serve(self, conn: _Connection) -> None:
+        """Handle one worker connection until it drops."""
+        try:
+            while True:
+                header, payload = recv_msg(conn.sock)
+                kind = header.get("type")
+                if kind == "hello":
+                    conn.name = str(header.get("worker", conn.peer))
+                elif kind == "request":
+                    self._handle_request(conn)
+                elif kind == "result":
+                    self._resolve(conn, int(header["job"]), ("ok", payload))
+                elif kind == "error":
+                    self._resolve(
+                        conn, int(header["job"]),
+                        ("error", str(header.get("error", "unknown error"))),
+                    )
+        except (ConnectionError, OSError, ValueError, KeyError):
+            pass
+        finally:
+            self._reap(conn)
+
+    def _handle_request(self, conn: _Connection) -> None:
+        with self._cv:
+            reply: tuple[dict, bytes | None] = ({"type": "idle"}, None)
+            if self._closing:
+                reply = ({"type": "shutdown"}, None)
+            else:
+                while self._queue:
+                    job = self._jobs.get(self._queue.popleft())
+                    if job is None or job.id in self._results:
+                        # Forgotten by the caller (abandoned batch) or
+                        # already resolved: skip, don't lease.
+                        continue
+                    job.attempts += 1
+                    conn.leases.add(job.id)
+                    reply = ({"type": "job", "job": job.id}, job.payload)
+                    break
+        send_msg(conn.sock, reply[0], reply[1])
+
+    def _resolve(self, conn: _Connection, job_id: int,
+                 result: tuple[str, object]) -> None:
+        with self._cv:
+            conn.leases.discard(job_id)
+            # Last write wins; duplicates (a rescheduled job finishing
+            # twice) are identical by construction, so this is benign.
+            self._results[job_id] = result
+            self.jobs_completed += 1
+            self._cv.notify_all()
+
+    def _reap(self, conn: _Connection) -> None:
+        """Connection died: reschedule its leases, drop its state."""
+        self._drop_socket(conn.sock)
+        with self._cv:
+            self._connections.discard(conn)
+            for job_id in sorted(conn.leases):
+                if job_id in self._results:
+                    continue
+                job = self._jobs.get(job_id)
+                if job is None:
+                    continue
+                if job.attempts >= self.max_attempts:
+                    self._results[job_id] = (
+                        "error",
+                        f"job {job_id} lost {job.attempts} workers "
+                        f"(last: {conn.name or conn.peer}); giving up",
+                    )
+                    self.jobs_completed += 1
+                else:
+                    # Front of the queue: a rescheduled job is the
+                    # oldest outstanding work, so it should not wait
+                    # behind the whole backlog again.
+                    self._queue.appendleft(job_id)
+                    self.reschedules += 1
+            conn.leases.clear()
+            self._cv.notify_all()

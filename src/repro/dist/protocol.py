@@ -1,0 +1,133 @@
+"""Wire protocol of the distributed evaluation service.
+
+Every message is one frame::
+
+    !II header          8 bytes: (header length, payload length)
+    header              UTF-8 JSON dict — message type + small fields
+    payload             optional pickle bytes — programs, platforms, metrics
+
+The JSON header keeps the control plane inspectable (a packet capture
+reads as ``{"type": "job", "job": 17}``), while the payload carries the
+arbitrary Python objects evaluation jobs need (platforms, generation
+options, knob configurations) through the same :mod:`pickle` boundary the
+process-pool backend already relies on.  Frames are self-delimiting, so
+one persistent connection carries the whole worker conversation.
+
+Message types
+-------------
+
+worker → coordinator:
+    ``hello``   announce (``worker`` name); first frame on a connection.
+    ``request`` ask for a job.
+    ``result``  finished job (``job`` id) + pickled metrics payload.
+    ``error``   job raised (``job`` id, ``error`` traceback text).
+
+coordinator → worker:
+    ``job``      a leased job (``job`` id) + pickled ``(fn, item)``.
+    ``idle``     queue empty right now; sleep briefly and re-request.
+    ``shutdown`` drain and disconnect.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import socket
+import struct
+from typing import Any
+
+#: (header length, payload length) frame prefix.
+_FRAME = struct.Struct("!II")
+
+#: Refuse absurd frames (corrupt prefix / non-protocol peer) before
+#: allocating buffers for them.
+MAX_FRAME_BYTES = 1 << 30
+
+
+class ProtocolError(ConnectionError):
+    """The peer sent bytes that are not a protocol frame."""
+
+
+def dumps_payload(obj: Any) -> bytes:
+    """Pickle one payload object for the wire."""
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def loads_payload(data: bytes) -> Any:
+    """Unpickle one payload received from the wire."""
+    return pickle.loads(data)
+
+
+def send_msg(sock: socket.socket, header: dict,
+             payload: bytes | None = None) -> None:
+    """Send one frame (header dict + optional pickle payload)."""
+    head = json.dumps(header, separators=(",", ":")).encode()
+    body = payload or b""
+    sock.sendall(_FRAME.pack(len(head), len(body)) + head + body)
+
+
+def recv_exact(sock: socket.socket, size: int) -> bytes:
+    """Read exactly ``size`` bytes; raise ``ConnectionError`` on EOF."""
+    chunks = []
+    remaining = size
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError("peer closed the connection mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_msg(sock: socket.socket) -> tuple[dict, bytes | None]:
+    """Receive one frame; returns ``(header, payload-or-None)``."""
+    head_len, body_len = _FRAME.unpack(recv_exact(sock, _FRAME.size))
+    if head_len > MAX_FRAME_BYTES or body_len > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame sizes ({head_len}, {body_len}) exceed the protocol cap"
+        )
+    try:
+        header = json.loads(recv_exact(sock, head_len).decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"unreadable frame header: {exc}") from exc
+    if not isinstance(header, dict) or "type" not in header:
+        raise ProtocolError(f"frame header has no type: {header!r}")
+    payload = recv_exact(sock, body_len) if body_len else None
+    return header, payload
+
+
+def parse_addr(addr: str) -> tuple[str, int]:
+    """``"host:port"`` → ``(host, port)`` (host defaults to localhost)."""
+    host, sep, port = addr.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(
+            f"dist address must look like 'host:port', got {addr!r}"
+        )
+    return host or "127.0.0.1", int(port)
+
+
+def format_addr(host: str, port: int) -> str:
+    """``(host, port)`` → the ``"host:port"`` spelling flags use."""
+    return f"{host}:{port}"
+
+
+def connect(addr: str, timeout: float | None = None,
+            retry_for: float = 0.0) -> socket.socket:
+    """Open a worker connection to the coordinator at ``addr``.
+
+    ``retry_for`` keeps retrying refused connections for that many
+    seconds — workers routinely start before the coordinator binds.
+    """
+    import time
+
+    host, port = parse_addr(addr)
+    deadline = time.monotonic() + retry_for
+    while True:
+        try:
+            sock = socket.create_connection((host, port), timeout=timeout)
+            sock.settimeout(None)
+            return sock
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.05)

@@ -1,0 +1,122 @@
+"""Worker side of the distributed evaluation service.
+
+A worker is a single loop: connect to the coordinator, announce itself,
+then pull one job at a time — each job is a pickled ``(fn, item)`` pair,
+typically :func:`repro.exec.jobs._evaluate_chunk` bound to a platform
+clone plus a chunk of knob configurations — execute it against this
+process's local state, and stream the pickled result back.  Exceptions
+travel back as ``error`` frames with the full traceback, so a bad knob
+configuration surfaces in the tuning process instead of silently
+stalling the queue.
+
+Workers are launched either by ``python -m repro.cli worker --addr
+host:port`` (any machine that can reach the coordinator) or spawned
+locally by :class:`~repro.dist.backend.DistributedBackend`.  With a
+``cache_dir``, the worker attaches the shared on-disk
+:class:`~repro.sim.artifact.DiskArtifactStore` before its first job, so
+every worker on the cluster reuses each trace artifact instead of
+recomputing it per process.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+import traceback
+
+from repro.dist.protocol import (
+    connect,
+    dumps_payload,
+    loads_payload,
+    recv_msg,
+    send_msg,
+)
+
+#: Seconds a worker sleeps after an ``idle`` reply before re-requesting.
+IDLE_POLL_S = 0.02
+
+
+def run_worker(
+    addr: str,
+    name: str | None = None,
+    cache_dir: str | None = None,
+    cache_max_entries: int | None = None,
+    connect_retry_s: float = 10.0,
+    max_jobs: int | None = None,
+) -> int:
+    """Serve jobs from the coordinator at ``addr`` until shutdown.
+
+    Args:
+        addr: coordinator ``host:port``.
+        name: worker name announced to the coordinator (defaults to
+            ``host-pid``).
+        cache_dir: shared cache directory; enables the on-disk trace
+            artifact store (under ``<cache_dir>/artifacts``) exactly as
+            the tuning process does.
+        cache_max_entries: artifact-store entry cap (LRU compaction).
+        connect_retry_s: how long to keep retrying the initial connect —
+            workers routinely start before the coordinator binds.
+        max_jobs: exit after this many jobs (test hook; ``None`` serves
+            until shutdown).
+
+    Returns:
+        The number of jobs executed (including ones that raised).
+    """
+    if cache_dir:
+        from repro.sim.artifact import attach_artifact_store
+
+        attach_artifact_store(
+            os.path.join(cache_dir, "artifacts"),
+            max_entries=cache_max_entries,
+        )
+    worker_name = name or f"{socket.gethostname()}-{os.getpid()}"
+    sock = connect(addr, retry_for=connect_retry_s)
+    executed = 0
+    try:
+        send_msg(sock, {"type": "hello", "worker": worker_name})
+        while max_jobs is None or executed < max_jobs:
+            send_msg(sock, {"type": "request"})
+            header, payload = recv_msg(sock)
+            kind = header.get("type")
+            if kind == "shutdown":
+                break
+            if kind == "idle":
+                time.sleep(IDLE_POLL_S)
+                continue
+            if kind != "job":
+                raise ConnectionError(f"unexpected frame {header!r}")
+            job_id = int(header["job"])
+            executed += 1
+            try:
+                fn, item = loads_payload(payload or b"")
+                result = fn(item)
+            except BaseException as exc:  # noqa: BLE001 — travels to caller
+                if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                    raise
+                send_msg(
+                    sock,
+                    {
+                        "type": "error",
+                        "job": job_id,
+                        "error": "".join(
+                            traceback.format_exception(exc)
+                        ).strip(),
+                    },
+                )
+            else:
+                send_msg(
+                    sock,
+                    {"type": "result", "job": job_id},
+                    dumps_payload(result),
+                )
+    except (ConnectionError, OSError):
+        # Coordinator went away: treat as shutdown.  Anything this
+        # worker held leased will be rescheduled on its side.
+        pass
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+    return executed

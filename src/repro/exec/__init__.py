@@ -4,11 +4,15 @@ The tuning stack above this package is backend-agnostic — tuners hand the
 :class:`~repro.tuning.evaluator.Evaluator` a *batch* of candidate knob
 configurations per epoch, the evaluator dedups them, and whatever remains
 is dispatched here.  :func:`backend_for` picks between in-process serial
-execution and a ``concurrent.futures`` process pool from the
+execution, a thread pool, a ``concurrent.futures`` process pool and the
+distributed coordinator/worker service (:mod:`repro.dist`) from the
 ``backend=``/``jobs=`` knobs of :class:`repro.core.config.MicroGradConfig`;
-:class:`DiskResultCache` persists finished evaluations across runs.
+:class:`DiskResultCache` persists finished evaluations across runs, and
+every backend carries the run's ``cache_dir`` so workers share the
+on-disk trace-artifact store.
 """
 
+from repro.dist.backend import DistributedBackend
 from repro.exec.backend import (
     ExecutionBackend,
     ProcessPoolBackend,
@@ -24,6 +28,7 @@ __all__ = [
     "SerialBackend",
     "ThreadBackend",
     "ProcessPoolBackend",
+    "DistributedBackend",
     "backend_for",
     "DiskResultCache",
     "evaluate_configs",

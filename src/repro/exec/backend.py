@@ -2,10 +2,11 @@
 
 Modeled on the worker-pool idiom of instrumentation infrastructures: the
 orchestration layer (tuners, the cloning driver) only ever says "run this
-function over these items"; *how* the items run — in-process, or fanned
-out over worker processes — is the backend's business.  Both backends
-preserve input order, so a tuning run is bit-identical regardless of which
-one executes it.
+function over these items"; *how* the items run — in-process, on a thread
+pool, fanned out over worker processes, or across a distributed cluster
+(:mod:`repro.dist`) — is the backend's business.  Every backend preserves
+input order, so a tuning run is bit-identical regardless of which one
+executes it.
 """
 
 from __future__ import annotations
@@ -16,12 +17,40 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Protocol, Sequence, runtime_checkable
 
 #: Recognized ``MicroGradConfig.backend`` spellings.
-BACKEND_NAMES = ("auto", "serial", "thread", "process")
+BACKEND_NAMES = ("auto", "serial", "thread", "process", "dist")
 
 
 def default_jobs() -> int:
     """Worker count used when ``jobs=0`` asks for "all cores"."""
     return max(1, (os.cpu_count() or 2) - 1)
+
+
+class CacheSettingsMixin:
+    """Shared ``cache_dir``/``cache_max_entries`` plumbing.
+
+    Every backend carries the run's cache settings so the job layer
+    (:func:`repro.exec.jobs.evaluate_configs`) can attach the shared
+    on-disk trace-artifact store in whichever process evaluation runs —
+    the calling process for serial/thread execution, each worker for
+    pools and distributed clusters.
+    """
+
+    cache_dir: str | None = None
+    cache_max_entries: int | None = None
+
+    def _set_cache(self, cache_dir: str | None,
+                   cache_max_entries: int | None) -> None:
+        self.cache_dir = cache_dir
+        self.cache_max_entries = cache_max_entries
+
+    def artifact_store_spec(self) -> tuple[str, int | None] | None:
+        """(store root, max entries) for workers, or ``None`` when off."""
+        if not self.cache_dir:
+            return None
+        return (
+            os.path.join(str(self.cache_dir), "artifacts"),
+            self.cache_max_entries,
+        )
 
 
 @runtime_checkable
@@ -40,11 +69,15 @@ class ExecutionBackend(Protocol):
         ...
 
 
-class SerialBackend:
+class SerialBackend(CacheSettingsMixin):
     """In-process, one-at-a-time execution — the reference backend."""
 
     name = "serial"
     jobs = 1
+
+    def __init__(self, cache_dir: str | None = None,
+                 cache_max_entries: int | None = None):
+        self._set_cache(cache_dir, cache_max_entries)
 
     def map(self, fn: Callable, items: Sequence) -> list:
         return [fn(item) for item in items]
@@ -53,7 +86,7 @@ class SerialBackend:
         pass
 
 
-class ThreadBackend:
+class ThreadBackend(CacheSettingsMixin):
     """Fan items out to an in-process thread pool.
 
     For platforms whose evaluation is dominated by pickling rather than
@@ -65,9 +98,12 @@ class ThreadBackend:
     so runs are bit-identical to serial execution.
     """
 
-    def __init__(self, jobs: int | None = None):
+    def __init__(self, jobs: int | None = None,
+                 cache_dir: str | None = None,
+                 cache_max_entries: int | None = None):
         self.jobs = jobs if jobs and jobs > 0 else default_jobs()
         self.name = f"thread[{self.jobs}]"
+        self._set_cache(cache_dir, cache_max_entries)
         self._pool: ThreadPoolExecutor | None = None
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
@@ -93,7 +129,7 @@ class ThreadBackend:
         self.close()
 
 
-class ProcessPoolBackend:
+class ProcessPoolBackend(CacheSettingsMixin):
     """Fan items out to a ``concurrent.futures`` process pool.
 
     The pool is created lazily on first use and reused across calls, so
@@ -103,9 +139,12 @@ class ProcessPoolBackend:
     — results are identical either way, only slower.
     """
 
-    def __init__(self, jobs: int | None = None):
+    def __init__(self, jobs: int | None = None,
+                 cache_dir: str | None = None,
+                 cache_max_entries: int | None = None):
         self.jobs = jobs if jobs and jobs > 0 else default_jobs()
         self.name = f"process[{self.jobs}]"
+        self._set_cache(cache_dir, cache_max_entries)
         self._pool: ProcessPoolExecutor | None = None
         self._broken = False
 
@@ -153,29 +192,87 @@ class ProcessPoolBackend:
             pass
 
 
-def backend_for(backend: str = "auto", jobs: int | None = 1) -> ExecutionBackend:
+def _make_serial(jobs, cache, dist):
+    return SerialBackend(**cache)
+
+
+def _make_thread(jobs, cache, dist):
+    return ThreadBackend(jobs, **cache)
+
+
+def _make_process(jobs, cache, dist):
+    return ProcessPoolBackend(jobs, **cache)
+
+
+def _make_dist(jobs, cache, dist):
+    from repro.dist.backend import DistributedBackend
+
+    return DistributedBackend(jobs, **cache, **dist)
+
+
+def _make_auto(jobs, cache, dist):
+    wants_parallel = jobs is not None and (jobs == 0 or jobs > 1)
+    return (ProcessPoolBackend(jobs, **cache) if wants_parallel
+            else SerialBackend(**cache))
+
+
+#: Registry mapping ``backend=`` spellings to factories; each factory
+#: takes ``(jobs, cache-settings dict, dist-settings dict)``.
+_BACKEND_FACTORIES = {
+    "serial": _make_serial,
+    "thread": _make_thread,
+    "process": _make_process,
+    "dist": _make_dist,
+    "auto": _make_auto,
+}
+
+
+def backend_for(
+    backend: str = "auto",
+    jobs: int | None = 1,
+    *,
+    cache_dir: str | None = None,
+    cache_max_entries: int | None = None,
+    dist_addr: str | None = None,
+    dist_workers: int | None = None,
+) -> ExecutionBackend:
     """Build the execution backend a config asks for.
 
     Args:
-        backend: ``"serial"``, ``"thread"``, ``"process"`` or ``"auto"``.
-            Auto picks the process pool whenever more than one job is
-            requested (``jobs > 1`` or ``jobs == 0`` meaning "all
-            cores"); ``"thread"`` suits native-execution platforms where
-            process pickling is pure overhead.
+        backend: ``"serial"``, ``"thread"``, ``"process"``, ``"dist"``
+            or ``"auto"``.  Auto picks the process pool whenever more
+            than one job is requested (``jobs > 1`` or ``jobs == 0``
+            meaning "all cores"); ``"thread"`` suits native-execution
+            platforms where process pickling is pure overhead;
+            ``"dist"`` fans out to coordinator/worker clusters
+            (:mod:`repro.dist`).
         jobs: worker count; ``0`` means all cores, ``None``/``1`` serial.
+        cache_dir: run cache directory, propagated to every backend so
+            workers can share the on-disk trace-artifact store.
+        cache_max_entries: cache entry cap (LRU compaction).
+        dist_addr: ``host:port`` the dist coordinator binds (dist only).
+        dist_workers: local worker processes the dist backend spawns
+            (dist only; ``0`` expects external ``repro.cli worker``\\ s).
     """
-    if backend not in BACKEND_NAMES:
+    try:
+        factory = _BACKEND_FACTORIES[backend]
+    except KeyError:
+        valid = "|".join(n for n in BACKEND_NAMES if n != "auto")
         raise ValueError(
-            f"backend must be one of {BACKEND_NAMES}, got {backend!r}"
+            f"unknown execution backend {backend!r}: valid backends are "
+            f"{valid} (or 'auto' to pick from the jobs count)"
+        ) from None
+    if backend != "dist" and (dist_addr is not None
+                              or dist_workers is not None):
+        # Silently ignoring these would leave remote workers pointed at
+        # a coordinator that never binds.
+        raise ValueError(
+            f"dist_addr/dist_workers only apply to backend='dist', "
+            f"got backend={backend!r}"
         )
-    if backend == "serial":
-        return SerialBackend()
-    if backend == "thread":
-        return ThreadBackend(jobs)
-    if backend == "process":
-        return ProcessPoolBackend(jobs)
-    wants_parallel = jobs is not None and (jobs == 0 or jobs > 1)
-    return ProcessPoolBackend(jobs) if wants_parallel else SerialBackend()
+    cache = {"cache_dir": cache_dir, "cache_max_entries": cache_max_entries}
+    dist = {"addr": dist_addr, "spawn_workers": dist_workers}
+    return factory(jobs, cache, dist)
 
 
 def chunk_evenly(items: Sequence, chunks: int) -> list[list]:

@@ -21,8 +21,19 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 def _evaluate_chunk(platform, options: GenerationOptions,
+                    store_spec: tuple[str, int | None] | None,
                     configs: list[dict]) -> list[dict[str, float]]:
-    """Generate and evaluate one contiguous chunk of configurations."""
+    """Generate and evaluate one contiguous chunk of configurations.
+
+    ``store_spec`` (the backend's ``artifact_store_spec()``) attaches the
+    shared on-disk trace-artifact store in whichever process the chunk
+    runs — attach is idempotent, so repeated chunks in a reused worker
+    pay nothing.
+    """
+    if store_spec is not None:
+        from repro.sim.artifact import attach_artifact_store
+
+        attach_artifact_store(store_spec[0], max_entries=store_spec[1])
     programs = [generate_test_case(config, options) for config in configs]
     return platform.evaluate_many(programs)
 
@@ -44,7 +55,8 @@ def evaluate_configs(
     if not configs:
         return []
     chunks = chunk_evenly(configs, backend.jobs)
-    job = partial(_evaluate_chunk, platform, options)
+    spec = getattr(backend, "artifact_store_spec", lambda: None)()
+    job = partial(_evaluate_chunk, platform, options, spec)
     results: list[dict[str, float]] = []
     for chunk_metrics in backend.map(job, chunks):
         results.extend(chunk_metrics)

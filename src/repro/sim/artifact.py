@@ -24,9 +24,13 @@ module-level :func:`artifact_for` uses a process-wide cache shared by
 from __future__ import annotations
 
 import hashlib
+import os
+import pickle
+import tempfile
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.isa.instructions import InstrClass
 from repro.isa.program import Program
@@ -289,6 +293,203 @@ class TraceArtifact:
             self._icache[key] = res
         return res
 
+    def memo_count(self) -> int:
+        """Total memoized stage results (cheap dirty check for stores)."""
+        return (
+            len(self._traces) + len(self._wrap) + len(self._dep)
+            + len(self._schedules) + len(self._memory)
+            + len(self._branches) + len(self._icache)
+        )
+
+
+class DiskArtifactStore:
+    """Shared on-disk store of :class:`TraceArtifact` pickles.
+
+    Worker processes (process pools, distributed workers, repeated CLI
+    runs) each used to rebuild every trace artifact from scratch; a
+    store shared through a common directory makes the cluster compute
+    each artifact — including its memoized event-simulation stages —
+    **once**, with everyone else loading the pickle.
+
+    Layout: ``root/<schema fingerprint>/<program fingerprint>-<budget>.pkl``.
+    The schema directory stamps every entry with the trace-artifact
+    semantics that produced it; after a semantics bump, old entries are
+    simply never looked at (and compaction of the active schema keeps
+    the store bounded).  Writes are atomic (temp + rename), so two
+    processes racing to store the same fingerprint can only ever publish
+    equivalent bytes — last writer wins, both entries are valid.
+
+    Args:
+        root: store directory (created if missing).
+        max_entries: optional cap on entries *within the active schema*;
+            least-recently-used pickles (by file mtime — hits re-touch)
+            are compacted away once exceeded.
+        schema: trace-semantics stamp; defaults to the fingerprint of
+            the running :data:`TRACE_SCHEMA`.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        max_entries: int | None = None,
+        schema: str | None = None,
+    ):
+        self.root = Path(root)
+        self.schema = schema or trace_schema_fingerprint()
+        self.dir = self.root / self.schema
+        try:
+            self.dir.mkdir(parents=True, exist_ok=True)
+        except (FileExistsError, NotADirectoryError) as exc:
+            raise ValueError(
+                f"artifact store root {str(self.root)!r} is not usable"
+            ) from exc
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._puts_since_compact = 0
+        self.set_max_entries(max_entries)
+
+    def set_max_entries(self, max_entries: int | None) -> None:
+        """(Re)apply an entry cap, compacting immediately if needed."""
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None)")
+        self.max_entries = max_entries
+        # Same amortization as DiskResultCache: a glob per put is
+        # O(entries), so compact every few writes.
+        self._compact_interval = (
+            min(64, max(1, max_entries // 8)) if max_entries else 0
+        )
+        if max_entries is not None:
+            self.compact()
+
+    def _path(self, fingerprint: str, instructions: int) -> Path:
+        return self.dir / f"{fingerprint}-{instructions}.pkl"
+
+    def get(self, fingerprint: str, instructions: int) -> TraceArtifact | None:
+        """Load the stored artifact for a key; ``None`` on any miss.
+
+        Unreadable or truncated pickles (a concurrent writer mid-publish
+        cannot cause this — renames are atomic — but a copied or damaged
+        store can) count as misses rather than errors.
+        """
+        path = self._path(fingerprint, instructions)
+        try:
+            artifact = pickle.loads(path.read_bytes())
+        except Exception:
+            self.misses += 1
+            return None
+        if (
+            not isinstance(artifact, TraceArtifact)
+            or artifact.fingerprint != fingerprint
+            or artifact.instructions != instructions
+        ):
+            self.misses += 1
+            return None
+        try:
+            # Hit: refresh recency so LRU compaction spares it.
+            os.utime(path)
+        except OSError:
+            pass
+        self.hits += 1
+        return artifact
+
+    def put(self, artifact: TraceArtifact) -> None:
+        """Persist one artifact (atomic; best-effort on full disks)."""
+        path = self._path(artifact.fingerprint, artifact.instructions)
+        try:
+            fd, tmp = tempfile.mkstemp(dir=self.dir, suffix=".tmp")
+        except OSError:
+            return
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(artifact, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except Exception:
+            # Best-effort by design: full disks, unpicklable injected
+            # state, or a thread memoizing into the artifact mid-dump
+            # (dict-changed-size) must never fail the evaluation itself.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return
+        if self.max_entries is not None:
+            self._puts_since_compact += 1
+            if self._puts_since_compact >= self._compact_interval:
+                self._puts_since_compact = 0
+                self.compact()
+
+    def compact(self) -> int:
+        """Evict least-recently-used entries beyond ``max_entries``."""
+        if self.max_entries is None:
+            return 0
+        entries = []
+        for path in self.dir.glob("*.pkl"):
+            try:
+                entries.append((path.stat().st_mtime, path))
+            except OSError:
+                continue
+        excess = len(entries) - self.max_entries
+        if excess <= 0:
+            return 0
+        entries.sort(key=lambda pair: pair[0])
+        removed = 0
+        for _, path in entries[:excess]:
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+        self.evictions += removed
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.dir.glob("*.pkl"))
+
+
+#: Process-wide store attached by :func:`attach_artifact_store`; every
+#: ``TraceArtifactCache`` built without an explicit ``store=`` consults
+#: it, so one call wires instance caches and the global cache alike.
+_ACTIVE_STORE: DiskArtifactStore | None = None
+
+#: Sentinel: "use whatever store is attached process-wide".
+_INHERIT = object()
+
+
+def attach_artifact_store(
+    root: str | Path, max_entries: int | None = None
+) -> DiskArtifactStore:
+    """Attach a process-wide on-disk artifact store rooted at ``root``.
+
+    Idempotent per root: re-attaching the same directory keeps the
+    existing store (and its hit/miss counters), though an explicit
+    ``max_entries`` is re-applied so a newly requested cap takes effect.
+    Execution backends call this in every worker when a ``cache_dir`` is
+    configured, and the ``repro.cli worker`` subcommand calls it at
+    startup, so one ``cache_dir=`` setting wires the whole cluster.
+    """
+    global _ACTIVE_STORE
+    root = Path(root)
+    if _ACTIVE_STORE is not None and _ACTIVE_STORE.root == root:
+        if max_entries is not None \
+                and max_entries != _ACTIVE_STORE.max_entries:
+            _ACTIVE_STORE.set_max_entries(max_entries)
+        return _ACTIVE_STORE
+    _ACTIVE_STORE = DiskArtifactStore(root, max_entries=max_entries)
+    return _ACTIVE_STORE
+
+
+def detach_artifact_store() -> None:
+    """Detach the process-wide store (tests, teardown)."""
+    global _ACTIVE_STORE
+    _ACTIVE_STORE = None
+
+
+def active_artifact_store() -> DiskArtifactStore | None:
+    """The store attached by :func:`attach_artifact_store`, if any."""
+    return _ACTIVE_STORE
+
 
 class TraceArtifactCache:
     """Bounded LRU cache of artifacts keyed by (fingerprint, budget).
@@ -301,14 +502,23 @@ class TraceArtifactCache:
     exists to share.
     """
 
-    def __init__(self, maxsize: int = 16):
+    def __init__(self, maxsize: int = 16, store=_INHERIT):
         if maxsize < 1:
             raise ValueError("artifact cache needs maxsize >= 1")
         self.maxsize = maxsize
+        self._store = store
         self._entries: OrderedDict[tuple, TraceArtifact] = OrderedDict()
+        self._persisted: dict[tuple, int] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+
+    @property
+    def store(self) -> DiskArtifactStore | None:
+        """This cache's on-disk store (process-wide one by default)."""
+        if self._store is _INHERIT:
+            return _ACTIVE_STORE
+        return self._store
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -316,11 +526,17 @@ class TraceArtifactCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._persisted.clear()
 
     def get_or_build(
         self, program: Program, instructions: int
     ) -> TraceArtifact:
-        """Fetch the artifact for (program content, budget), building on miss."""
+        """Fetch the artifact for (program content, budget), building on miss.
+
+        Misses consult the attached :class:`DiskArtifactStore` (when one
+        is configured) before building, so sibling processes sharing a
+        store directory build each artifact once between them.
+        """
         key = (program_fingerprint(program), instructions)
         with self._lock:
             artifact = self._entries.get(key)
@@ -329,13 +545,40 @@ class TraceArtifactCache:
                 self.hits += 1
                 return artifact
             self.misses += 1
-            artifact = TraceArtifact.build(
-                program, instructions, fingerprint=key[0]
-            )
+            store = self.store
+            if store is not None:
+                artifact = store.get(*key)
+                if artifact is not None:
+                    self._persisted[key] = artifact.memo_count()
+            if artifact is None:
+                artifact = TraceArtifact.build(
+                    program, instructions, fingerprint=key[0]
+                )
             self._entries[key] = artifact
             while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
+                dropped_key, _ = self._entries.popitem(last=False)
+                self._persisted.pop(dropped_key, None)
             return artifact
+
+    def persist(self, artifact: TraceArtifact) -> bool:
+        """Write ``artifact`` (with its memoized stages) to the store.
+
+        Called after an evaluation pass so the store captures the event
+        simulations memoized during it, not just the freshly built
+        shell.  No-op without a store or when nothing new was memoized
+        since the last persist.  Returns whether a write happened.
+        """
+        store = self.store
+        if store is None:
+            return False
+        key = (artifact.fingerprint, artifact.instructions)
+        with self._lock:
+            memos = artifact.memo_count()
+            if self._persisted.get(key) == memos:
+                return False
+            self._persisted[key] = memos
+        store.put(artifact)
+        return True
 
 
 #: Process-wide artifact cache: ``Simulator.run_many`` and
@@ -350,6 +593,8 @@ def artifact_for(
 ) -> TraceArtifact:
     """The shared artifact for (program, budget), via ``cache`` or the
     process-wide default."""
-    return (cache or GLOBAL_ARTIFACT_CACHE).get_or_build(
-        program, instructions
-    )
+    # Explicit None check: an *empty* cache is falsy (``__len__``), and
+    # ``cache or GLOBAL`` would silently bypass a fresh instance cache.
+    if cache is None:
+        cache = GLOBAL_ARTIFACT_CACHE
+    return cache.get_or_build(program, instructions)

@@ -76,12 +76,18 @@ class Simulator:
     # the pickled form keeps worker shipping cheap and — critically —
     # keeps the pickled bytes identical to pre-pipeline Simulators, so
     # platform-identity hashes (disk-cache contexts) survive unchanged.
+    # Unpickled simulators (i.e. worker-side platform clones) join the
+    # process-wide cache rather than getting a private one, so every
+    # chunk a worker evaluates — and the on-disk artifact store, when
+    # one is attached — shares trace work across the whole process.
     def __getstate__(self) -> dict:
         return {"core": self.core}
 
     def __setstate__(self, state: dict) -> None:
+        from repro.sim.artifact import GLOBAL_ARTIFACT_CACHE
+
         self.core = state["core"]
-        self._artifacts = TraceArtifactCache(maxsize=_INSTANCE_CACHE_SIZE)
+        self._artifacts = GLOBAL_ARTIFACT_CACHE
 
     # ------------------------------------------------------------------
     # staged pipeline
@@ -261,7 +267,14 @@ class Simulator:
         Returns:
             One :class:`SimStats` per core, in input order.
         """
+        cache = None
         if artifact is None:
+            from repro.sim.artifact import GLOBAL_ARTIFACT_CACHE
+
+            cache = (
+                artifact_cache if artifact_cache is not None
+                else GLOBAL_ARTIFACT_CACHE
+            )
             artifact = artifact_for(
                 program, instructions, cache=artifact_cache
             )
@@ -285,6 +298,10 @@ class Simulator:
             cls._event_pass(core, artifact, warmup_fraction)
             for core in cores
         ]
+        if cache is not None:
+            # Capture the stages this batch memoized in the on-disk
+            # artifact store (no-op unless one is attached).
+            cache.persist(artifact)
         timings = compute_cycles_batch([inputs for inputs, _ in passes])
         return [
             cls._assemble_stats(

@@ -1,0 +1,234 @@
+"""DistributedBackend tests: ordering, reuse, errors, bit-identity."""
+
+import threading
+
+import pytest
+
+from repro.codegen.wrapper import GenerationOptions
+from repro.core.platform import PerformancePlatform
+from repro.dist.backend import DistributedBackend
+from repro.dist.coordinator import Coordinator
+from repro.dist.protocol import dumps_payload, loads_payload
+from repro.dist.worker import run_worker
+from repro.exec.backend import SerialBackend, backend_for
+from repro.exec.jobs import evaluate_configs
+from repro.sim.config import core_by_name
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise ValueError(f"bad item {x}")
+
+
+class TestDistributedBackend:
+    def test_maps_in_order(self):
+        with DistributedBackend(spawn_workers=2) as backend:
+            assert backend.map(_square, list(range(12))) == [
+                n * n for n in range(12)
+            ]
+
+    def test_empty_batch_never_starts_cluster(self):
+        backend = DistributedBackend(spawn_workers=2)
+        assert backend.map(_square, []) == []
+        assert backend.coordinator is None
+        backend.close()
+
+    def test_coordinator_reused_across_batches(self):
+        with DistributedBackend(spawn_workers=2) as backend:
+            assert backend.map(_square, [1, 2]) == [1, 4]
+            coordinator = backend.coordinator
+            assert backend.map(_square, [3, 4]) == [9, 16]
+            assert backend.coordinator is coordinator
+
+    def test_worker_exception_propagates(self):
+        with DistributedBackend(spawn_workers=1) as backend:
+            with pytest.raises(RuntimeError, match="bad item 7"):
+                backend.map(_boom, [7])
+
+    def test_close_is_idempotent(self):
+        backend = DistributedBackend(spawn_workers=1)
+        backend.map(_square, [2])
+        backend.close()
+        backend.close()
+
+    def test_name_and_jobs(self):
+        backend = DistributedBackend(jobs=3, spawn_workers=2)
+        assert backend.name == "dist[3]"
+        assert backend.jobs == 3
+        backend.close()
+        addressed = DistributedBackend(addr="127.0.0.1:0", spawn_workers=0)
+        assert "@127.0.0.1:0" in addressed.name
+        addressed.close()
+
+    def test_external_worker_joins(self):
+        # A worker loop running elsewhere (here: a thread standing in for
+        # a remote host) serves jobs from an addressed coordinator.
+        backend = DistributedBackend(addr="127.0.0.1:0", spawn_workers=0,
+                                     worker_grace=20.0)
+        coordinator = backend._ensure_started()
+        assert coordinator is not None
+        worker = threading.Thread(
+            target=run_worker, args=(coordinator.addr,),
+            kwargs={"name": "external"}, daemon=True,
+        )
+        worker.start()
+        try:
+            assert backend.map(_square, [5, 6]) == [25, 36]
+        finally:
+            backend.close()
+            worker.join(timeout=5)
+
+    def test_backend_for_builds_dist(self):
+        backend = backend_for("dist", jobs=2, dist_workers=1)
+        try:
+            assert isinstance(backend, DistributedBackend)
+            assert backend.spawn_workers == 1
+            assert backend.map(_square, [3]) == [9]
+        finally:
+            backend.close()
+
+    def test_backend_for_propagates_cache_settings(self, tmp_path):
+        for name in ("serial", "thread", "process", "dist", "auto"):
+            backend = backend_for(name, jobs=2, cache_dir=str(tmp_path),
+                                  cache_max_entries=5)
+            assert backend.cache_dir == str(tmp_path)
+            assert backend.cache_max_entries == 5
+            root, cap = backend.artifact_store_spec()
+            assert root.endswith("artifacts")
+            assert cap == 5
+            backend.close()
+
+    def test_unknown_backend_lists_valid_names(self):
+        with pytest.raises(ValueError, match="serial|thread|process|dist"):
+            backend_for("gpu", jobs=1)
+
+    def test_dist_flags_rejected_on_other_backends(self):
+        # Silently dropping these would leave remote workers pointed at
+        # a coordinator that never binds.
+        with pytest.raises(ValueError, match="backend='dist'"):
+            backend_for("auto", jobs=4, dist_addr="127.0.0.1:9900")
+        with pytest.raises(ValueError, match="backend='dist'"):
+            backend_for("serial", jobs=1, dist_workers=2)
+
+    def test_explicit_addr_bind_failure_is_loud(self):
+        # A requested address that cannot bind must raise, not silently
+        # degrade to serial while remote workers spin on connect.
+        squatter = Coordinator()
+        addr = squatter.start()
+        try:
+            backend = DistributedBackend(addr=addr, spawn_workers=0)
+            with pytest.raises(RuntimeError, match="cannot bind"):
+                backend.map(_square, [1])
+        finally:
+            squatter.shutdown()
+
+    def test_implicit_addr_degrades_to_serial_on_bind_failure(self):
+        backend = DistributedBackend(spawn_workers=1)
+        backend._broken = True  # simulate an unbindable sandbox
+        assert backend.map(_square, [4]) == [16]
+        backend.close()
+
+
+class TestBitIdentity:
+    def test_dist_sweep_matches_serial_exactly(self):
+        configs = [
+            {"ADD": n % 5 + 1, "LD": n % 3, "REG_DIST": 2} for n in range(6)
+        ]
+        platform = PerformancePlatform(core_by_name("small"),
+                                       instructions=2_000)
+        options = GenerationOptions(loop_size=80)
+        serial = evaluate_configs(SerialBackend(), platform, options, configs)
+        with DistributedBackend(spawn_workers=2) as backend:
+            parallel = evaluate_configs(backend, platform, options, configs)
+        assert parallel == serial
+
+
+class TestCoordinator:
+    def test_submit_wait_roundtrip(self):
+        coordinator = Coordinator()
+        addr = coordinator.start()
+        worker = threading.Thread(target=run_worker, args=(addr,),
+                                  daemon=True)
+        worker.start()
+        try:
+            ids = [coordinator.submit(dumps_payload((_square, n)))
+                   for n in range(4)]
+            outcomes = coordinator.wait(ids, timeout=20)
+            assert [loads_payload(v) for _, v in outcomes] == [0, 1, 4, 9]
+            assert all(status == "ok" for status, _ in outcomes)
+        finally:
+            coordinator.shutdown()
+            worker.join(timeout=5)
+
+    def test_wait_times_out(self):
+        coordinator = Coordinator()
+        coordinator.start()
+        try:
+            job = coordinator.submit(dumps_payload((_square, 2)))
+            with pytest.raises(TimeoutError):
+                coordinator.wait([job], timeout=0.2, worker_grace=60.0)
+        finally:
+            coordinator.shutdown()
+
+    def test_empty_cluster_fails_after_grace(self):
+        coordinator = Coordinator()
+        coordinator.start()
+        try:
+            job = coordinator.submit(dumps_payload((_square, 2)))
+            with pytest.raises(RuntimeError, match="no worker connected"):
+                coordinator.wait([job], worker_grace=0.2)
+        finally:
+            coordinator.shutdown()
+
+    def test_fully_crashed_fleet_fails_after_grace(self):
+        # A cluster whose every worker died must not hang wait forever:
+        # the grace timer re-arms when the connection count hits zero.
+        coordinator = Coordinator()
+        addr = coordinator.start()
+        worker = threading.Thread(
+            target=run_worker, args=(addr,), kwargs={"max_jobs": 1},
+            daemon=True,
+        )
+        worker.start()
+        try:
+            first = coordinator.submit(dumps_payload((_square, 3)))
+            (status, payload), = coordinator.wait([first], timeout=20)
+            assert loads_payload(payload) == 9
+            worker.join(timeout=10)  # max_jobs reached: worker leaves
+            orphan = coordinator.submit(dumps_payload((_square, 4)))
+            with pytest.raises(RuntimeError,
+                               match="every worker disconnected"):
+                coordinator.wait([orphan], worker_grace=0.3)
+        finally:
+            coordinator.shutdown()
+
+    def test_submit_after_shutdown_rejected(self):
+        coordinator = Coordinator()
+        coordinator.start()
+        coordinator.shutdown()
+        with pytest.raises(RuntimeError):
+            coordinator.submit(b"x")
+
+    def test_forgotten_jobs_do_not_poison_workers(self):
+        # An abandoned batch (wait timed out, caller forgot the jobs)
+        # leaves stale ids in the queue; a worker requesting afterwards
+        # must skip them and keep serving, not lose its connection.
+        coordinator = Coordinator()
+        addr = coordinator.start()
+        stale = [coordinator.submit(dumps_payload((_square, n)))
+                 for n in range(3)]
+        coordinator.forget(stale)
+        worker = threading.Thread(target=run_worker, args=(addr,),
+                                  daemon=True)
+        worker.start()
+        try:
+            live = coordinator.submit(dumps_payload((_square, 9)))
+            (status, payload), = coordinator.wait([live], timeout=20)
+            assert status == "ok"
+            assert loads_payload(payload) == 81
+        finally:
+            coordinator.shutdown()
+            worker.join(timeout=5)
