@@ -4,6 +4,15 @@
 offline environment lacks it, so ``python setup.py develop`` (or this shim
 via pip's legacy path) provides the editable install instead.
 """
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="0.4.0",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    # Trace expansion and the vectorized stage-2 event engine need
+    # sliding_window_view (numpy >= 1.20).
+    install_requires=["numpy>=1.20"],
+)

@@ -53,7 +53,13 @@ MAX_MEASURE_ITERATIONS = 160
 #: change makes artifacts (and therefore metrics) non-bit-identical to
 #: earlier versions; persistent result caches record it per entry and
 #: treat a mismatch as a miss.
-TRACE_SCHEMA = "trace-artifact-v1"
+#:
+#: v2: warmup-accounting fixes in :mod:`repro.sim.events` (clamped
+#: warmup boundaries, warmup prefetch-hit leakage) changed event counts,
+#: and memoized stage-2 results are now keyed by the engine that
+#: produced them — v1 artifacts and result-cache entries must not be
+#: reused.
+TRACE_SCHEMA = "trace-artifact-v2"
 
 
 def trace_schema_fingerprint() -> str:
@@ -253,31 +259,54 @@ class TraceArtifact:
     # -- stage 2: per-core event simulations, memoized -------------------
 
     def memory_events(
-        self, core: CoreConfig, warmup_iters: int, iterations: int
+        self,
+        core: CoreConfig,
+        warmup_iters: int,
+        iterations: int,
+        engine: str | None = None,
     ) -> events.MemoryEvents:
-        """Cache/TLB/prefetch events; shared across equal hierarchies."""
-        key = events.memory_event_key(core) + (warmup_iters, iterations)
+        """Cache/TLB/prefetch events; shared across equal hierarchies.
+
+        Memo keys carry the resolved engine stamp: engines are
+        bit-identical, but keeping their entries distinct means a
+        persisted artifact can never satisfy a lookup with a result
+        produced under different engine semantics (and lets property
+        tests hold both engines' results side by side).
+        """
+        engine = events.resolve_engine(engine)
+        key = (
+            (engine,) + events.memory_event_key(core)
+            + (warmup_iters, iterations)
+        )
         res = self._memory.get(key)
         if res is None:
             trace = self.trace(iterations, core.l1d.line_bytes)
             res = events.simulate_memory(
-                core, trace, warmup_iters * self.mem_per_iter
+                core, trace, warmup_iters * self.mem_per_iter, engine=engine
             )
             self._memory[key] = res
         return res
 
     def branch_events(
-        self, core: CoreConfig, warmup_iters: int, iterations: int
+        self,
+        core: CoreConfig,
+        warmup_iters: int,
+        iterations: int,
+        engine: str | None = None,
     ) -> tuple[int, int]:
         """(mispredicts, lookups); shared across equal predictors."""
-        key = events.branch_event_key(core) + (warmup_iters, iterations)
+        engine = events.resolve_engine(engine)
+        key = (
+            (engine,) + events.branch_event_key(core)
+            + (warmup_iters, iterations)
+        )
         res = self._branches.get(key)
         if res is None:
             # Branch outcomes are independent of the cache line size, so
             # any trace with the right window length serves.
             trace = self.trace(iterations, core.l1d.line_bytes)
             res = events.simulate_branches(
-                core, trace, warmup_iters * self.br_per_iter
+                core, trace, warmup_iters * self.br_per_iter, engine=engine
             )
             self._branches[key] = res
         return res

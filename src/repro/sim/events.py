@@ -12,17 +12,70 @@ core parameters it reads.  The keys let :class:`~repro.sim.artifact.
 TraceArtifact` memoize event results across a batch of core configs: two
 configs that differ only in back-end width share one memory simulation
 bit-for-bit, which is where ``Simulator.run_many`` earns its speedup.
+
+Two engines implement the same semantics:
+
+* ``engine="reference"`` — the original per-access Python loops, kept as
+  the oracle for property tests and as a fallback;
+* ``engine="vectorized"`` (default) — numpy array kernels.  The gshare
+  predictor is evaluated with a segmented saturating-counter scan over
+  precomputed table indices; the memory hierarchy precomputes per-access
+  set indices and page numbers with numpy, detects the periodic
+  structure of the cyclic trace, simulates one steady-state cycle of the
+  cache/TLB/prefetcher state machine and extrapolates the remaining
+  periods instead of replaying them.
+
+Both engines are bit-identical: every event count an engine returns is
+exactly equal to the reference loop's.  ``REPRO_EVENT_ENGINE`` selects
+the process-wide default.
 """
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict, defaultdict
 from dataclasses import dataclass
+from itertools import repeat
+
+import numpy as np
 
 from repro.sim.branch import predictor_for_core
 from repro.sim.cache import cyclic_code_hits
 from repro.sim.config import CoreConfig
 from repro.sim.tlb import tlb_for_core
 from repro.sim.trace import ExpandedTrace
+
+#: Supported event-simulation engines.
+ENGINES = ("reference", "vectorized")
+
+#: Engine used when callers pass ``engine=None`` and the environment
+#: does not override it.
+DEFAULT_ENGINE = "vectorized"
+
+#: Environment override for the process-wide default engine.
+ENGINE_ENV_VAR = "REPRO_EVENT_ENGINE"
+
+# 64-byte lines, 4 KB pages: page = line >> 6.
+_PAGE_SHIFT = 6
+
+#: Cap on state snapshots taken while hunting for a steady-state cycle;
+#: traces that do not revisit a state within this many periods fall back
+#: to straight simulation of the remainder.
+_MAX_SNAPSHOTS = 32
+
+
+def resolve_engine(engine: str | None = None) -> str:
+    """Resolve an engine name, falling back to the configured default.
+
+    Raises:
+        ValueError: for names outside :data:`ENGINES`.
+    """
+    resolved = engine or os.environ.get(ENGINE_ENV_VAR) or DEFAULT_ENGINE
+    if resolved not in ENGINES:
+        raise ValueError(
+            f"unknown event engine {resolved!r}; choose from {ENGINES}"
+        )
+    return resolved
 
 
 @dataclass
@@ -56,16 +109,54 @@ def memory_event_key(core: CoreConfig) -> tuple:
     )
 
 
+def _clamped_warmup(warmup: int, total: int) -> int:
+    """Warmup boundary clamped into ``[0, total]``.
+
+    A requested warmup at or beyond the end of the trace leaves an empty
+    measurement window: nothing is counted (previously the counting flag
+    never flipped, so warmup-inclusive TLB counters leaked into an
+    otherwise all-zero result).
+    """
+    return min(max(warmup, 0), total)
+
+
 def simulate_memory(
-    core: CoreConfig, trace: ExpandedTrace, warmup_accesses: int
+    core: CoreConfig,
+    trace: ExpandedTrace,
+    warmup_accesses: int,
+    engine: str | None = None,
 ) -> MemoryEvents:
     """Drive the L1D/L2 hierarchy over the exact access trace.
 
-    This is the simulator's hot loop (tens of thousands of accesses per
-    evaluation, hundreds of evaluations per tuning run), so the per-set
-    LRU state is inlined as plain lists rather than going through
-    :class:`SetAssociativeCache` method calls.
+    Args:
+        core: core configuration (cache geometry, prefetcher, TLB).
+        trace: shared expanded trace.
+        warmup_accesses: leading accesses that warm state without being
+            counted; clamped to the trace length.
+        engine: event engine (:data:`ENGINES`); ``None`` uses the
+            process default.
     """
+    if resolve_engine(engine) == "vectorized":
+        return _simulate_memory_vectorized(core, trace, warmup_accesses)
+    return _simulate_memory_reference(core, trace, warmup_accesses)
+
+
+def _simulate_memory_reference(
+    core: CoreConfig, trace: ExpandedTrace, warmup_accesses: int
+) -> MemoryEvents:
+    """Per-access loop over the trace (the oracle engine).
+
+    The per-set LRU state is inlined as plain lists rather than going
+    through :class:`SetAssociativeCache` method calls; this loop is what
+    the vectorized engine must match bit for bit.
+    """
+    res = MemoryEvents()
+    lines = trace.mem_lines.tolist()
+    n = len(lines)
+    warmup = _clamped_warmup(warmup_accesses, n)
+    if warmup >= n:
+        return res
+
     l1_sets: list[list[int]] = [[] for _ in range(core.l1d.num_sets)]
     l2_sets: list[list[int]] = [[] for _ in range(core.l2.num_sets)]
     n1 = core.l1d.num_sets
@@ -77,19 +168,15 @@ def simulate_memory(
     rpt: dict[int, tuple[int, int, bool]] = {}
     prefetched: set[int] = set()
     tlb = tlb_for_core(core.name)
-    # 64-byte lines, 4 KB pages: page = line >> 6.
-    page_shift = 6
 
-    res = MemoryEvents()
-    lines = trace.mem_lines.tolist()
     stores = trace.mem_is_store.tolist()
     pcs = trace.mem_pcs.tolist()
-    counting = warmup_accesses == 0
+    counting = warmup == 0
     for k, (pc, line, is_store) in enumerate(zip(pcs, lines, stores)):
-        if not counting and k >= warmup_accesses:
+        if not counting and k >= warmup:
             counting = True
             tlb.reset_stats()
-        tlb.access(line << page_shift)
+        tlb.access(line << _PAGE_SHIFT)
         set1 = l1_sets[line % n1]
         if line in set1:
             set1.remove(line)
@@ -107,9 +194,15 @@ def simulate_memory(
             l2_hit = True
             set2.remove(line)
             set2.append(line)
-            if counting and line in prefetched:
+            # A prefetched line's first use consumes its prefetched
+            # mark whether or not the use lands in the measured window;
+            # only the *count* is gated on measuring.  (Discarding only
+            # while counting let warmup-covered prefetches inflate a
+            # later measured prefetch_hits.)
+            if line in prefetched:
                 prefetched.discard(line)
-                res.prefetch_hits += 1
+                if counting:
+                    res.prefetch_hits += 1
         else:
             l2_hit = False
             set2.append(line)
@@ -154,6 +247,337 @@ def simulate_memory(
     return res
 
 
+def _trace_period(trace: ExpandedTrace) -> int:
+    """Minimal iteration period of the memory access pattern (0 = none).
+
+    The generated loops expand to purely periodic per-iteration access
+    slabs (strided streams wrap their footprints, reuse windows repeat),
+    so the (lines, pcs, stores) arrays reshaped to one row per iteration
+    repeat with some row period ``p``.  Candidate periods are rows equal
+    to row 0; each is verified with a full shift comparison, so a
+    returned period is exact, never a heuristic.  The result is
+    core-independent and memoized on the trace, so one detection serves
+    every memory simulation of a config sweep.
+    """
+    if trace.min_period is not None:
+        return trace.min_period
+    trace.min_period = _detect_trace_period(trace)
+    return trace.min_period
+
+
+def _detect_trace_period(trace: ExpandedTrace) -> int:
+    n = int(trace.mem_lines.shape[0])
+    iters = trace.iterations
+    if iters <= 1 or n == 0 or n % iters:
+        return 0
+    m = n // iters
+    lines = np.ascontiguousarray(trace.mem_lines).reshape(iters, m)
+    pcs = np.ascontiguousarray(trace.mem_pcs).reshape(iters, m)
+    stores = np.ascontiguousarray(trace.mem_is_store).reshape(iters, m)
+    rows_eq = (
+        np.all(lines == lines[0], axis=1)
+        & np.all(pcs == pcs[0], axis=1)
+        & np.all(stores == stores[0], axis=1)
+    )
+    candidates = (np.nonzero(rows_eq[1:])[0] + 1)[:8]
+    for p in candidates.tolist():
+        if (
+            np.array_equal(lines[p:], lines[:-p])
+            and np.array_equal(pcs[p:], pcs[:-p])
+            and np.array_equal(stores[p:], stores[:-p])
+        ):
+            return int(p)
+    return 0
+
+
+class _MemoryKernel:
+    """Cache/TLB/prefetcher state machine over precomputed access arrays.
+
+    Owns exactly the per-access semantics of the reference loop; the
+    vectorized engine owns the schedule — which trace slices are
+    simulated and which whole steady-state cycles are skipped via
+    extrapolation.  Set indices and page numbers arrive precomputed
+    (numpy) so the inner loop does no address arithmetic.
+    """
+
+    #: Counter attributes, in :class:`MemoryEvents` field order followed
+    #: by the measured-window TLB counters.
+    _COUNTERS = (
+        "load_l1_misses", "load_l2_misses", "store_l1_misses",
+        "store_l2_misses", "l1d_hits", "l1d_accesses", "l2_hits",
+        "l2_accesses", "prefetch_installs", "prefetch_hits",
+        "tlb_hits", "tlb_misses",
+    )
+
+    def __init__(self, core: CoreConfig, lines, stores, pcs,
+                 set1_idx, set2_idx, pages):
+        # Access arrays stay numpy; run() converts just the slices it
+        # actually simulates (extrapolation skips most of the trace, so
+        # eager whole-trace .tolist() would dominate the engine's cost).
+        self.lines = lines
+        self.stores = stores
+        self.pcs = pcs
+        self.set1_idx = set1_idx
+        self.set2_idx = set2_idx
+        self.pages = pages
+        self.n1 = core.l1d.num_sets
+        self.n2 = core.l2.num_sets
+        self.a1 = core.l1d.assoc
+        self.a2 = core.l2.assoc
+        self.prefetching = core.l2_prefetcher
+        self.tlb_entries = tlb_for_core(core.name).entries
+        # Sets materialize lazily: only the footprint's sets ever exist,
+        # which also keeps state snapshots proportional to resident
+        # lines instead of cache geometry.
+        self.l1_sets: defaultdict[int, list[int]] = defaultdict(list)
+        self.l2_sets: defaultdict[int, list[int]] = defaultdict(list)
+        self.rpt: dict[int, tuple[int, int, bool]] = {}
+        self.prefetched: set[int] = set()
+        self.tlb_pages: OrderedDict[int, None] = OrderedDict()
+        for name in self._COUNTERS:
+            setattr(self, name, 0)
+
+    def snapshot_key(self) -> tuple:
+        """Hashable snapshot of every state bit that drives evolution."""
+        return (
+            tuple(sorted(
+                (s, tuple(w)) for s, w in self.l1_sets.items() if w
+            )),
+            tuple(sorted(
+                (s, tuple(w)) for s, w in self.l2_sets.items() if w
+            )),
+            tuple(sorted(self.rpt.items())),
+            frozenset(self.prefetched),
+            tuple(self.tlb_pages),
+        )
+
+    def counts_key(self) -> tuple:
+        return tuple(getattr(self, name) for name in self._COUNTERS)
+
+    def add_counts(self, delta: tuple, times: int) -> None:
+        """Extrapolate: add ``times`` repetitions of a per-cycle delta."""
+        for name, value in zip(self._COUNTERS, delta):
+            setattr(self, name, getattr(self, name) + value * times)
+
+    def finish(self) -> MemoryEvents:
+        return MemoryEvents(
+            load_l1_misses=self.load_l1_misses,
+            load_l2_misses=self.load_l2_misses,
+            store_l1_misses=self.store_l1_misses,
+            store_l2_misses=self.store_l2_misses,
+            l1d_hits=self.l1d_hits,
+            l1d_accesses=self.l1d_accesses,
+            l2_hits=self.l2_hits,
+            l2_accesses=self.l2_accesses,
+            prefetch_installs=self.prefetch_installs,
+            prefetch_hits=self.prefetch_hits,
+            dtlb_misses=self.tlb_misses,
+            dtlb_accesses=self.tlb_hits + self.tlb_misses,
+        )
+
+    def run(self, start: int, stop: int, counting: bool) -> None:
+        """Simulate accesses ``[start, stop)``, counting if measuring."""
+        if stop <= start:
+            return
+        l1_sets = self.l1_sets
+        l2_sets = self.l2_sets
+        a1 = self.a1
+        a2 = self.a2
+        n2 = self.n2
+        prefetching = self.prefetching
+        rpt = self.rpt
+        prefetched = self.prefetched
+        tlb_pages = self.tlb_pages
+        tlb_entries = self.tlb_entries
+        tlb_hits = tlb_misses = 0
+        l1d_hits = l1d_accesses = l2_hits = l2_accesses = 0
+        load_l1 = load_l2 = store_l1 = store_l2 = 0
+        pf_installs = pf_hits = 0
+        # Convert only the simulated slice to Python scalars; skip the
+        # columns this run cannot read (pcs feed only the prefetcher,
+        # store flags only the measured-window attribution).
+        pcs = (
+            self.pcs[start:stop].tolist() if self.prefetching
+            else repeat(0)
+        )
+        stores = (
+            self.stores[start:stop].tolist() if counting
+            else repeat(False)
+        )
+        for pc, line, is_store, s1, s2, page in zip(
+            pcs, self.lines[start:stop].tolist(), stores,
+            self.set1_idx[start:stop].tolist(),
+            self.set2_idx[start:stop].tolist(),
+            self.pages[start:stop].tolist(),
+        ):
+            if page in tlb_pages:
+                tlb_pages.move_to_end(page)
+                tlb_hits += 1
+            else:
+                tlb_misses += 1
+                if len(tlb_pages) >= tlb_entries:
+                    tlb_pages.popitem(last=False)
+                tlb_pages[page] = None
+            set1 = l1_sets[s1]
+            if line in set1:
+                set1.remove(line)
+                set1.append(line)
+                if counting:
+                    l1d_hits += 1
+                    l1d_accesses += 1
+                continue
+            set1.append(line)
+            if len(set1) > a1:
+                del set1[0]
+            set2 = l2_sets[s2]
+            if line in set2:
+                l2_hit = True
+                set2.remove(line)
+                set2.append(line)
+                if line in prefetched:
+                    prefetched.discard(line)
+                    if counting:
+                        pf_hits += 1
+            else:
+                l2_hit = False
+                set2.append(line)
+                if len(set2) > a2:
+                    evicted = set2[0]
+                    del set2[0]
+                    prefetched.discard(evicted)
+            if prefetching:
+                last_line, last_stride, confirmed = rpt.get(
+                    pc, (line, 0, False)
+                )
+                stride = line - last_line
+                if stride:
+                    confirmed = stride == last_stride
+                if confirmed and stride:
+                    for d in (1, 2):
+                        target = line + stride * d
+                        pset = l2_sets[target % n2]
+                        if target not in pset:
+                            pset.append(target)
+                            if len(pset) > a2:
+                                evicted = pset[0]
+                                del pset[0]
+                                prefetched.discard(evicted)
+                            prefetched.add(target)
+                            if counting:
+                                pf_installs += 1
+                rpt[pc] = (line, stride if stride else last_stride, confirmed)
+            if counting:
+                l1d_accesses += 1
+                l2_accesses += 1
+                if l2_hit:
+                    l2_hits += 1
+                if is_store:
+                    store_l1 += 1
+                    if not l2_hit:
+                        store_l2 += 1
+                else:
+                    load_l1 += 1
+                    if not l2_hit:
+                        load_l2 += 1
+        if counting:
+            self.tlb_hits += tlb_hits
+            self.tlb_misses += tlb_misses
+            self.l1d_hits += l1d_hits
+            self.l1d_accesses += l1d_accesses
+            self.l2_hits += l2_hits
+            self.l2_accesses += l2_accesses
+            self.load_l1_misses += load_l1
+            self.load_l2_misses += load_l2
+            self.store_l1_misses += store_l1
+            self.store_l2_misses += store_l2
+            self.prefetch_installs += pf_installs
+            self.prefetch_hits += pf_hits
+
+
+def _simulate_memory_vectorized(
+    core: CoreConfig, trace: ExpandedTrace, warmup_accesses: int
+) -> MemoryEvents:
+    """Array-kernel memory engine with steady-state extrapolation.
+
+    Per-access set indices, tags and page numbers are precomputed with
+    numpy; the LRU/TLB/prefetcher state machine then runs over the
+    minimal trace period, snapshotting state at period boundaries.  As
+    soon as a boundary state recurs, every later period is an exact
+    replay, so the remaining whole cycles are extrapolated (warmup:
+    state is simply known; measurement: per-cycle event deltas repeat)
+    and only the partial tail is simulated.  Bit-identical to
+    :func:`_simulate_memory_reference` by construction.
+    """
+    n = int(trace.mem_lines.shape[0])
+    warmup = _clamped_warmup(warmup_accesses, n)
+    if warmup >= n:
+        return MemoryEvents()
+
+    lines_arr = np.asarray(trace.mem_lines, dtype=np.int64)
+    kernel = _MemoryKernel(
+        core,
+        lines_arr,
+        np.asarray(trace.mem_is_store, dtype=bool),
+        np.asarray(trace.mem_pcs, dtype=np.int64),
+        lines_arr % core.l1d.num_sets,
+        lines_arr % core.l2.num_sets,
+        lines_arr >> _PAGE_SHIFT,
+    )
+
+    m = n // trace.iterations if trace.iterations else 0
+    p_acc = _trace_period(trace) * m
+    if p_acc == 0 or n < 2 * p_acc:
+        kernel.run(0, warmup, counting=False)
+        kernel.run(warmup, n, counting=True)
+        return kernel.finish()
+
+    # Snapshots are taken at positions congruent to the warmup boundary
+    # (mod the trace period): a warmup cycle then jumps *exactly* to the
+    # boundary, and the measurement phase detects its steady state from
+    # the very first counted period — no partial-period alignment runs.
+    pos = warmup % p_acc
+    kernel.run(0, pos, counting=False)
+    seen_warm: dict[tuple, int] = {}
+    while pos < warmup and len(seen_warm) < _MAX_SNAPSHOTS:
+        key = kernel.snapshot_key()
+        first = seen_warm.get(key)
+        if first is not None:
+            # State recurs with this cycle length; whole cycles are
+            # exact no-ops on state, so skip as many as fit.
+            cycle = pos - first
+            pos += (warmup - pos) // cycle * cycle
+            break
+        seen_warm[key] = pos
+        kernel.run(pos, pos + p_acc, counting=False)
+        pos += p_acc
+    kernel.run(pos, warmup, counting=False)
+
+    # Measurement: simulate counted periods until a boundary state
+    # recurs, then extrapolate that cycle's event deltas over the
+    # remaining whole cycles and simulate only the tail.
+    pos = warmup
+    seen: dict[tuple, tuple[int, tuple]] = {}
+    while n - pos >= p_acc and len(seen) < _MAX_SNAPSHOTS:
+        key = kernel.snapshot_key()
+        first = seen.get(key)
+        if first is not None:
+            first_pos, first_counts = first
+            cycle = pos - first_pos
+            counts = kernel.counts_key()
+            delta = tuple(
+                now - then for now, then in zip(counts, first_counts)
+            )
+            reps = (n - pos) // cycle
+            kernel.add_counts(delta, reps)
+            pos += reps * cycle
+            break
+        seen[key] = (pos, kernel.counts_key())
+        kernel.run(pos, pos + p_acc, counting=True)
+        pos += p_acc
+    kernel.run(pos, n, counting=True)
+    return kernel.finish()
+
+
 def branch_event_key(core: CoreConfig) -> tuple:
     """Every core parameter :func:`simulate_branches` reads."""
     reference = predictor_for_core(core.name)
@@ -161,16 +585,34 @@ def branch_event_key(core: CoreConfig) -> tuple:
 
 
 def simulate_branches(
-    core: CoreConfig, trace: ExpandedTrace, warmup_branches: int
+    core: CoreConfig,
+    trace: ExpandedTrace,
+    warmup_branches: int,
+    engine: str | None = None,
 ) -> tuple[int, int]:
     """gshare direction prediction over the exact outcome trace.
 
-    Functionally identical to :class:`repro.sim.branch.GSharePredictor`
-    but inlined with plain Python lists — this loop runs for every
-    dynamic branch of every evaluation and dominates tuning runtime
-    otherwise.  Returns ``(mispredicts, lookups)`` for the measured
-    window.
+    Functionally identical to :class:`repro.sim.branch.GSharePredictor`.
+    Returns ``(mispredicts, lookups)`` for the measured window, which
+    starts after ``warmup_branches`` (clamped) trained-but-uncounted
+    branches.
     """
+    if resolve_engine(engine) == "vectorized":
+        return _simulate_branches_vectorized(core, trace, warmup_branches)
+    return _simulate_branches_reference(core, trace, warmup_branches)
+
+
+def _simulate_branches_reference(
+    core: CoreConfig, trace: ExpandedTrace, warmup_branches: int
+) -> tuple[int, int]:
+    """Per-branch gshare loop (the oracle engine)."""
+    pcs = trace.branch_pcs.tolist()
+    outcomes = trace.branch_outcomes.tolist()
+    n = len(pcs)
+    warmup = _clamped_warmup(warmup_branches, n)
+    if warmup >= n:
+        return 0, 0
+
     entries, history_bits = branch_event_key(core)
     entry_mask = entries - 1
     history_mask = (1 << history_bits) - 1
@@ -179,11 +621,9 @@ def simulate_branches(
     history = 0
     mispredicts = 0
     lookups = 0
-    pcs = trace.branch_pcs.tolist()
-    outcomes = trace.branch_outcomes.tolist()
-    counting = warmup_branches == 0
+    counting = warmup == 0
     for k, (pc, taken) in enumerate(zip(pcs, outcomes)):
-        if not counting and k >= warmup_branches:
+        if not counting and k >= warmup:
             counting = True
         index = ((pc >> 2) ^ history) & entry_mask
         c = counters[index]
@@ -200,6 +640,93 @@ def simulate_branches(
                 counters[index] = c - 1
             history = (history << 1) & history_mask
     return mispredicts, lookups
+
+
+def _simulate_branches_vectorized(
+    core: CoreConfig, trace: ExpandedTrace, warmup_branches: int
+) -> tuple[int, int]:
+    """Closed-form gshare over numpy arrays.
+
+    The global history before branch ``k`` is just the previous
+    ``history_bits`` outcomes packed as bits (independent of the
+    counters), so every table index is precomputable.  Grouping accesses
+    by index then reduces each 2-bit saturating counter to a segmented
+    scan: a run of ±1 saturating steps composes into a clamp function
+    ``x -> min(b, max(a, x + d))``, which a Hillis–Steele doubling scan
+    evaluates for every prefix in ``O(log n)`` array passes.  The
+    prediction at each access applies the exclusive prefix to the
+    initial weakly-taken counter.  Bit-identical to the reference loop.
+    """
+    outcomes = np.asarray(trace.branch_outcomes, dtype=bool)
+    n = int(outcomes.shape[0])
+    warmup = _clamped_warmup(warmup_branches, n)
+    if warmup >= n:
+        return 0, 0
+
+    entries, history_bits = branch_event_key(core)
+    entry_mask = entries - 1
+    pcs = np.asarray(trace.branch_pcs, dtype=np.int64)
+
+    if history_bits > 0:
+        taken_bits = outcomes.astype(np.int64)
+        padded = np.concatenate(
+            [np.zeros(history_bits, dtype=np.int64), taken_bits]
+        )
+        windows = np.lib.stride_tricks.sliding_window_view(
+            padded, history_bits
+        )[:n]
+        # Window column j holds outcome k-history_bits+j, i.e. history
+        # bit history_bits-1-j.
+        weights = np.left_shift(
+            np.int64(1), np.arange(history_bits - 1, -1, -1, dtype=np.int64)
+        )
+        history = windows @ weights
+    else:
+        history = np.zeros(n, dtype=np.int64)
+    index = ((pcs >> 2) ^ history) & entry_mask
+
+    # Stable sort groups each table entry's accesses in program order.
+    order = np.argsort(index, kind="stable")
+    grouped = index[order]
+    taken_sorted = outcomes[order]
+
+    # Each step is f(x) = min(3, max(0, x + step)): triple (a=0, b=3, d).
+    a = np.zeros(n, dtype=np.int64)
+    b = np.full(n, 3, dtype=np.int64)
+    d = np.where(taken_sorted, 1, -1).astype(np.int64)
+    seg_start = np.empty(n, dtype=bool)
+    seg_start[0] = True
+    seg_start[1:] = grouped[1:] != grouped[:-1]
+
+    flag = seg_start.copy()
+    off = 1
+    while off < n:
+        prev_a, prev_b, prev_d = a[:-off], b[:-off], d[:-off]
+        cur_a, cur_b, cur_d = a[off:], b[off:], d[off:]
+        can = ~flag[off:]
+        comp_a = np.where(can, np.maximum(cur_a, prev_a + cur_d), cur_a)
+        comp_b = np.where(
+            can, np.minimum(cur_b, np.maximum(cur_a, prev_b + cur_d)), cur_b
+        )
+        comp_d = np.where(can, prev_d + cur_d, cur_d)
+        a[off:] = comp_a
+        b[off:] = comp_b
+        d[off:] = comp_d
+        flag[off:] = flag[off:] | flag[:-off]
+        off <<= 1
+
+    # Counter value *before* access k: exclusive prefix applied to the
+    # initial weakly-taken state (2).
+    state = np.empty(n, dtype=np.int64)
+    state[0] = 2
+    applied = np.minimum(b[:-1], np.maximum(a[:-1], 2 + d[:-1]))
+    state[1:] = np.where(seg_start[1:], 2, applied)
+
+    mis_sorted = (state >= 2) != taken_sorted
+    mispredicted = np.empty(n, dtype=bool)
+    mispredicted[order] = mis_sorted
+    mispredicts = int(np.count_nonzero(mispredicted[warmup:]))
+    return mispredicts, n - warmup
 
 
 def icache_event_key(core: CoreConfig) -> tuple:

@@ -95,15 +95,20 @@ class Simulator:
 
     @staticmethod
     def _event_pass(
-        core: CoreConfig, artifact: TraceArtifact, warmup_fraction: float
+        core: CoreConfig,
+        artifact: TraceArtifact,
+        warmup_fraction: float,
+        engine: str | None = None,
     ) -> tuple[IntervalInputs, dict]:
         """Stages 1-2 for one core: schedule, events, interval inputs."""
         warmup_iters, measure_iters = artifact.schedule(core, warmup_fraction)
         iterations = warmup_iters + measure_iters
 
-        mem = artifact.memory_events(core, warmup_iters, iterations)
+        mem = artifact.memory_events(
+            core, warmup_iters, iterations, engine=engine
+        )
         mispredicts, branch_lookups = artifact.branch_events(
-            core, warmup_iters, iterations
+            core, warmup_iters, iterations, engine=engine
         )
         i_hits, i_misses, i_l2_misses = artifact.icache_events(
             core, measure_iters
@@ -148,8 +153,7 @@ class Simulator:
         artifact: TraceArtifact,
         inputs: IntervalInputs,
         context: dict,
-        cycles: float,
-        breakdown: dict,
+        timing,
     ) -> SimStats:
         """Package one core's pipeline outputs into :class:`SimStats`."""
         mem = context["mem"]
@@ -172,6 +176,7 @@ class Simulator:
             mispredicts / branch_lookups if branch_lookups else 0.0
         )
 
+        cycles = timing.cycles
         return SimStats(
             core=core.name,
             instructions=total,
@@ -183,7 +188,8 @@ class Simulator:
             mispredict_rate=mispredict_rate,
             dtlb_miss_rate=dtlb_miss_rate,
             group_fractions=dict(artifact.group_fractions),
-            breakdown=breakdown,
+            breakdown=timing.breakdown,
+            binding_bound=timing.binding_bound,
             extra={
                 "iterations": context["measure_iters"],
                 "warmup_iterations": context["warmup_iters"],
@@ -211,6 +217,7 @@ class Simulator:
         instructions: int = DEFAULT_INSTRUCTIONS,
         warmup_fraction: float = 0.2,
         artifact: TraceArtifact | None = None,
+        engine: str | None = None,
     ) -> SimStats:
         """Simulate ``instructions`` dynamic instructions of ``program``.
 
@@ -223,6 +230,9 @@ class Simulator:
             artifact: optionally, a prebuilt trace artifact for this
                 (program, budget) pair — e.g. one shared by a
                 :class:`~repro.core.platform.CompositePlatform`.
+            engine: stage-2 event engine (``reference`` / ``vectorized``,
+                see :mod:`repro.sim.events`); ``None`` uses the process
+                default.  Engines are bit-identical.
 
         Returns:
             Measured-window statistics.
@@ -234,6 +244,7 @@ class Simulator:
             warmup_fraction=warmup_fraction,
             artifact=artifact,
             artifact_cache=self._artifacts,
+            engine=engine,
         )[0]
 
     @classmethod
@@ -245,6 +256,7 @@ class Simulator:
         warmup_fraction: float = 0.2,
         artifact: TraceArtifact | None = None,
         artifact_cache: TraceArtifactCache | None = None,
+        engine: str | None = None,
     ) -> list[SimStats]:
         """Simulate one program under a batch of core configurations.
 
@@ -263,6 +275,9 @@ class Simulator:
             artifact: optional prebuilt artifact for (program, budget).
             artifact_cache: cache to fetch/build the artifact through;
                 defaults to the process-wide artifact cache.
+            engine: stage-2 event engine (``reference`` / ``vectorized``);
+                ``None`` uses the process default.  Engines are
+                bit-identical, and event memoization is engine-stamped.
 
         Returns:
             One :class:`SimStats` per core, in input order.
@@ -295,7 +310,7 @@ class Simulator:
                 f"(fingerprint {artifact.fingerprint})"
             )
         passes = [
-            cls._event_pass(core, artifact, warmup_fraction)
+            cls._event_pass(core, artifact, warmup_fraction, engine=engine)
             for core in cores
         ]
         if cache is not None:
@@ -304,10 +319,8 @@ class Simulator:
             cache.persist(artifact)
         timings = compute_cycles_batch([inputs for inputs, _ in passes])
         return [
-            cls._assemble_stats(
-                core, artifact, inputs, context, cycles, breakdown
-            )
-            for core, (inputs, context), (cycles, breakdown) in zip(
+            cls._assemble_stats(core, artifact, inputs, context, timing)
+            for core, (inputs, context), timing in zip(
                 cores, passes, timings
             )
         ]

@@ -38,10 +38,9 @@ def _rows(stats: SimStats) -> list[tuple[str, float, str]]:
              f"fraction of {group} instructions")
         )
     for key, value in sorted(stats.breakdown.items()):
-        if isinstance(value, (int, float)):
-            rows.append(
-                (f"cycleBreakdown.{key}", float(value), "cycle component")
-            )
+        rows.append(
+            (f"cycleBreakdown.{key}", float(value), "cycle component")
+        )
     return rows
 
 
@@ -62,6 +61,12 @@ def write_stats_dump(stats: SimStats, path: str | Path | None = None) -> str:
         else:
             rendered = str(int(value))
         lines.append(f"{name:<42} {rendered:>16}  # {comment}")
+    if stats.binding_bound:
+        # Non-numeric stat: parse_stats_dump skips it by design.
+        lines.append(
+            f"{'cycleBreakdown.boundBy':<42} "
+            f"{stats.binding_bound:>16}  # binding throughput bound"
+        )
     lines.append(_FOOTER)
     text = "\n".join(lines) + "\n"
     if path is not None:

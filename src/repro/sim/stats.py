@@ -35,7 +35,11 @@ class SimStats:
         instructions: dynamic instructions in the measurement window.
         cycles: simulated cycles for that window.
         group_fractions: dynamic instruction distribution by group.
-        breakdown: cycle-component breakdown from the interval model.
+        breakdown: cycle-component breakdown from the interval model;
+            purely numeric (``sum(breakdown.values())`` is the cycle
+            total up to rounding).
+        binding_bound: name of the binding throughput bound (kept out of
+            ``breakdown`` so that dict stays numeric).
         extra: free-form counters (prefetch stats, raw miss counts, ...).
     """
 
@@ -50,6 +54,7 @@ class SimStats:
     dtlb_miss_rate: float = 0.0
     group_fractions: dict[str, float] = field(default_factory=dict)
     breakdown: dict[str, float] = field(default_factory=dict)
+    binding_bound: str = ""
     extra: dict[str, float] = field(default_factory=dict)
 
     def metrics(self) -> dict[str, float]:

@@ -10,7 +10,7 @@ into program order.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -44,6 +44,10 @@ class ExpandedTrace:
     branch_pcs: np.ndarray
     branch_outcomes: np.ndarray
     class_counts: dict[InstrClass, int]
+    #: Memoized minimal iteration period of the memory access pattern
+    #: (see repro.sim.events._trace_period); None until first computed.
+    #: Core-independent, so one detection serves a whole config sweep.
+    min_period: int | None = field(default=None, repr=False)
 
     @property
     def total_instructions(self) -> int:

@@ -5,8 +5,11 @@ import pytest
 from repro.isa.instructions import InstrClass
 from repro.sim.config import LARGE_CORE, SMALL_CORE
 from repro.sim.interval import (
+    BOUND_NAMES,
+    IntervalInputs,
     MissProfile,
     compute_cycles,
+    compute_cycles_batch,
     effective_mlp,
     throughput_cpi,
 )
@@ -73,8 +76,8 @@ class TestComputeCycles:
             misses=misses or MissProfile(),
         )
         defaults.update(kwargs)
-        cycles, breakdown = compute_cycles(core, **defaults)
-        return cycles, breakdown
+        result = compute_cycles(core, **defaults)
+        return result.cycles, result.breakdown
 
     def test_base_cycles_at_least_width_bound(self):
         cycles, _ = self._cycles()
@@ -103,9 +106,32 @@ class TestComputeCycles:
         assert stores < loads
 
     def test_dependency_bound_can_dominate(self):
-        cycles, breakdown = self._cycles(dep_cycles_per_iteration=500.0)
-        assert breakdown["binding_bound"] == "dependency"
-        assert cycles >= 1000 / 100 * 500 * 0.99
+        result = compute_cycles(
+            SMALL_CORE,
+            total_instructions=1000,
+            class_counts=_counts(alu=1000),
+            dep_cycles_per_iteration=500.0,
+            loop_size=100,
+            misses=MissProfile(),
+        )
+        assert result.binding_bound == "dependency"
+        assert result.cycles >= 1000 / 100 * 500 * 0.99
+
+    def test_breakdown_is_purely_numeric_and_sums_to_cycles(self):
+        result = compute_cycles(
+            SMALL_CORE,
+            total_instructions=1000,
+            class_counts=_counts(alu=900, ld=100),
+            dep_cycles_per_iteration=10.0,
+            loop_size=100,
+            misses=MissProfile(branch_mispredicts=5, load_l2_misses=7),
+        )
+        assert all(
+            isinstance(v, (int, float)) and not isinstance(v, str)
+            for v in result.breakdown.values()
+        )
+        assert sum(result.breakdown.values()) == pytest.approx(result.cycles)
+        assert result.binding_bound in BOUND_NAMES + ("dependency",)
 
     def test_icache_misses_stall_frontend(self):
         clean, _ = self._cycles()
@@ -117,3 +143,64 @@ class TestComputeCycles:
             compute_cycles(
                 SMALL_CORE, 0, _counts(alu=1), 1.0, 100, MissProfile()
             )
+
+
+class TestComputeCyclesBatch:
+    """Stage 3 as a numpy batch must be bit-identical to scalar calls."""
+
+    def _batch(self):
+        return [
+            IntervalInputs(
+                core=core,
+                total_instructions=total,
+                class_counts=counts,
+                dep_cycles_per_iteration=dep,
+                loop_size=loop,
+                misses=misses,
+                dependency_distance=dd,
+                parallel_streams=ps,
+            )
+            for core in (SMALL_CORE, LARGE_CORE)
+            for total, counts, dep, loop, misses, dd, ps in [
+                (1000, _counts(alu=1000), 10.0, 100, MissProfile(), 4.0, 1),
+                (4800, _counts(alu=2000, ld=1400, st=700, br=700),
+                 37.5, 160, MissProfile(branch_mispredicts=111,
+                                        icache_l1_misses=13,
+                                        load_l1_misses=222,
+                                        load_l2_misses=77,
+                                        store_l1_misses=55,
+                                        store_l2_misses=11,
+                                        dtlb_misses=29), 2.5, 3),
+                (900, _counts(div=300, fpdiv=300, fp=300), 5000.0, 90,
+                 MissProfile(icache_l2_misses=7), 1.0, 1),
+                (64, _counts(ld=64), 1.0, 1, MissProfile(dtlb_misses=64),
+                 16.0, 9),
+            ]
+        ]
+
+    def test_batch_bit_identical_to_scalar(self):
+        batch = self._batch()
+        batched = compute_cycles_batch(batch)
+        for inputs, result in zip(batch, batched):
+            scalar = compute_cycles(
+                inputs.core,
+                inputs.total_instructions,
+                inputs.class_counts,
+                inputs.dep_cycles_per_iteration,
+                inputs.loop_size,
+                inputs.misses,
+                dependency_distance=inputs.dependency_distance,
+                parallel_streams=inputs.parallel_streams,
+            )
+            assert result.cycles == scalar.cycles  # exact float equality
+            assert result.breakdown == scalar.breakdown
+            assert result.binding_bound == scalar.binding_bound
+
+    def test_empty_batch(self):
+        assert compute_cycles_batch([]) == []
+
+    def test_batch_rejects_nonpositive_instructions(self):
+        bad = self._batch()
+        bad[1].total_instructions = 0
+        with pytest.raises(ValueError):
+            compute_cycles_batch(bad)

@@ -111,9 +111,8 @@ class TestCrossCoreBehaviour:
     def test_breakdown_components_nonnegative(self):
         stats = _run()
         for key, value in stats.breakdown.items():
-            if key == "binding_bound":
-                continue
-            assert value >= 0.0
+            assert value >= 0.0, key
+        assert stats.binding_bound
 
 
 class TestAdaptiveWindow:
