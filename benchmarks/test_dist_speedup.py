@@ -57,6 +57,31 @@ def _chaos_eval(item):
     ).metrics()
 
 
+#: Small budget for the hung-worker pass: its jobs must finish far
+#: inside the short lease timeout the pass configures, so only the
+#: deliberately hung job ever expires.
+HUNG_INSTRUCTIONS = 2_000
+HUNG_LEASE_TIMEOUT_S = 3.0
+
+
+def _hung_eval(item):
+    """Hang forever on the poisoned config — but only the first time.
+
+    The worker process stays alive and keeps heartbeating (its
+    heartbeat thread is unaffected by the sleeping job), so neither EOF
+    detection nor heartbeat eviction fires: only the lease deadline can
+    recover the job.
+    """
+    sentinel, config, poisoned = item
+    if poisoned and not os.path.exists(sentinel):
+        open(sentinel, "w").close()
+        time.sleep(600)  # far past the lease timeout; killed at close()
+    program = generate_test_case(config, GenerationOptions(loop_size=80))
+    return Simulator(core_by_name("small")).run(
+        program, instructions=HUNG_INSTRUCTIONS
+    ).metrics()
+
+
 class TestDistributedSpeedup:
     def test_dist_sweep_matches_serial_and_reuses_artifacts(self, tmp_path):
         print_header(
@@ -118,6 +143,23 @@ class TestDistributedSpeedup:
             _chaos_eval((sentinel, config, False)) for config in SWEEP_CONFIGS
         ]
 
+        # Hung-worker pass: one worker goes to sleep mid-job without
+        # dropping its connection or its heartbeats; the lease deadline
+        # must reschedule the job and the results must not change.
+        hung_sentinel = str(tmp_path / "bench-hung-once")
+        hung_items = [(hung_sentinel, config, index == 2)
+                      for index, config in enumerate(SWEEP_CONFIGS)]
+        start = time.perf_counter()
+        with DistributedBackend(spawn_workers=WORKERS,
+                                lease_timeout=HUNG_LEASE_TIMEOUT_S) as backend:
+            hung_metrics = backend.map(_hung_eval, hung_items)
+            lease_expiries = backend.coordinator.lease_expiries
+        hung_s = time.perf_counter() - start
+        serial_hung = [
+            _hung_eval((hung_sentinel, config, False))
+            for config in SWEEP_CONFIGS
+        ]
+
         print(f"sweep        : {len(SWEEP_CONFIGS)} configurations "
               f"x {INSTRUCTIONS} instructions")
         print(f"serial       : {serial_s:6.2f} s")
@@ -126,6 +168,8 @@ class TestDistributedSpeedup:
         print(f"artifact hits: {hits}/{hits + misses} "
               f"(reuse rate {reuse_rate:.2f})")
         print(f"worker kill  : {reschedules} reschedule(s), results identical")
+        print(f"worker hang  : {lease_expiries} lease expiry(ies) in "
+              f"{hung_s:.2f} s, results identical")
         save_artifact("BENCH_dist", {
             "configs": len(SWEEP_CONFIGS),
             "instructions": INSTRUCTIONS,
@@ -139,12 +183,18 @@ class TestDistributedSpeedup:
             "artifact_reuse_rate": reuse_rate,
             "chaos_reschedules": reschedules,
             "chaos_identical": chaos_metrics == serial_chaos,
+            "hung_lease_timeout_s": HUNG_LEASE_TIMEOUT_S,
+            "hung_lease_expiries": lease_expiries,
+            "hung_recovery_s": hung_s,
+            "hung_identical": hung_metrics == serial_hung,
         })
 
         assert dist_metrics == serial_metrics    # bit-identical results
         assert rerun_metrics == serial_metrics   # store cannot change them
         assert chaos_metrics == serial_chaos     # worker death is invisible
         assert reschedules >= 1
+        assert hung_metrics == serial_hung       # a hung worker is invisible
+        assert lease_expiries >= 1
         assert hits >= 7, f"expected >= 7/8 artifact reuses, got {hits}"
         if cores >= 2 + 1:  # two workers plus the coordinating process
             assert speedup > SPEEDUP_TARGET, (

@@ -59,7 +59,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--dist-workers", type=int, default=None, metavar="N",
         help="local worker processes the dist backend spawns "
-             "(0: only external workers)",
+             "(0: only external workers); dead ones are respawned",
+    )
+    parser.add_argument(
+        "--dist-lease-timeout", type=float, default=None, metavar="S",
+        help="seconds a leased dist job may stay unresolved before the "
+             "coordinator reschedules it (default: coordinator's; set "
+             "above the worst-case single-job runtime)",
     )
 
 
@@ -67,7 +73,7 @@ def _execution_overrides(args: argparse.Namespace) -> dict:
     """The --jobs/--backend/--cache-*/--dist-* flags explicitly set."""
     overrides = {}
     for flag in ("jobs", "backend", "cache_dir", "cache_max_entries",
-                 "dist_addr", "dist_workers"):
+                 "dist_addr", "dist_workers", "dist_lease_timeout"):
         value = getattr(args, flag, None)
         if value is not None:
             overrides[flag] = value
@@ -151,8 +157,18 @@ def _cmd_cores(_args: argparse.Namespace) -> int:
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
-    from repro.dist.worker import run_worker
+    import signal
+    import threading
 
+    from repro.dist.worker import WORKER_HEARTBEAT_S, run_worker
+
+    stop = threading.Event()
+    try:
+        # SIGTERM drains gracefully: finish the job in hand, send its
+        # result, then disconnect — its lease never needs rescheduling.
+        signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    except ValueError:  # pragma: no cover — not the main thread
+        pass
     print(f"worker joining coordinator at {args.addr}", flush=True)
     executed = run_worker(
         args.addr,
@@ -161,6 +177,9 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         cache_max_entries=args.cache_max_entries,
         connect_retry_s=args.connect_retry,
         max_jobs=args.max_jobs,
+        heartbeat_s=(WORKER_HEARTBEAT_S if args.heartbeat is None
+                     else args.heartbeat),
+        stop=stop,
     )
     print(f"worker done ({executed} jobs)", flush=True)
     return 0
@@ -291,6 +310,11 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--connect-retry", type=float, default=10.0,
                         metavar="S", help="seconds to retry the initial "
                                           "connect (default 10)")
+    worker.add_argument("--heartbeat", type=float, default=None,
+                        metavar="S",
+                        help="ping interval proving liveness mid-job "
+                             "(default 2; 0 falls back to the v1 "
+                             "idle-polling protocol)")
     worker.add_argument("--max-jobs", type=int, default=None, metavar="N",
                         help="exit after N jobs (default: run until "
                              "the coordinator shuts down)")

@@ -79,6 +79,14 @@ class MicroGradConfig:
         dist_workers: local worker processes the dist backend spawns;
             ``None`` defaults to local fan-out when no ``dist_addr`` is
             given, ``0`` expects external ``repro.cli worker`` joins.
+            Spawned workers are kept alive by an elastic pool that
+            respawns any that die.
+        dist_lease_timeout: seconds a leased distributed job may stay
+            unresolved before the coordinator reschedules it on another
+            worker (livelocked-worker backstop; hung workers are
+            evicted faster via heartbeats).  ``None`` keeps the
+            coordinator default; set it above the worst-case single-job
+            runtime.
     """
 
     use_case: str = "cloning"
@@ -104,6 +112,7 @@ class MicroGradConfig:
     cache_max_entries: int | None = None
     dist_addr: str | None = None
     dist_workers: int | None = None
+    dist_lease_timeout: float | None = None
 
     def __post_init__(self) -> None:
         if self.use_case not in _VALID_USE_CASES:
@@ -140,6 +149,9 @@ class MicroGradConfig:
             raise ValueError("cache_max_entries must be >= 1 (or None)")
         if self.dist_workers is not None and self.dist_workers < 0:
             raise ValueError("dist_workers must be >= 0 (or None)")
+        if self.dist_lease_timeout is not None \
+                and self.dist_lease_timeout <= 0:
+            raise ValueError("dist_lease_timeout must be > 0 (or None)")
         if self.dist_addr is not None:
             from repro.dist.protocol import parse_addr
 

@@ -25,6 +25,7 @@ from repro.exec import (
     SerialBackend,
     backend_for,
     evaluate_configs,
+    evaluate_configs_stream,
     run_clone_jobs,
 )
 from repro.sim.artifact import (
@@ -82,6 +83,7 @@ class MicroGrad:
             cache_max_entries=config.cache_max_entries,
             dist_addr=config.dist_addr,
             dist_workers=config.dist_workers,
+            dist_lease_timeout=config.dist_lease_timeout,
         )
         self.disk_cache = (
             DiskResultCache(
@@ -162,6 +164,18 @@ class MicroGrad:
             knob_configs,
         )
 
+    def _evaluate_config_stream(self, knob_configs: list[dict]):
+        """Streaming twin of :meth:`_evaluate_config_batch`.
+
+        Yields per-config metrics in input order as the backend's
+        ``map_stream`` delivers chunks — the evaluator consumes this
+        when a caller asks for partial-epoch results (``on_result``).
+        """
+        yield from evaluate_configs_stream(
+            self.backend, self.platform, self._generation_options(),
+            knob_configs,
+        )
+
     def _cache_context(self) -> str:
         """Disk-cache identity: everything but the knob configuration.
 
@@ -191,6 +205,7 @@ class MicroGrad:
             self.knob_space,
             self._evaluate_config,
             batch_fn=self._evaluate_config_batch,
+            batch_stream_fn=self._evaluate_config_stream,
             disk_cache=self.disk_cache,
             cache_context=self._cache_context(),
         )

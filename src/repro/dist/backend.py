@@ -4,21 +4,22 @@ Selecting ``backend=dist`` gives every tuner and use case multi-host
 fan-out with zero call-site changes: the backend starts a
 :class:`~repro.dist.coordinator.Coordinator` inside the tuning process
 (bound to ``--dist-addr``, or an ephemeral loopback port), optionally
-spawns ``--dist-workers`` local worker processes, and then behaves
-exactly like every other backend — ``map(fn, items)`` in, ordered
-results out, bit-identical to serial execution.  Remote machines join
-the same run with ``python -m repro.cli worker --addr host:port``.
+keeps ``--dist-workers`` local worker processes alive through an elastic
+:class:`~repro.dist.worker.WorkerPool`, and then behaves exactly like
+every other backend — ``map(fn, items)`` in, ordered results out,
+bit-identical to serial execution.  ``map_stream`` yields the same
+results incrementally, as soon as each lands.  Remote machines join the
+same run with ``python -m repro.cli worker --addr host:port``.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
-from typing import Callable, Sequence
+from typing import Callable, Iterator, Sequence
 
 from repro.dist.coordinator import Coordinator
 from repro.dist.protocol import dumps_payload, loads_payload, parse_addr
-from repro.dist.worker import run_worker
+from repro.dist.worker import WorkerPool
 
 # Safe despite repro.exec.__init__ importing this module eagerly:
 # repro.exec.backend itself only imports repro.dist lazily (inside the
@@ -34,16 +35,26 @@ class DistributedBackend(CacheSettingsMixin):
     """Fan items out to workers connected over the dist protocol.
 
     Args:
-        jobs: chunking hint for callers (defaults to the worker count).
+        jobs: explicit chunking hint for callers; when omitted, the
+            hint tracks the *live* worker-connection count once the
+            cluster is up (an external cluster's size has nothing to do
+            with this host's core count), with the spawn count — or the
+            local-core default — as the pre-connect floor.
         addr: ``host:port`` the coordinator binds; ``None`` picks an
             ephemeral loopback port (purely local fan-out).
-        spawn_workers: local worker processes to launch; ``0`` expects
-            external workers to join (``repro.cli worker``).
+        spawn_workers: local worker processes to keep alive; ``0``
+            expects external workers to join (``repro.cli worker``).
         cache_dir: shared cache directory handed to spawned workers (and
             used locally) for the on-disk trace artifact store.
         cache_max_entries: artifact/result store entry cap.
         worker_grace: seconds ``map`` waits for a first worker before
             failing a run pointed at an empty cluster.
+        lease_timeout: seconds a leased job may stay unresolved before
+            the coordinator requeues it (``None`` = coordinator
+            default; see :data:`~repro.dist.coordinator.
+            DEFAULT_LEASE_TIMEOUT_S`).
+        respawn_budget: total local-worker respawns the elastic pool
+            may perform (``None`` = pool default, ``0`` disables).
 
     If the host cannot bind sockets or spawn processes at all
     (restricted sandboxes), the backend degrades to serial in-process
@@ -58,25 +69,49 @@ class DistributedBackend(CacheSettingsMixin):
         cache_dir: str | None = None,
         cache_max_entries: int | None = None,
         worker_grace: float = 60.0,
+        lease_timeout: float | None = None,
+        respawn_budget: int | None = None,
     ):
         if spawn_workers is None:
             # Nothing to connect remotely and nothing local would
             # deadlock; default to local fan-out when no addr is given.
             spawn_workers = 0 if addr else _default_local_workers()
         self.spawn_workers = spawn_workers
-        self.jobs = jobs if jobs and jobs > 0 else (
+        self._jobs_explicit = jobs if jobs and jobs > 0 else None
+        self._jobs_floor = self._jobs_explicit or (
             spawn_workers or _default_local_workers()
         )
         self.addr = addr
         self._set_cache(cache_dir, cache_max_entries)
         self.worker_grace = worker_grace
+        self.lease_timeout = lease_timeout
+        self.respawn_budget = respawn_budget
         self.name = (
-            f"dist[{self.jobs}]" if addr is None
-            else f"dist[{self.jobs}]@{addr}"
+            f"dist[{self._jobs_floor}]" if addr is None
+            else f"dist[{self._jobs_floor}]@{addr}"
         )
         self.coordinator: Coordinator | None = None
-        self._workers: list[multiprocessing.Process] = []
+        self.pool: WorkerPool | None = None
         self._broken = False
+
+    @property
+    def jobs(self) -> int:
+        """Chunking hint: live cluster size once workers have joined.
+
+        An explicit ``jobs=`` always wins.  Otherwise, once the
+        coordinator has connections, the hint is their count — sizing
+        chunks for an external cluster from this host's ``cpu_count``
+        would be unrelated to reality — and before the first connection
+        it falls back to the spawn-count/core-count floor.
+        """
+        if self._jobs_explicit is not None:
+            return self._jobs_explicit
+        coordinator = self.coordinator
+        if coordinator is not None:
+            live = coordinator.worker_count()
+            if live > 0:
+                return live
+        return self._jobs_floor
 
     # -- lifecycle ------------------------------------------------------
 
@@ -87,7 +122,10 @@ class DistributedBackend(CacheSettingsMixin):
             return self.coordinator
         host, port = ("127.0.0.1", 0) if self.addr is None \
             else parse_addr(self.addr)
-        coordinator = Coordinator(host=host, port=port)
+        kwargs = {}
+        if self.lease_timeout is not None:
+            kwargs["lease_timeout_s"] = self.lease_timeout
+        coordinator = Coordinator(host=host, port=port, **kwargs)
         try:
             bound = coordinator.start()
         except OSError as exc:
@@ -100,45 +138,36 @@ class DistributedBackend(CacheSettingsMixin):
                 ) from exc
             self._broken = True
             return None
-        try:
-            for index in range(self.spawn_workers):
-                proc = multiprocessing.Process(
-                    target=run_worker,
-                    args=(bound,),
-                    kwargs={
-                        "name": f"local-{index}",
-                        "cache_dir": self.cache_dir,
-                        "cache_max_entries": self.cache_max_entries,
-                    },
-                    daemon=True,
-                )
-                proc.start()
-                self._workers.append(proc)
-        except (OSError, PermissionError) as exc:
-            coordinator.shutdown()
-            self._reap_workers()
-            if self.addr is not None:
-                raise RuntimeError(
-                    f"cannot spawn local dist workers for {self.addr}: {exc}"
-                ) from exc
-            self._broken = True
-            return None
+        if self.spawn_workers:
+            pool = WorkerPool(
+                bound, self.spawn_workers,
+                cache_dir=self.cache_dir,
+                cache_max_entries=self.cache_max_entries,
+                respawn_budget=self.respawn_budget,
+            )
+            try:
+                pool.start()
+            except (OSError, PermissionError) as exc:
+                coordinator.shutdown()
+                pool.stop()
+                if self.addr is not None:
+                    raise RuntimeError(
+                        f"cannot spawn local dist workers for "
+                        f"{self.addr}: {exc}"
+                    ) from exc
+                self._broken = True
+                return None
+            self.pool = pool
         self.coordinator = coordinator
         return coordinator
-
-    def _reap_workers(self) -> None:
-        for proc in self._workers:
-            proc.join(timeout=2.0)
-            if proc.is_alive():
-                proc.terminate()
-                proc.join(timeout=2.0)
-        self._workers.clear()
 
     def close(self) -> None:
         if self.coordinator is not None:
             self.coordinator.shutdown()
             self.coordinator = None
-        self._reap_workers()
+        if self.pool is not None:
+            self.pool.stop()
+            self.pool = None
 
     def __enter__(self) -> "DistributedBackend":
         return self
@@ -156,24 +185,42 @@ class DistributedBackend(CacheSettingsMixin):
 
     def map(self, fn: Callable, items: Sequence) -> list:
         """Apply ``fn`` to every item via the cluster, in input order."""
+        return list(self.map_stream(fn, items))
+
+    def map_stream(self, fn: Callable, items: Sequence) -> Iterator:
+        """Yield ``fn(item)`` results in input order, as they resolve.
+
+        Identical results to :meth:`map`, but result ``i`` is yielded
+        as soon as jobs ``0..i`` have resolved — a tuner consuming the
+        stream sees early candidates while late ones still run.
+        """
         items = list(items)
         if not items:
-            return []
+            return
         coordinator = self._ensure_started()
         if coordinator is None:
-            return [fn(item) for item in items]
+            for item in items:
+                yield fn(item)
+            return
         job_ids = [
             coordinator.submit(dumps_payload((fn, item))) for item in items
         ]
         try:
-            outcomes = coordinator.wait(
+            landed: dict[int, tuple[str, object]] = {}
+            cursor = 0
+            for job_id, outcome in coordinator.as_completed(
                 job_ids, worker_grace=self.worker_grace
-            )
+            ):
+                landed[job_id] = outcome
+                while cursor < len(job_ids) and job_ids[cursor] in landed:
+                    status, value = landed.pop(job_ids[cursor])
+                    if status != "ok":
+                        raise RuntimeError(
+                            f"distributed job failed:\n{value}"
+                        )
+                    yield loads_payload(value)
+                    cursor += 1
         finally:
+            # Also covers abandoned streams (caller broke out early) and
+            # failed jobs: their queue entries become no-ops.
             coordinator.forget(job_ids)
-        results = []
-        for outcome, value in outcomes:
-            if outcome != "ok":
-                raise RuntimeError(f"distributed job failed:\n{value}")
-            results.append(loads_payload(value))
-        return results

@@ -2,16 +2,30 @@
 
 One :class:`Coordinator` runs inside the tuning process.  It listens on a
 TCP address, hands queued jobs to whatever workers connect, tracks which
-jobs each connection currently holds (its *leases*), and — when a
-connection dies with leases outstanding — puts those jobs back at the
-front of the queue for the surviving workers.  Callers interact with it
-like a future store: :meth:`submit` enqueues pickled jobs,
-:meth:`wait` blocks until a set of job ids has resolved.
+jobs each connection currently holds (its *leases*), and reschedules
+jobs whose worker dies or goes silent.  Callers interact with it like a
+future store: :meth:`submit` enqueues pickled jobs, :meth:`wait` blocks
+until a set of job ids has resolved, and :meth:`as_completed` streams
+``(job_id, outcome)`` pairs as results land.
 
-Fault model: a worker that disappears (crash, OOM kill, network cut)
-loses only wall-clock time — its leased jobs are rescheduled, and because
-jobs are pure functions of their pickled inputs, a rerun produces the
-identical result.  A job whose worker dies ``max_attempts`` times is
+Fault model — three detectors, coarsest to finest:
+
+* **EOF** — a worker that crashes or is killed closes (or resets) its
+  connection; its leases are requeued immediately (:meth:`_reap`).
+* **Heartbeat eviction** — a *hung* worker (stuck syscall, frozen VM,
+  NAT half-open) keeps its socket open but stops sending ``ping``
+  frames; once nothing has been received for ``heartbeat_timeout_s``
+  the monitor thread closes the connection, which funnels into the same
+  reap path.  Only protocol >= 2 connections heartbeat, so v1 workers
+  are never evicted for silence.
+* **Lease deadlines** — a *livelocked* worker heartbeats happily but
+  never finishes its job; each lease carries a deadline
+  (``lease_timeout_s``) after which the monitor thread requeues the job
+  at the front of the queue.  Jobs are pure functions of their pickled
+  inputs, so the rerun is bit-identical and a late duplicate result is
+  simply dropped.
+
+A job that gets leased ``max_attempts`` times without resolving is
 declared poisonous and surfaces as an error instead of cycling forever.
 """
 
@@ -23,11 +37,33 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 
-from repro.dist.protocol import format_addr, recv_msg, send_msg
+from repro.dist.protocol import (
+    ReceiveTimeout,
+    format_addr,
+    recv_msg,
+    send_msg,
+)
 
 #: How long :meth:`Coordinator.wait` tolerates an empty cluster before
 #: concluding no worker will ever arrive.
 DEFAULT_WORKER_GRACE_S = 60.0
+
+#: Default lease deadline: generous, because an expired lease on a
+#: merely *slow* worker wastes a rerun (benign) and burns an attempt
+#: (not benign once it reaches ``max_attempts``).  Hung workers are
+#: caught much faster by heartbeat eviction; this is the backstop for
+#: livelocked ones.  Set it above the worst-case single-job runtime.
+DEFAULT_LEASE_TIMEOUT_S = 600.0
+
+#: Evict a protocol >= 2 connection when nothing — pings included —
+#: has arrived for this long.  Workers ping every couple of seconds
+#: (:data:`repro.dist.worker.WORKER_HEARTBEAT_S`), so this tolerates
+#: deep scheduler stalls without false positives.
+DEFAULT_HEARTBEAT_TIMEOUT_S = 30.0
+
+#: Serve/monitor loop wake-up ceiling (they wake earlier when the
+#: configured timeouts are shorter, e.g. in tests).
+_TICK_CEILING_S = 0.25
 
 
 @dataclass
@@ -46,7 +82,21 @@ class _Connection:
     sock: socket.socket
     peer: str
     name: str = ""
-    leases: set[int] = field(default_factory=set)
+    proto: int = 1
+    #: heartbeat interval the worker advertised in ``hello`` (0 = none).
+    heartbeat_s: float = 0.0
+    #: job id -> monotonic lease deadline (``inf`` when timeouts are off).
+    leases: dict[int, float] = field(default_factory=dict)
+    #: monotonic time of the last frame received (any type).
+    last_recv: float = field(default_factory=time.monotonic)
+    #: a v2 connection waiting for work (blocked ``request``).
+    hungry: bool = False
+    #: serializes frame writes — serve, monitor and submit threads all
+    #: send on the same socket.
+    send_lock: threading.Lock = field(default_factory=threading.Lock)
+    #: eviction already triggered (the reap may still be in flight).
+    evicting: bool = False
+    reaped: bool = False
 
 
 class Coordinator:
@@ -56,17 +106,32 @@ class Coordinator:
         host: interface to bind (default loopback).
         port: TCP port; ``0`` picks a free ephemeral port.
         max_attempts: times a job may be leased before a repeated
-            worker death marks it failed (guards against poison jobs
-            that crash every worker they touch).
+            worker loss marks it failed (guards against poison jobs
+            that take down every worker they touch).
+        lease_timeout_s: seconds a leased job may stay unresolved
+            before the monitor thread requeues it (``None`` disables
+            lease deadlines; death/eviction rescheduling still works).
+        heartbeat_timeout_s: seconds of total silence after which a
+            protocol >= 2 connection is evicted (``None`` disables
+            eviction; EOF detection still works).
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 max_attempts: int = 3):
+                 max_attempts: int = 3,
+                 lease_timeout_s: float | None = DEFAULT_LEASE_TIMEOUT_S,
+                 heartbeat_timeout_s: float | None =
+                 DEFAULT_HEARTBEAT_TIMEOUT_S):
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if lease_timeout_s is not None and lease_timeout_s <= 0:
+            raise ValueError("lease_timeout_s must be > 0 (or None)")
+        if heartbeat_timeout_s is not None and heartbeat_timeout_s <= 0:
+            raise ValueError("heartbeat_timeout_s must be > 0 (or None)")
         self.host = host
         self.port = port
         self.max_attempts = max_attempts
+        self.lease_timeout_s = lease_timeout_s
+        self.heartbeat_timeout_s = heartbeat_timeout_s
         self._listener: socket.socket | None = None
         self._threads: list[threading.Thread] = []
         self._connections: set[_Connection] = set()
@@ -80,11 +145,13 @@ class Coordinator:
         self.workers_seen = 0
         self.jobs_completed = 0
         self.reschedules = 0
+        self.lease_expiries = 0
+        self.evictions = 0
 
     # -- lifecycle ------------------------------------------------------
 
     def start(self) -> str:
-        """Bind, start the accept loop, and return the bound address."""
+        """Bind, start the accept + monitor loops, return the address."""
         if self._listener is not None:
             return self.addr
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -93,17 +160,27 @@ class Coordinator:
         listener.listen()
         self.port = listener.getsockname()[1]
         self._listener = listener
-        thread = threading.Thread(
-            target=self._accept_loop, name="dist-accept", daemon=True
-        )
-        thread.start()
-        self._threads.append(thread)
+        threads = [
+            threading.Thread(target=self._accept_loop, name="dist-accept",
+                             daemon=True),
+            threading.Thread(target=self._monitor_loop, name="dist-monitor",
+                             daemon=True),
+        ]
+        for thread in threads:
+            thread.start()
+        with self._cv:
+            self._threads.extend(threads)
         return self.addr
 
     @property
     def addr(self) -> str:
         """The ``host:port`` workers should connect to."""
         return format_addr(self.host, self.port)
+
+    def worker_count(self) -> int:
+        """Live worker connections right now."""
+        with self._cv:
+            return len(self._connections)
 
     def shutdown(self) -> None:
         """Stop accepting, disconnect workers, fail pending waits."""
@@ -112,6 +189,7 @@ class Coordinator:
                 return
             self._closing = True
             connections = list(self._connections)
+            threads = list(self._threads)
             self._cv.notify_all()
         if self._listener is not None:
             try:
@@ -119,8 +197,9 @@ class Coordinator:
             except OSError:
                 pass
         for conn in connections:
-            self._drop_socket(conn.sock)
-        for thread in self._threads:
+            # Shutdown only: each serve thread closes its own fd.
+            self._disconnect_socket(conn.sock)
+        for thread in threads:
             thread.join(timeout=2.0)
 
     @staticmethod
@@ -134,6 +213,31 @@ class Coordinator:
         except OSError:
             pass
 
+    @staticmethod
+    def _disconnect_socket(sock: socket.socket) -> None:
+        """Shut the socket down without closing its fd.
+
+        Threads other than a connection's own serve thread must never
+        ``close()`` it: the serve thread may be blocked in
+        ``select``/``recv`` on that fd, and closing would let the
+        kernel reuse the number for a newly accepted worker — the stale
+        serve thread would then read the *new* connection's frames.
+        ``shutdown`` wakes the serve thread with EOF instead, and the
+        serve thread closes the fd itself on exit.
+        """
+        try:
+            sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+
+    def _tick_s(self) -> float:
+        """Wake-up period for the serve/monitor loops."""
+        tick = _TICK_CEILING_S
+        for bound in (self.lease_timeout_s, self.heartbeat_timeout_s):
+            if bound is not None:
+                tick = min(tick, bound / 4.0)
+        return max(0.01, tick)
+
     # -- client API -----------------------------------------------------
 
     def submit(self, payload: bytes) -> int:
@@ -145,31 +249,36 @@ class Coordinator:
             self._next_id += 1
             self._jobs[job_id] = _Job(id=job_id, payload=payload)
             self._queue.append(job_id)
-            return job_id
+        self._dispatch()
+        return job_id
 
-    def wait(
+    def wait_next(
         self,
-        job_ids: list[int],
+        job_ids,
         timeout: float | None = None,
         worker_grace: float = DEFAULT_WORKER_GRACE_S,
-    ) -> list[tuple[str, object]]:
-        """Block until every job resolves; results in ``job_ids`` order.
+    ) -> tuple[int, tuple[str, object]]:
+        """Block until *one* of ``job_ids`` resolves; return it.
 
-        Each entry is ``("ok", payload_bytes)`` or ``("error", text)``.
-        Raises ``TimeoutError`` when ``timeout`` elapses first, and
+        Returns ``(job_id, outcome)`` for the first resolved id in
+        ``job_ids`` order.  Raises ``TimeoutError`` when ``timeout``
+        (which may be ``0`` for a pure poll) elapses first, and
         ``RuntimeError`` when the cluster stays *empty* — no worker ever
         connected, or every worker disconnected — for ``worker_grace``
-        seconds with work still pending (a mis-pointed address or a
-        fully-crashed worker fleet would otherwise block forever).
+        seconds (a mis-pointed address or a fully-crashed worker fleet
+        would otherwise block forever).
         """
-        pending = set(job_ids)
-        deadline = time.monotonic() + timeout if timeout else None
+        job_ids = list(job_ids)
+        if not job_ids:
+            raise ValueError("wait_next needs at least one job id")
+        deadline = None if timeout is None else time.monotonic() + timeout
         empty_since = time.monotonic()
         with self._cv:
             while True:
-                pending -= self._results.keys()
-                if not pending:
-                    return [self._results[i] for i in job_ids]
+                for job_id in job_ids:
+                    outcome = self._results.get(job_id)
+                    if outcome is not None:
+                        return job_id, outcome
                 if self._closing:
                     raise RuntimeError(
                         "coordinator shut down with jobs outstanding"
@@ -177,7 +286,7 @@ class Coordinator:
                 now = time.monotonic()
                 if deadline is not None and now >= deadline:
                     raise TimeoutError(
-                        f"{len(pending)} distributed jobs still pending"
+                        f"{len(job_ids)} distributed jobs still pending"
                     )
                 if self._connections:
                     empty_since = None
@@ -189,7 +298,7 @@ class Coordinator:
                             == 0 else "every worker disconnected from")
                     raise RuntimeError(
                         f"{what} {self.addr} for {worker_grace:.0f}s with "
-                        f"{len(pending)} jobs pending; start workers with "
+                        f"{len(job_ids)} jobs pending; start workers with "
                         f"'python -m repro.cli worker --addr {self.addr}'"
                     )
                 waits = [0.5]
@@ -198,6 +307,46 @@ class Coordinator:
                 if empty_since is not None:
                     waits.append(empty_since + worker_grace - now)
                 self._cv.wait(timeout=max(0.01, min(waits)))
+
+    def as_completed(
+        self,
+        job_ids,
+        timeout: float | None = None,
+        worker_grace: float = DEFAULT_WORKER_GRACE_S,
+    ):
+        """Yield ``(job_id, outcome)`` as results land, in landing order.
+
+        ``timeout`` bounds the *whole* iteration, not each step.  Ids
+        already resolved yield immediately; duplicates in ``job_ids``
+        yield once.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        pending = list(dict.fromkeys(job_ids))  # de-dup, keep order
+        while pending:
+            remaining = None if deadline is None \
+                else max(0.0, deadline - time.monotonic())
+            job_id, outcome = self.wait_next(
+                pending, timeout=remaining, worker_grace=worker_grace
+            )
+            pending.remove(job_id)
+            yield job_id, outcome
+
+    def wait(
+        self,
+        job_ids: list[int],
+        timeout: float | None = None,
+        worker_grace: float = DEFAULT_WORKER_GRACE_S,
+    ) -> list[tuple[str, object]]:
+        """Block until every job resolves; results in ``job_ids`` order.
+
+        Each entry is ``("ok", payload_bytes)`` or ``("error", text)``.
+        Same ``TimeoutError``/``RuntimeError`` behavior as
+        :meth:`wait_next`; ``timeout=0`` polls without blocking.
+        """
+        resolved = dict(self.as_completed(
+            job_ids, timeout=timeout, worker_grace=worker_grace
+        ))
+        return [resolved[job_id] for job_id in job_ids]
 
     def forget(self, job_ids: list[int]) -> None:
         """Drop resolved results the caller has consumed (bounded memory)."""
@@ -216,33 +365,55 @@ class Coordinator:
             except OSError:
                 return  # listener closed: shutting down
             conn = _Connection(sock=sock, peer=f"{peer[0]}:{peer[1]}")
+            thread = threading.Thread(
+                target=self._serve, args=(conn,),
+                name=f"dist-conn-{conn.peer}", daemon=True,
+            )
             with self._cv:
                 if self._closing:
                     self._drop_socket(sock)
                     return
                 self._connections.add(conn)
                 self.workers_seen += 1
+                # Prune threads of connections that already left, so an
+                # elastic cluster (workers joining/leaving at will) does
+                # not accumulate one dead Thread per connection forever.
+                # Under the lock: shutdown() snapshots this list.
+                self._threads = [
+                    t for t in self._threads if t.is_alive()
+                ] + [thread]
                 self._cv.notify_all()
-            thread = threading.Thread(
-                target=self._serve, args=(conn,),
-                name=f"dist-conn-{conn.peer}", daemon=True,
-            )
             thread.start()
-            # Prune threads of connections that already left, so an
-            # elastic cluster (workers joining/leaving at will) does not
-            # accumulate one dead Thread per connection forever.
-            self._threads = [
-                t for t in self._threads if t.is_alive()
-            ] + [thread]
 
     def _serve(self, conn: _Connection) -> None:
-        """Handle one worker connection until it drops."""
+        """Handle one worker connection until it drops or is evicted."""
+        tick = self._tick_s()
         try:
             while True:
-                header, payload = recv_msg(conn.sock)
+                try:
+                    header, payload = recv_msg(conn.sock, timeout=tick)
+                except ReceiveTimeout:
+                    # No frame this tick; the monitor thread decides
+                    # whether the silence has lasted long enough to
+                    # evict.  A closing coordinator ends the loop here.
+                    with self._cv:
+                        if self._closing:
+                            return
+                    continue
+                conn.last_recv = time.monotonic()
                 kind = header.get("type")
                 if kind == "hello":
                     conn.name = str(header.get("worker", conn.peer))
+                    conn.proto = int(header.get("proto", 1))
+                    try:
+                        conn.heartbeat_s = max(
+                            0.0, float(header.get("heartbeat", 0) or 0)
+                        )
+                    except (TypeError, ValueError):
+                        conn.heartbeat_s = 0.0
+                elif kind == "ping":
+                    with conn.send_lock:
+                        send_msg(conn.sock, {"type": "pong"})
                 elif kind == "request":
                     self._handle_request(conn)
                 elif kind == "result":
@@ -256,39 +427,194 @@ class Coordinator:
             pass
         finally:
             self._reap(conn)
+            # The serve thread is the fd's sole owner (see
+            # _disconnect_socket); it closes on the way out.
+            try:
+                conn.sock.close()
+            except OSError:
+                pass
 
     def _handle_request(self, conn: _Connection) -> None:
+        sends: list[tuple[_Connection, dict, bytes | None]]
         with self._cv:
-            reply: tuple[dict, bytes | None] = ({"type": "idle"}, None)
             if self._closing:
-                reply = ({"type": "shutdown"}, None)
+                sends = [(conn, {"type": "shutdown"}, None)]
             else:
-                while self._queue:
-                    job = self._jobs.get(self._queue.popleft())
-                    if job is None or job.id in self._results:
-                        # Forgotten by the caller (abandoned batch) or
-                        # already resolved: skip, don't lease.
-                        continue
-                    job.attempts += 1
-                    conn.leases.add(job.id)
-                    reply = ({"type": "job", "job": job.id}, job.payload)
-                    break
-        send_msg(conn.sock, reply[0], reply[1])
+                conn.hungry = True
+                sends = self._dispatch_locked()
+                if conn.hungry and conn.proto < 2:
+                    # v1 workers poll: they expect an immediate reply.
+                    conn.hungry = False
+                    sends.append((conn, {"type": "idle"}, None))
+        self._send_all(sends)
+
+    def _dispatch(self) -> None:
+        """Pair queued jobs with hungry connections and send them.
+
+        Called after anything that enqueues work (submit, reschedule)
+        or frees a worker.  Sending happens outside the lock; a send
+        failure reaps that connection (requeueing the just-granted
+        lease) and the loop retries with whoever is left.
+        """
+        while True:
+            with self._cv:
+                sends = self._dispatch_locked()
+            if not sends:
+                return
+            if not self._send_all(sends):
+                return
+
+    def _dispatch_locked(self) -> list[tuple[_Connection, dict,
+                                             bytes | None]]:
+        """Assign queued jobs to hungry connections (caller holds _cv)."""
+        sends: list[tuple[_Connection, dict, bytes | None]] = []
+        if self._closing:
+            return sends
+        hungry = deque(c for c in self._connections if c.hungry)
+        while self._queue and hungry:
+            job = self._jobs.get(self._queue.popleft())
+            if job is None or job.id in self._results:
+                # Forgotten by the caller (abandoned batch) or already
+                # resolved (rescheduled twin finished): skip, don't lease.
+                continue
+            conn = hungry.popleft()
+            job.attempts += 1
+            deadline = (float("inf") if self.lease_timeout_s is None
+                        else time.monotonic() + self.lease_timeout_s)
+            conn.leases[job.id] = deadline
+            conn.hungry = False
+            sends.append((conn, {"type": "job", "job": job.id}, job.payload))
+        return sends
+
+    def _send_all(self, sends) -> bool:
+        """Send frames outside the lock; reap dead targets.
+
+        Returns True if any send failed (the caller should re-dispatch:
+        the reap requeued the affected leases).
+        """
+        failed = False
+        for conn, header, payload in sends:
+            try:
+                with conn.send_lock:
+                    send_msg(conn.sock, header, payload)
+            except (ConnectionError, OSError):
+                failed = True
+                self._reap(conn)
+        return failed
 
     def _resolve(self, conn: _Connection, job_id: int,
                  result: tuple[str, object]) -> None:
+        notify_dispatch = False
         with self._cv:
-            conn.leases.discard(job_id)
-            # Last write wins; duplicates (a rescheduled job finishing
-            # twice) are identical by construction, so this is benign.
+            conn.leases.pop(job_id, None)
+            if job_id not in self._jobs:
+                # Forgotten (abandoned batch): storing the late result
+                # would leak it forever, since the caller that could
+                # forget() it is long gone.  Drop it on the floor.
+                return
+            if job_id in self._results:
+                # Duplicate resolution: an expired-lease rerun and the
+                # original both finished.  Results are identical by
+                # construction (pure functions of pickled inputs), so
+                # keep the first and do not double-count.
+                return
             self._results[job_id] = result
             self.jobs_completed += 1
             self._cv.notify_all()
+            notify_dispatch = bool(self._queue)
+        if notify_dispatch:
+            self._dispatch()
+
+    # -- liveness -------------------------------------------------------
+
+    def _monitor_loop(self) -> None:
+        """Expire overdue leases and evict silent connections."""
+        while True:
+            tick = self._tick_s()
+            with self._cv:
+                if self._closing:
+                    return
+                self._cv.wait(timeout=tick)
+                if self._closing:
+                    return
+                requeued = self._expire_leases_locked()
+                stale = self._stale_connections_locked()
+            # Outside the lock, and shutdown-only: the eviction wakes
+            # the connection's serve thread, which reaps and closes.
+            for conn in stale:
+                self._disconnect_socket(conn.sock)
+            if requeued:
+                self._dispatch()
+
+    def _expire_leases_locked(self) -> bool:
+        """Requeue overdue leases (caller holds _cv); True if any."""
+        if self.lease_timeout_s is None:
+            return False
+        now = time.monotonic()
+        requeued = False
+        for conn in self._connections:
+            overdue = [job_id for job_id, deadline in conn.leases.items()
+                       if now >= deadline]
+            for job_id in overdue:
+                del conn.leases[job_id]
+                self.lease_expiries += 1
+                job = self._jobs.get(job_id)
+                if job is None or job_id in self._results:
+                    continue
+                if job.attempts >= self.max_attempts:
+                    self._results[job_id] = (
+                        "error",
+                        f"job {job_id} timed out on {job.attempts} workers "
+                        f"(last: {conn.name or conn.peer}, lease "
+                        f"{self.lease_timeout_s:.0f}s); giving up",
+                    )
+                    self.jobs_completed += 1
+                else:
+                    # Front of the queue: the expired job is the oldest
+                    # outstanding work, so it must not wait behind the
+                    # whole backlog again.
+                    self._queue.appendleft(job_id)
+                    self.reschedules += 1
+                    requeued = True
+                self._cv.notify_all()
+        return requeued
+
+    def _stale_connections_locked(self) -> list[_Connection]:
+        """Connections gone silent past their heartbeat tolerance.
+
+        A worker that advertised a *slower* heartbeat than the default
+        in its ``hello`` (``--heartbeat 45``) is judged against that
+        interval — three missed beats — not the global floor, so a
+        legitimately configured fleet is never evicted while healthy.
+        """
+        if self.heartbeat_timeout_s is None:
+            return []
+        now = time.monotonic()
+        stale = []
+        for conn in self._connections:
+            if conn.proto < 2 or conn.evicting:
+                continue
+            tolerance = max(self.heartbeat_timeout_s,
+                            3.0 * conn.heartbeat_s)
+            if now - conn.last_recv >= tolerance:
+                stale.append(conn)
+        for conn in stale:
+            conn.evicting = True
+        self.evictions += len(stale)
+        return stale
 
     def _reap(self, conn: _Connection) -> None:
-        """Connection died: reschedule its leases, drop its state."""
-        self._drop_socket(conn.sock)
+        """Connection died: reschedule its leases, drop its state.
+
+        Callable from any thread (serve, monitor, dispatch): it only
+        shuts the socket down; the fd itself is closed by the
+        connection's serve thread when it exits.
+        """
+        self._disconnect_socket(conn.sock)
         with self._cv:
+            if conn.reaped:
+                return
+            conn.reaped = True
             self._connections.discard(conn)
             for job_id in sorted(conn.leases):
                 if job_id in self._results:
@@ -304,10 +630,8 @@ class Coordinator:
                     )
                     self.jobs_completed += 1
                 else:
-                    # Front of the queue: a rescheduled job is the
-                    # oldest outstanding work, so it should not wait
-                    # behind the whole backlog again.
                     self._queue.appendleft(job_id)
                     self.reschedules += 1
             conn.leases.clear()
             self._cv.notify_all()
+        self._dispatch()

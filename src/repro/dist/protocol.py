@@ -17,24 +17,43 @@ Message types
 -------------
 
 worker → coordinator:
-    ``hello``   announce (``worker`` name); first frame on a connection.
+    ``hello``   announce (``worker`` name, ``proto`` version, heartbeat
+                interval); first frame on a connection.
     ``request`` ask for a job.
     ``result``  finished job (``job`` id) + pickled metrics payload.
     ``error``   job raised (``job`` id, ``error`` traceback text).
+    ``ping``    heartbeat (protocol >= 2); proves liveness mid-job.
 
 coordinator → worker:
     ``job``      a leased job (``job`` id) + pickled ``(fn, item)``.
-    ``idle``     queue empty right now; sleep briefly and re-request.
+    ``idle``     queue empty right now; sleep briefly and re-request
+                 (protocol 1 only — v2 workers block until a ``job``).
+    ``pong``     heartbeat reply; proves the coordinator is alive.
     ``shutdown`` drain and disconnect.
+
+Versioning
+----------
+
+``hello`` carries ``proto`` (:data:`PROTOCOL_VERSION`).  Version 1 peers
+(no ``proto`` field) poll with ``request``/``idle`` and are presumed
+alive while their TCP connection stays open; version 2 peers heartbeat
+with ``ping`` and park blocked ``request``\\ s at the coordinator until
+work arrives.  The coordinator speaks both, so a v1 worker can still
+join a v2 cluster.
 """
 
 from __future__ import annotations
 
 import json
 import pickle
+import select
 import socket
 import struct
 from typing import Any
+
+#: Wire protocol generation announced in ``hello`` frames.  Version 2
+#: added ``ping``/``pong`` heartbeats and blocking job requests.
+PROTOCOL_VERSION = 2
 
 #: (header length, payload length) frame prefix.
 _FRAME = struct.Struct("!II")
@@ -46,6 +65,16 @@ MAX_FRAME_BYTES = 1 << 30
 
 class ProtocolError(ConnectionError):
     """The peer sent bytes that are not a protocol frame."""
+
+
+class ReceiveTimeout(Exception):
+    """No frame arrived within the receive timeout.
+
+    Deliberately *not* a :class:`ConnectionError`: the connection is
+    still healthy and the stream still aligned (no bytes were consumed),
+    so the caller may simply check its own liveness state and call
+    :func:`recv_msg` again.
+    """
 
 
 def dumps_payload(obj: Any) -> bytes:
@@ -79,8 +108,27 @@ def recv_exact(sock: socket.socket, size: int) -> bytes:
     return b"".join(chunks)
 
 
-def recv_msg(sock: socket.socket) -> tuple[dict, bytes | None]:
-    """Receive one frame; returns ``(header, payload-or-None)``."""
+def recv_msg(sock: socket.socket,
+             timeout: float | None = None) -> tuple[dict, bytes | None]:
+    """Receive one frame; returns ``(header, payload-or-None)``.
+
+    With ``timeout`` (seconds) the *idle wait* for a frame is bounded:
+    if no bytes arrive within it, :class:`ReceiveTimeout` is raised and
+    the call may safely be retried — this is what lets coordinator serve
+    loops and worker job waits wake up periodically to check liveness
+    instead of blocking until EOF.  The wait uses ``select`` readiness
+    rather than ``settimeout`` deliberately: socket timeouts are
+    socket-wide, so they would also bound concurrent ``send_msg`` calls
+    from heartbeat/dispatch threads and could tear down a healthy
+    connection on a slow link.  Once bytes are ready the frame is read
+    with ordinary blocking receives (a healthy peer finishes a started
+    frame promptly; a hung one is caught by the liveness layer closing
+    the socket, which unblocks the read).
+    """
+    if timeout is not None:
+        readable, _, _ = select.select([sock], [], [], timeout)
+        if not readable:
+            raise ReceiveTimeout("no frame within the timeout")
     head_len, body_len = _FRAME.unpack(recv_exact(sock, _FRAME.size))
     if head_len > MAX_FRAME_BYTES or body_len > MAX_FRAME_BYTES:
         raise ProtocolError(

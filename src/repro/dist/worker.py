@@ -9,10 +9,20 @@ travel back as ``error`` frames with the full traceback, so a bad knob
 configuration surfaces in the tuning process instead of silently
 stalling the queue.
 
+Liveness (protocol 2): a daemon thread sends a ``ping`` every
+``heartbeat_s`` seconds — on the same socket, so a worker that is busy
+inside a long job still proves it is alive, and the coordinator's lease
+monitor only reschedules jobs whose worker has actually gone silent or
+livelocked.  The job request itself *blocks*: instead of the v1
+50 Hz ``request``/``idle`` poll, a v2 worker sends one ``request`` and
+waits until the coordinator answers with a ``job`` the moment one is
+enqueued.  ``heartbeat_s=0`` selects the legacy v1 polling behavior.
+
 Workers are launched either by ``python -m repro.cli worker --addr
 host:port`` (any machine that can reach the coordinator) or spawned
-locally by :class:`~repro.dist.backend.DistributedBackend`.  With a
-``cache_dir``, the worker attaches the shared on-disk
+locally by :class:`WorkerPool` /
+:class:`~repro.dist.backend.DistributedBackend`.  With a ``cache_dir``,
+the worker attaches the shared on-disk
 :class:`~repro.sim.artifact.DiskArtifactStore` before its first job, so
 every worker on the cluster reuses each trace artifact instead of
 recomputing it per process.
@@ -20,12 +30,16 @@ recomputing it per process.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import socket
+import threading
 import time
 import traceback
 
 from repro.dist.protocol import (
+    PROTOCOL_VERSION,
+    ReceiveTimeout,
     connect,
     dumps_payload,
     loads_payload,
@@ -33,8 +47,30 @@ from repro.dist.protocol import (
     send_msg,
 )
 
-#: Seconds a worker sleeps after an ``idle`` reply before re-requesting.
+#: Seconds a v1 worker sleeps after an ``idle`` reply before
+#: re-requesting (legacy polling mode, ``heartbeat_s=0``).
 IDLE_POLL_S = 0.02
+
+#: Default heartbeat interval.  The coordinator evicts after
+#: :data:`repro.dist.coordinator.DEFAULT_HEARTBEAT_TIMEOUT_S` of
+#: silence, so this leaves an order of magnitude of slack.
+WORKER_HEARTBEAT_S = 2.0
+
+#: A v2 worker that has heard *nothing* (no pong, no job) for this many
+#: heartbeat intervals concludes the coordinator is gone — its own pings
+#: elicit pongs, so a healthy link is never silent this long.
+_COORDINATOR_SILENCE_FACTOR = 10.0
+
+
+def _heartbeat_loop(sock: socket.socket, send_lock: threading.Lock,
+                    interval_s: float, stop: threading.Event) -> None:
+    """Send ``ping`` frames until stopped or the socket dies."""
+    while not stop.wait(interval_s):
+        try:
+            with send_lock:
+                send_msg(sock, {"type": "ping"})
+        except (ConnectionError, OSError):
+            return
 
 
 def run_worker(
@@ -44,6 +80,8 @@ def run_worker(
     cache_max_entries: int | None = None,
     connect_retry_s: float = 10.0,
     max_jobs: int | None = None,
+    heartbeat_s: float = WORKER_HEARTBEAT_S,
+    stop: threading.Event | None = None,
 ) -> int:
     """Serve jobs from the coordinator at ``addr`` until shutdown.
 
@@ -59,6 +97,10 @@ def run_worker(
             workers routinely start before the coordinator binds.
         max_jobs: exit after this many jobs (test hook; ``None`` serves
             until shutdown).
+        heartbeat_s: ``ping`` interval; ``0`` disables heartbeats and
+            falls back to the v1 ``request``/``idle`` polling protocol.
+        stop: optional event for a graceful drain — the worker finishes
+            the job in hand, then disconnects instead of taking more.
 
     Returns:
         The number of jobs executed (including ones that raised).
@@ -71,52 +113,222 @@ def run_worker(
             max_entries=cache_max_entries,
         )
     worker_name = name or f"{socket.gethostname()}-{os.getpid()}"
+    heartbeating = heartbeat_s and heartbeat_s > 0
+    proto = PROTOCOL_VERSION if heartbeating else 1
     sock = connect(addr, retry_for=connect_retry_s)
+    send_lock = threading.Lock()
+    stop = stop if stop is not None else threading.Event()
+    heartbeat: threading.Thread | None = None
     executed = 0
     try:
-        send_msg(sock, {"type": "hello", "worker": worker_name})
-        while max_jobs is None or executed < max_jobs:
-            send_msg(sock, {"type": "request"})
-            header, payload = recv_msg(sock)
+        with send_lock:
+            send_msg(sock, {
+                "type": "hello", "worker": worker_name, "proto": proto,
+                "heartbeat": heartbeat_s if heartbeating else 0,
+            })
+        if heartbeating:
+            heartbeat = threading.Thread(
+                target=_heartbeat_loop,
+                args=(sock, send_lock, float(heartbeat_s), stop),
+                name="dist-heartbeat", daemon=True,
+            )
+            heartbeat.start()
+        silence_limit = (heartbeat_s * _COORDINATOR_SILENCE_FACTOR
+                         if heartbeating else None)
+        while (max_jobs is None or executed < max_jobs) \
+                and not stop.is_set():
+            with send_lock:
+                send_msg(sock, {"type": "request"})
+            frame = _await_reply(sock, heartbeating, silence_limit, stop)
+            if frame is None:  # stop requested / coordinator silent
+                break
+            header, payload = frame
             kind = header.get("type")
             if kind == "shutdown":
                 break
-            if kind == "idle":
+            if kind == "idle":  # v1 polling mode only
                 time.sleep(IDLE_POLL_S)
                 continue
             if kind != "job":
                 raise ConnectionError(f"unexpected frame {header!r}")
             job_id = int(header["job"])
             executed += 1
+            # A stop request mid-job drains: the job in hand always
+            # finishes and its result is sent before disconnecting.
             try:
                 fn, item = loads_payload(payload or b"")
                 result = fn(item)
             except BaseException as exc:  # noqa: BLE001 — travels to caller
                 if isinstance(exc, (KeyboardInterrupt, SystemExit)):
                     raise
-                send_msg(
-                    sock,
-                    {
-                        "type": "error",
-                        "job": job_id,
-                        "error": "".join(
-                            traceback.format_exception(exc)
-                        ).strip(),
-                    },
-                )
+                with send_lock:
+                    send_msg(
+                        sock,
+                        {
+                            "type": "error",
+                            "job": job_id,
+                            "error": "".join(
+                                traceback.format_exception(exc)
+                            ).strip(),
+                        },
+                    )
             else:
-                send_msg(
-                    sock,
-                    {"type": "result", "job": job_id},
-                    dumps_payload(result),
-                )
+                with send_lock:
+                    send_msg(
+                        sock,
+                        {"type": "result", "job": job_id},
+                        dumps_payload(result),
+                    )
     except (ConnectionError, OSError):
         # Coordinator went away: treat as shutdown.  Anything this
         # worker held leased will be rescheduled on its side.
         pass
     finally:
+        stop.set()
+        if heartbeat is not None:
+            heartbeat.join(timeout=2.0)
         try:
             sock.close()
         except OSError:
             pass
     return executed
+
+
+def _await_reply(sock, heartbeating: bool, silence_limit: float | None,
+                 stop: threading.Event):
+    """Wait for the coordinator's answer to a ``request``.
+
+    Returns the ``(header, payload)`` frame, skipping ``pong``\\ s, or
+    ``None`` when a graceful stop was requested or the coordinator has
+    been silent past ``silence_limit`` (dead link with no EOF).
+    """
+    last_frame = time.monotonic()
+    timeout = 0.25 if heartbeating else None
+    while True:
+        try:
+            header, payload = recv_msg(sock, timeout=timeout)
+        except ReceiveTimeout:
+            if stop.is_set():
+                return None
+            silent_for = time.monotonic() - last_frame
+            if silence_limit is not None and silent_for >= silence_limit:
+                return None
+            continue
+        last_frame = time.monotonic()
+        if header.get("type") == "pong":
+            continue
+        return header, payload
+
+
+class WorkerPool:
+    """Elastic pool of local worker processes with auto-respawn.
+
+    The pool spawns ``count`` :func:`run_worker` processes against one
+    coordinator address and then *keeps* that many alive: a monitor
+    thread polls each slot and respawns any process that died — crashed
+    on a poison job, OOM-killed, or torn down by a chaos test — so a
+    long tuning run self-heals instead of slowly bleeding workers.
+
+    Respawning is bounded by ``respawn_budget`` (total, across the pool
+    lifetime): a systematically crashing fleet stops burning processes
+    once the budget is spent, and the coordinator's poison-job attempts
+    cap surfaces the underlying error.
+
+    Args:
+        addr: coordinator ``host:port`` the workers join.
+        count: worker processes to keep alive.
+        cache_dir / cache_max_entries: forwarded to every worker.
+        respawn_budget: max respawns over the pool lifetime (``None``
+            for ``2 * count + 2``; ``0`` disables respawning).
+        heartbeat_s: worker heartbeat interval (0 = legacy v1 workers).
+    """
+
+    #: How often the monitor thread checks for dead workers.
+    MONITOR_TICK_S = 0.2
+
+    def __init__(self, addr: str, count: int,
+                 cache_dir: str | None = None,
+                 cache_max_entries: int | None = None,
+                 respawn_budget: int | None = None,
+                 heartbeat_s: float = WORKER_HEARTBEAT_S):
+        if count < 1:
+            raise ValueError("WorkerPool needs count >= 1")
+        self.addr = addr
+        self.count = count
+        self.cache_dir = cache_dir
+        self.cache_max_entries = cache_max_entries
+        self.respawn_budget = (2 * count + 2 if respawn_budget is None
+                               else respawn_budget)
+        self.heartbeat_s = heartbeat_s
+        self.respawns = 0
+        self._spawned = 0
+        self._procs: list[multiprocessing.Process] = []
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._monitor: threading.Thread | None = None
+
+    def _spawn(self) -> multiprocessing.Process:
+        index = self._spawned
+        self._spawned += 1
+        proc = multiprocessing.Process(
+            target=run_worker,
+            args=(self.addr,),
+            kwargs={
+                "name": f"local-{index}",
+                "cache_dir": self.cache_dir,
+                "cache_max_entries": self.cache_max_entries,
+                "heartbeat_s": self.heartbeat_s,
+            },
+            daemon=True,
+        )
+        proc.start()
+        return proc
+
+    def start(self) -> None:
+        """Spawn the initial workers and the respawn monitor."""
+        with self._lock:
+            if self._procs:
+                return
+            # Append as we go: if spawn k of N raises (fork limit), the
+            # k-1 already-running workers are on record for stop().
+            for _ in range(self.count):
+                self._procs.append(self._spawn())
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="dist-pool-monitor", daemon=True
+        )
+        self._monitor.start()
+
+    def alive_count(self) -> int:
+        with self._lock:
+            return sum(1 for proc in self._procs if proc.is_alive())
+
+    def _monitor_loop(self) -> None:
+        while not self._stop.wait(self.MONITOR_TICK_S):
+            with self._lock:
+                if self._stop.is_set():
+                    return
+                for slot, proc in enumerate(self._procs):
+                    if proc.is_alive():
+                        continue
+                    if self.respawns >= self.respawn_budget:
+                        return  # budget spent: stop watching entirely
+                    proc.join(timeout=0)  # reap the zombie
+                    try:
+                        self._procs[slot] = self._spawn()
+                    except OSError:
+                        return  # host cannot fork anymore; stop trying
+                    self.respawns += 1
+
+    def stop(self) -> None:
+        """Stop respawning and terminate the workers (idempotent)."""
+        self._stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=2.0)
+            self._monitor = None
+        with self._lock:
+            procs, self._procs = self._procs, []
+        for proc in procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)

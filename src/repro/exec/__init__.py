@@ -21,7 +21,11 @@ from repro.exec.backend import (
     backend_for,
 )
 from repro.exec.cache import DiskResultCache
-from repro.exec.jobs import evaluate_configs, run_clone_jobs
+from repro.exec.jobs import (
+    evaluate_configs,
+    evaluate_configs_stream,
+    run_clone_jobs,
+)
 
 __all__ = [
     "ExecutionBackend",
@@ -32,5 +36,6 @@ __all__ = [
     "backend_for",
     "DiskResultCache",
     "evaluate_configs",
+    "evaluate_configs_stream",
     "run_clone_jobs",
 ]

@@ -14,7 +14,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Protocol, Sequence, runtime_checkable
+from typing import Callable, Iterator, Protocol, Sequence, runtime_checkable
 
 #: Recognized ``MicroGradConfig.backend`` spellings.
 BACKEND_NAMES = ("auto", "serial", "thread", "process", "dist")
@@ -64,6 +64,13 @@ class ExecutionBackend(Protocol):
         """Apply ``fn`` to every item; results come back in input order."""
         ...
 
+    def map_stream(self, fn: Callable, items: Sequence) -> Iterator:
+        """Like :meth:`map`, but yield each result as soon as it (and
+        every earlier one) is available.  ``list(map_stream(fn, items))
+        == map(fn, items)`` on every backend; the difference is purely
+        *when* early results surface."""
+        ...
+
     def close(self) -> None:
         """Release worker resources (idempotent)."""
         ...
@@ -81,6 +88,10 @@ class SerialBackend(CacheSettingsMixin):
 
     def map(self, fn: Callable, items: Sequence) -> list:
         return [fn(item) for item in items]
+
+    def map_stream(self, fn: Callable, items: Sequence) -> Iterator:
+        for item in items:
+            yield fn(item)
 
     def close(self) -> None:  # nothing to release
         pass
@@ -116,6 +127,17 @@ class ThreadBackend(CacheSettingsMixin):
         if len(items) <= 1:
             return [fn(item) for item in items]
         return list(self._ensure_pool().map(fn, items))
+
+    def map_stream(self, fn: Callable, items: Sequence) -> Iterator:
+        items = list(items)
+        if len(items) <= 1:
+            for item in items:
+                yield fn(item)
+            return
+        pool = self._ensure_pool()
+        futures = [pool.submit(fn, item) for item in items]
+        for future in futures:
+            yield future.result()
 
     def close(self) -> None:
         if self._pool is not None:
@@ -173,6 +195,34 @@ class ProcessPoolBackend(CacheSettingsMixin):
             # not lose this batch.
             self.close()
             return [fn(item) for item in items]
+
+    def map_stream(self, fn: Callable, items: Sequence) -> Iterator:
+        items = list(items)
+        pool = self._ensure_pool() if len(items) > 1 else None
+        if pool is None:
+            for item in items:
+                yield fn(item)
+            return
+        try:
+            futures = [pool.submit(fn, item) for item in items]
+        except BrokenProcessPool:
+            # The pool broke while we were still submitting: same
+            # serial degradation as map(), nothing yielded yet.
+            self.close()
+            for item in items:
+                yield fn(item)
+            return
+        for index, future in enumerate(futures):
+            try:
+                yield future.result()
+            except BrokenProcessPool:
+                # A worker died mid-stream.  Results already yielded
+                # were fine; finish the remainder in-process (same
+                # degradation map() applies to the whole batch).
+                self.close()
+                for item in items[index:]:
+                    yield fn(item)
+                return
 
     def close(self) -> None:
         if self._pool is not None:
@@ -235,6 +285,7 @@ def backend_for(
     cache_max_entries: int | None = None,
     dist_addr: str | None = None,
     dist_workers: int | None = None,
+    dist_lease_timeout: float | None = None,
 ) -> ExecutionBackend:
     """Build the execution backend a config asks for.
 
@@ -253,6 +304,9 @@ def backend_for(
         dist_addr: ``host:port`` the dist coordinator binds (dist only).
         dist_workers: local worker processes the dist backend spawns
             (dist only; ``0`` expects external ``repro.cli worker``\\ s).
+        dist_lease_timeout: seconds a leased dist job may stay
+            unresolved before the coordinator reschedules it (dist
+            only; ``None`` keeps the coordinator default).
     """
     try:
         factory = _BACKEND_FACTORIES[backend]
@@ -263,15 +317,17 @@ def backend_for(
             f"{valid} (or 'auto' to pick from the jobs count)"
         ) from None
     if backend != "dist" and (dist_addr is not None
-                              or dist_workers is not None):
+                              or dist_workers is not None
+                              or dist_lease_timeout is not None):
         # Silently ignoring these would leave remote workers pointed at
         # a coordinator that never binds.
         raise ValueError(
-            f"dist_addr/dist_workers only apply to backend='dist', "
-            f"got backend={backend!r}"
+            f"dist_addr/dist_workers/dist_lease_timeout only apply to "
+            f"backend='dist', got backend={backend!r}"
         )
     cache = {"cache_dir": cache_dir, "cache_max_entries": cache_max_entries}
-    dist = {"addr": dist_addr, "spawn_workers": dist_workers}
+    dist = {"addr": dist_addr, "spawn_workers": dist_workers,
+            "lease_timeout": dist_lease_timeout}
     return factory(jobs, cache, dist)
 
 

@@ -9,7 +9,7 @@ only ships knob dictionaries out and metric dictionaries back.
 from __future__ import annotations
 
 from functools import partial
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 from repro.codegen.wrapper import GenerationOptions, generate_test_case
 from repro.exec.backend import ExecutionBackend, chunk_evenly
@@ -61,6 +61,33 @@ def evaluate_configs(
     for chunk_metrics in backend.map(job, chunks):
         results.extend(chunk_metrics)
     return results
+
+
+def evaluate_configs_stream(
+    backend: ExecutionBackend,
+    platform: "EvaluationPlatform",
+    options: GenerationOptions,
+    configs: Sequence[dict],
+) -> Iterator[dict[str, float]]:
+    """Yield per-config metrics in input order, as chunks complete.
+
+    Same chunking, same results and same order as
+    :func:`evaluate_configs`; the difference is that each chunk's
+    metrics surface as soon as that chunk (and every earlier one) is
+    done — partial-epoch results for streaming consumers.  Backends
+    without ``map_stream`` (externally supplied ones) fall back to the
+    batch path.
+    """
+    configs = list(configs)
+    if not configs:
+        return
+    chunks = chunk_evenly(configs, backend.jobs)
+    spec = getattr(backend, "artifact_store_spec", lambda: None)()
+    job = partial(_evaluate_chunk, platform, options, spec)
+    stream = getattr(backend, "map_stream", None)
+    mapper = stream if stream is not None else backend.map
+    for chunk_metrics in mapper(job, chunks):
+        yield from chunk_metrics
 
 
 def _clone_job(job) -> "MicroGradResult":

@@ -19,7 +19,7 @@ bit-identical.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -30,6 +30,11 @@ if TYPE_CHECKING:  # pragma: no cover
 
 EvaluateFn = Callable[[dict], dict[str, float]]
 BatchEvaluateFn = Callable[[list[dict]], list[dict[str, float]]]
+StreamEvaluateFn = Callable[[list[dict]], Iterator[dict[str, float]]]
+#: ``on_result(batch_index, metrics)`` — fired as results become
+#: available; cached entries fire immediately, computed ones as the
+#: execution backend streams them back.
+OnResultFn = Callable[[int, dict[str, float]], None]
 
 
 class Evaluator:
@@ -42,6 +47,10 @@ class Evaluator:
         cache: memoize identical materialized configurations.
         batch_fn: list-of-configs -> list-of-metrics used by the batch
             path; falls back to mapping ``evaluate_config`` serially.
+        batch_stream_fn: list-of-configs -> metrics *iterator* in the
+            same order; when present, batch calls carrying an
+            ``on_result`` callback consume it incrementally so partial
+            results surface while the rest of the epoch still runs.
         disk_cache: optional persistent result cache shared across runs.
         cache_context: identity of everything besides the knob config
             that determines metrics (core, instruction budget, ...);
@@ -54,12 +63,14 @@ class Evaluator:
         evaluate_config: EvaluateFn,
         cache: bool = True,
         batch_fn: BatchEvaluateFn | None = None,
+        batch_stream_fn: StreamEvaluateFn | None = None,
         disk_cache: "DiskResultCache | None" = None,
         cache_context: str = "",
     ):
         self.knob_space = knob_space
         self._evaluate_config = evaluate_config
         self._batch_fn = batch_fn
+        self._batch_stream_fn = batch_stream_fn
         self._cache_enabled = cache
         self._cache: dict[tuple, dict[str, float]] = {}
         self._disk_cache = disk_cache
@@ -102,6 +113,16 @@ class Evaluator:
             return results
         return [self._evaluate_config(config) for config in configs]
 
+    def _stream_batch(
+        self, configs: list[dict]
+    ) -> Iterable[dict[str, float]]:
+        """Metrics for ``configs`` in order, incrementally when possible."""
+        if not configs:
+            return []
+        if self._batch_stream_fn is not None:
+            return self._batch_stream_fn(configs)
+        return self._run_batch(configs)
+
     # -- single-config paths --------------------------------------------
 
     def evaluate(self, positions: np.ndarray) -> dict[str, float]:
@@ -115,7 +136,9 @@ class Evaluator:
     # -- batch paths ----------------------------------------------------
 
     def evaluate_batch(
-        self, positions_batch: Sequence[np.ndarray]
+        self,
+        positions_batch: Sequence[np.ndarray],
+        on_result: OnResultFn | None = None,
     ) -> list[dict[str, float]]:
         """Evaluate position vectors as one batch, results in input order.
 
@@ -123,25 +146,48 @@ class Evaluator:
         against the caches *and against itself* (two vectors rounding to
         the same lattice point cost one simulation), and dispatches only
         the unique remainder.
+
+        ``on_result(index, metrics)`` fires as results become available
+        — cache hits immediately, computed configurations as the
+        execution backend streams them back — so a tuner can react to
+        partial-epoch results before the whole batch lands.  Callback
+        order is availability order, not index order; the returned list
+        is always in input order.
         """
         configs = [self.knob_space.materialize(p) for p in positions_batch]
-        return self._evaluate_config_batch(configs)
+        return self._evaluate_config_batch(configs, on_result=on_result)
 
     def evaluate_raw_batch(
-        self, configs: Sequence[dict]
+        self,
+        configs: Sequence[dict],
+        on_result: OnResultFn | None = None,
     ) -> list[dict[str, float]]:
         """Batch-evaluate concrete knob configurations (same accounting)."""
-        return self._evaluate_config_batch([dict(c) for c in configs])
+        return self._evaluate_config_batch(
+            [dict(c) for c in configs], on_result=on_result
+        )
 
     def _evaluate_config_batch(
-        self, configs: list[dict]
+        self,
+        configs: list[dict],
+        on_result: OnResultFn | None = None,
     ) -> list[dict[str, float]]:
         self.requested_evaluations += len(configs)
         if not self._cache_enabled:
             # No memoization anywhere: every request is real work, even
             # duplicates within the batch (matches the serial semantics).
-            metrics_batch = self._run_batch(configs)
             self.unique_evaluations += len(configs)
+            if on_result is None:
+                return self._run_batch(configs)
+            metrics_batch = []
+            for metrics in self._stream_batch(configs):
+                on_result(len(metrics_batch), metrics)
+                metrics_batch.append(metrics)
+            if len(metrics_batch) != len(configs):
+                raise RuntimeError(
+                    f"batch stream returned {len(metrics_batch)} results "
+                    f"for {len(configs)} configs"
+                )
             return metrics_batch
         results: list[dict[str, float] | None] = [None] * len(configs)
         pending: dict[tuple, list[int]] = {}
@@ -150,16 +196,36 @@ class Evaluator:
             cached = self._lookup(key)
             if cached is not None:
                 results[idx] = cached
+                if on_result is not None:
+                    on_result(idx, cached)
             else:
                 pending.setdefault(key, []).append(idx)
 
         unique_configs = [configs[indices[0]] for indices in pending.values()]
-        metrics_batch = self._run_batch(unique_configs)
         self.unique_evaluations += len(unique_configs)
-        for (key, indices), metrics in zip(pending.items(), metrics_batch):
+        if on_result is None:
+            metrics_batch: Iterable = self._run_batch(unique_configs)
+        else:
+            metrics_batch = self._stream_batch(unique_configs)
+        stream = iter(metrics_batch)
+        exhausted = object()
+        for key, indices in pending.items():
+            metrics = next(stream, exhausted)
+            if metrics is exhausted:
+                raise RuntimeError(
+                    f"batch evaluation returned too few results for "
+                    f"{len(pending)} unique configs"
+                )
             self._store(key, metrics)
             for idx in indices:
                 results[idx] = metrics
+                if on_result is not None:
+                    on_result(idx, metrics)
+        if next(stream, exhausted) is not exhausted:
+            raise RuntimeError(
+                f"batch evaluation returned more results than the "
+                f"{len(pending)} unique configs"
+            )
         return results  # type: ignore[return-value]
 
     def reset_counters(self) -> None:

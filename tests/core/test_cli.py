@@ -44,6 +44,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["stress", "--backend", "gpu"])
 
+    def test_dist_flags(self):
+        args = build_parser().parse_args(
+            ["stress", "--backend", "dist", "--dist-addr", "0.0.0.0:9900",
+             "--dist-workers", "0", "--dist-lease-timeout", "120"]
+        )
+        assert args.dist_addr == "0.0.0.0:9900"
+        assert args.dist_workers == 0
+        assert args.dist_lease_timeout == 120.0
+
+    def test_worker_heartbeat_flag(self):
+        args = build_parser().parse_args(
+            ["worker", "--addr", "host:9900", "--heartbeat", "0.5"]
+        )
+        assert args.heartbeat == 0.5
+        assert build_parser().parse_args(
+            ["worker", "--addr", "host:9900"]
+        ).heartbeat is None
+
 
 class TestCommands:
     def test_cores_lists_both(self, capsys):

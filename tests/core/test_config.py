@@ -61,6 +61,13 @@ class TestValidation:
         with pytest.raises(ValueError, match="max_epochs"):
             _cloning(max_epochs=0)
 
+    def test_dist_lease_timeout_bounds(self):
+        assert _stress(dist_lease_timeout=120.0).dist_lease_timeout == 120.0
+        with pytest.raises(ValueError, match="dist_lease_timeout"):
+            _stress(dist_lease_timeout=0.0)
+        with pytest.raises(ValueError, match="dist_lease_timeout"):
+            _stress(dist_lease_timeout=-5.0)
+
 
 class TestSerialization:
     def test_json_round_trip(self, tmp_path):

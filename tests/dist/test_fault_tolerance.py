@@ -70,13 +70,50 @@ class TestWorkerDeathMidBatch:
     def test_poison_job_that_kills_every_worker_surfaces_as_error(self):
         # A job that kills *every* worker it touches must not cycle
         # forever: after max_attempts dead workers it becomes an error.
+        # The elastic pool keeps respawning workers, which is exactly
+        # why the attempts cap (not an empty cluster) must end it.
         import pytest
 
         with DistributedBackend(spawn_workers=2) as backend:
-            # Spawned workers respawn nothing: after both die the
-            # cluster is empty, so give up via the attempts cap quickly.
             coordinator = backend._ensure_started()
             assert coordinator is not None
             coordinator.max_attempts = 2
             with pytest.raises(RuntimeError, match="lost 2 workers"):
                 backend.map(_die_always, [0])
+
+
+class TestElasticPool:
+    def test_dead_local_worker_is_respawned_and_run_completes(self, tmp_path):
+        # One local worker, and the first job kills it.  Without the
+        # elastic pool the cluster would stay empty forever and the run
+        # would die on the worker_grace timer; the respawned worker
+        # must pick the rescheduled job up and finish the batch.
+        sentinel = str(tmp_path / "died-once")
+        items = [
+            (sentinel, config, index == 0)
+            for index, config in enumerate(CONFIGS[:3])
+        ]
+        serial_stats = [_simulate(config) for config in CONFIGS[:3]]
+        with DistributedBackend(spawn_workers=1, worker_grace=30.0) as backend:
+            dist_stats = backend.map(_simulate_or_die, items)
+            assert backend.pool is not None
+            respawns = backend.pool.respawns
+            reschedules = backend.coordinator.reschedules
+        assert os.path.exists(sentinel), "the poisoned job never ran"
+        assert respawns >= 1, "the dead worker was never respawned"
+        assert reschedules >= 1
+        assert dist_stats == serial_stats
+
+    def test_respawn_budget_zero_disables_respawning(self, tmp_path):
+        import pytest
+
+        sentinel = str(tmp_path / "died-once")
+        backend = DistributedBackend(spawn_workers=1, respawn_budget=0,
+                                     worker_grace=1.0)
+        try:
+            with pytest.raises(RuntimeError, match="worker"):
+                backend.map(_simulate_or_die,
+                            [(sentinel, CONFIGS[0], True)])
+            assert backend.pool.respawns == 0
+        finally:
+            backend.close()
