@@ -13,9 +13,10 @@ measured times land in ``results/BENCH_events.json`` so the speedup is
 tracked across runs (and uploaded as a CI artifact).
 
 The workload is an L2-resident reuse loop (16 KB footprint, the regime
-the adaptive warmup replays for hundreds of identical iterations);
-streaming traces whose period exceeds the simulated window fall back to
-reference-speed straight simulation by design.
+the adaptive warmup replays for hundreds of identical iterations), so
+this benchmark exercises the steady-state periodic path; the streaming
+(aperiodic) and tournament-predictor cases plus config batching are
+gated separately in ``benchmarks/test_config_batch.py``.
 """
 
 import time

@@ -311,6 +311,84 @@ class TraceArtifact:
             self._branches[key] = res
         return res
 
+    def memory_events_batch(
+        self,
+        cores: list[CoreConfig],
+        warmup_iters_list: list[int],
+        iterations_list: list[int],
+        engine: str | None = None,
+    ) -> list[events.MemoryEvents]:
+        """Config-batched :meth:`memory_events`: one call fills the memo
+        for a whole core sweep.
+
+        Cores still missing from the memo are grouped per trace window
+        (iterations, line size) and handed to
+        :func:`repro.sim.events.simulate_memory_batch`, which dedupes by
+        event key and shares precomputed trace columns (set indices,
+        LRU recency ranks, ...) across the group.  Memo contents end up
+        identical to per-core calls — batching only changes when the
+        work happens, never what is stored.
+        """
+        engine = events.resolve_engine(engine)
+        keys = [
+            (engine,) + events.memory_event_key(core) + (warmup, iters)
+            for core, warmup, iters in zip(
+                cores, warmup_iters_list, iterations_list
+            )
+        ]
+        groups: dict[tuple, list[int]] = {}
+        for i, (core, key) in enumerate(zip(cores, keys)):
+            if key not in self._memory:
+                groups.setdefault(
+                    (iterations_list[i], core.l1d.line_bytes), []
+                ).append(i)
+        for (iterations, line_bytes), slots in groups.items():
+            trace = self.trace(iterations, line_bytes)
+            batch = events.simulate_memory_batch(
+                [cores[i] for i in slots],
+                trace,
+                [warmup_iters_list[i] * self.mem_per_iter for i in slots],
+                engine=engine,
+            )
+            for i, res in zip(slots, batch):
+                self._memory[keys[i]] = res
+        return [self._memory[key] for key in keys]
+
+    def branch_events_batch(
+        self,
+        cores: list[CoreConfig],
+        warmup_iters_list: list[int],
+        iterations_list: list[int],
+        engine: str | None = None,
+    ) -> list[tuple[int, int]]:
+        """Config-batched :meth:`branch_events` (same contract as
+        :meth:`memory_events_batch`): distinct predictors in the batch
+        share packed histories and ride stacked counter scans."""
+        engine = events.resolve_engine(engine)
+        keys = [
+            (engine,) + events.branch_event_key(core) + (warmup, iters)
+            for core, warmup, iters in zip(
+                cores, warmup_iters_list, iterations_list
+            )
+        ]
+        groups: dict[tuple, list[int]] = {}
+        for i, (core, key) in enumerate(zip(cores, keys)):
+            if key not in self._branches:
+                groups.setdefault(
+                    (iterations_list[i], core.l1d.line_bytes), []
+                ).append(i)
+        for (iterations, line_bytes), slots in groups.items():
+            trace = self.trace(iterations, line_bytes)
+            batch = events.simulate_branches_batch(
+                [cores[i] for i in slots],
+                trace,
+                [warmup_iters_list[i] * self.br_per_iter for i in slots],
+                engine=engine,
+            )
+            for i, res in zip(slots, batch):
+                self._branches[keys[i]] = res
+        return [self._branches[key] for key in keys]
+
     def icache_events(
         self, core: CoreConfig, measure_iters: int
     ) -> tuple[int, int, int]:

@@ -124,8 +124,23 @@ class TournamentPredictor:
         return self.mispredicts / self.lookups if self.lookups else 0.0
 
 
-def predictor_for_core(core_name: str) -> BimodalPredictor:
-    """Default predictor sized for a Table II core."""
-    if core_name == "large":
-        return GSharePredictor(entries=16384, history_bits=13)
-    return GSharePredictor(entries=4096, history_bits=10)
+def predictor_for_core(
+    core_name: str,
+) -> BimodalPredictor | TournamentPredictor:
+    """Default predictor sized for a Table II core.
+
+    Sizing follows the base core family: ``large`` (or any ``large-*``
+    derivative) gets the big tables, everything else the small ones.
+    Derived cores select the predictor *kind* by name suffix
+    (``small-tournament``, ``large-bimodal``, ...): the frozen
+    :class:`~repro.sim.config.CoreConfig` layout is pinned by platform
+    identity hashes, so predictor-sensitivity studies ride on the core
+    name instead of a new config field.
+    """
+    large = core_name == "large" or core_name.startswith("large-")
+    entries, history_bits = (16384, 13) if large else (4096, 10)
+    if core_name.endswith("-tournament"):
+        return TournamentPredictor(entries=entries, history_bits=history_bits)
+    if core_name.endswith("-bimodal"):
+        return BimodalPredictor(entries=entries)
+    return GSharePredictor(entries=entries, history_bits=history_bits)

@@ -17,33 +17,55 @@ Two engines implement the same semantics:
 
 * ``engine="reference"`` — the original per-access Python loops, kept as
   the oracle for property tests and as a fallback;
-* ``engine="vectorized"`` (default) — numpy array kernels.  The gshare
-  predictor is evaluated with a segmented saturating-counter scan over
-  precomputed table indices; the memory hierarchy precomputes per-access
-  set indices and page numbers with numpy, detects the periodic
-  structure of the cyclic trace, simulates one steady-state cycle of the
-  cache/TLB/prefetcher state machine and extrapolates the remaining
-  periods instead of replaying them.
+* ``engine="vectorized"`` (default) — numpy array kernels.  Branch
+  predictors (gshare, bimodal, tournament) are evaluated with segmented
+  saturating-counter scans over precomputed table indices; the memory
+  hierarchy precomputes per-access set indices and page numbers with
+  numpy, then either extrapolates the steady state of a periodic trace
+  (simulate one cycle of the cache/TLB/prefetcher state machine, skip
+  the repeats) or — for aperiodic/streaming traces — computes exact
+  per-access LRU recency ranks with a set-parallel scan (see
+  :func:`_lru_position_kernel`), so ``_trace_period() == 0`` no longer
+  means reference speed.
+
+Config batching: :func:`simulate_memory_batch` and
+:func:`simulate_branches_batch` evaluate N core configs over one trace
+in a single pass, sharing the precomputed trace columns (set indices,
+pages, recency ranks, packed branch histories) across every config that
+cannot distinguish them.  The shared columns live in the trace's
+``_kernel_cache`` scratch dict, keyed by the geometry that shapes them.
 
 Both engines are bit-identical: every event count an engine returns is
 exactly equal to the reference loop's.  ``REPRO_EVENT_ENGINE`` selects
-the process-wide default.
+the process-wide default.  Because engine equality is asserted on whole
+result objects, the engine path that actually ran (periodic
+extrapolation, aperiodic recency-rank, straight fallback, reference
+loop) is reported out-of-band: :func:`engine_path_counts` counts every
+path taken since the last :func:`reset_engine_path_counts`, and each
+simulation logs its path at DEBUG level.
 """
 
 from __future__ import annotations
 
+import logging
 import os
-from collections import OrderedDict, defaultdict
+from collections import Counter, OrderedDict, defaultdict
 from dataclasses import dataclass
 from itertools import repeat
 
 import numpy as np
 
-from repro.sim.branch import predictor_for_core
+from repro.sim.branch import (
+    GSharePredictor,
+    TournamentPredictor,
+    predictor_for_core,
+)
 from repro.sim.cache import cyclic_code_hits
 from repro.sim.config import CoreConfig
 from repro.sim.tlb import tlb_for_core
 from repro.sim.trace import ExpandedTrace
+
+logger = logging.getLogger(__name__)
 
 #: Supported event-simulation engines.
 ENGINES = ("reference", "vectorized")
@@ -62,6 +84,43 @@ _PAGE_SHIFT = 6
 #: traces that do not revisit a state within this many periods fall back
 #: to straight simulation of the remainder.
 _MAX_SNAPSHOTS = 32
+
+#: Aperiodic recency-rank kernel feasibility.  The set-parallel scan
+#: runs one python-level round per position of the *longest* per-set
+#: access stream, so it only wins when accesses spread across sets;
+#: tiny traces or heavily skewed set distributions run the straight
+#: per-access loop instead (and are counted as such).
+_MIN_ROUNDS_TRACE = 128
+_ROUNDS_IMBALANCE = 8
+
+#: Engine-path observability: how many simulations ran down each path
+#: since the last reset.  Engine bit-identity is asserted on whole
+#: result objects, so the path is reported here (and in DEBUG logs)
+#: rather than stamped into the results themselves.
+_PATH_COUNTS: Counter[str] = Counter()
+
+
+def _record_path(path: str) -> None:
+    _PATH_COUNTS[path] += 1
+    logger.debug("event engine path: %s", path)
+
+
+def engine_path_counts() -> dict[str, int]:
+    """Simulations per engine path since the last reset.
+
+    Keys are ``"<stage>.<path>"``: ``memory.reference``,
+    ``memory.vectorized.periodic``, ``memory.vectorized.aperiodic``,
+    ``memory.vectorized.straight`` (the per-access fallback inside the
+    vectorized engine), ``memory.batch`` (one per config-batched call),
+    and the ``branch.*`` equivalents.  Benchmarks use this to assert
+    "no silent fallback"; sweeps can log it to spot slow paths.
+    """
+    return dict(_PATH_COUNTS)
+
+
+def reset_engine_path_counts() -> None:
+    """Zero the engine-path counters (benchmarks, tests)."""
+    _PATH_COUNTS.clear()
 
 
 def resolve_engine(engine: str | None = None) -> str:
@@ -150,6 +209,7 @@ def _simulate_memory_reference(
     through :class:`SetAssociativeCache` method calls; this loop is what
     the vectorized engine must match bit for bit.
     """
+    _record_path("memory.reference")
     res = MemoryEvents()
     lines = trace.mem_lines.tolist()
     n = len(lines)
@@ -279,8 +339,15 @@ def _detect_trace_period(trace: ExpandedTrace) -> int:
         & np.all(pcs == pcs[0], axis=1)
         & np.all(stores == stores[0], axis=1)
     )
-    candidates = (np.nonzero(rows_eq[1:])[0] + 1)[:8]
+    # Every candidate gets considered (a silent cap here misclassified
+    # long-period traces as aperiodic), but most are rejected by a cheap
+    # necessary condition first: if p is the period, every p-th row
+    # equals row 0, so one strided all() prunes a false candidate
+    # without the full three-array shift comparison.
+    candidates = np.nonzero(rows_eq[1:])[0] + 1
     for p in candidates.tolist():
+        if not bool(np.all(rows_eq[p::p])):
+            continue
         if (
             np.array_equal(lines[p:], lines[:-p])
             and np.array_equal(pcs[p:], pcs[:-p])
@@ -494,42 +561,458 @@ class _MemoryKernel:
             self.prefetch_hits += pf_hits
 
 
-def _simulate_memory_vectorized(
-    core: CoreConfig, trace: ExpandedTrace, warmup_accesses: int
-) -> MemoryEvents:
-    """Array-kernel memory engine with steady-state extrapolation.
+def _trace_kernel_cache(trace: ExpandedTrace) -> dict:
+    """The trace's config-batch scratch dict (see ExpandedTrace)."""
+    cache = getattr(trace, "_kernel_cache", None)
+    if cache is None:
+        cache = {}
+        trace._kernel_cache = cache
+    return cache
 
-    Per-access set indices, tags and page numbers are precomputed with
-    numpy; the LRU/TLB/prefetcher state machine then runs over the
-    minimal trace period, snapshotting state at period boundaries.  As
-    soon as a boundary state recurs, every later period is an exact
-    replay, so the remaining whole cycles are extrapolated (warmup:
-    state is simply known; measurement: per-cycle event deltas repeat)
-    and only the partial tail is simulated.  Bit-identical to
-    :func:`_simulate_memory_reference` by construction.
+
+def _shared_get(shared: dict | None, key: tuple, build):
+    """Memoize ``build()`` under ``key`` when a shared dict is present."""
+    if shared is None:
+        return build()
+    value = shared.get(key)
+    if value is None:
+        value = build()
+        shared[key] = value
+    return value
+
+
+def _shared_ranks(shared: dict | None, key: tuple, depth: int, build):
+    """Recency ranks capped at ``depth``, reusing any run at least that
+    deep: ranks past the needed associativity are all equally "miss"."""
+    if shared is not None:
+        cached = shared.get(key)
+        if cached is not None and cached[0] >= depth:
+            return cached[1]
+    ranks = build()
+    if shared is not None:
+        shared[key] = (depth, ranks)
+    return ranks
+
+
+def _memory_columns(
+    core: CoreConfig, trace: ExpandedTrace, shared: dict | None
+) -> tuple:
+    """Precomputed per-access columns, shared across a config batch."""
+    lines = _shared_get(
+        shared, ("lines",),
+        lambda: np.asarray(trace.mem_lines, dtype=np.int64),
+    )
+    stores = _shared_get(
+        shared, ("stores",),
+        lambda: np.asarray(trace.mem_is_store, dtype=bool),
+    )
+    pcs = _shared_get(
+        shared, ("pcs",),
+        lambda: np.asarray(trace.mem_pcs, dtype=np.int64),
+    )
+    set1 = _shared_get(
+        shared, ("set", core.l1d.num_sets),
+        lambda: lines % core.l1d.num_sets,
+    )
+    set2 = _shared_get(
+        shared, ("set", core.l2.num_sets),
+        lambda: lines % core.l2.num_sets,
+    )
+    pages = _shared_get(
+        shared, ("pages",), lambda: lines >> _PAGE_SHIFT
+    )
+    return lines, stores, pcs, set1, set2, pages
+
+
+def _rounds_feasible(n: int, max_stream: int) -> bool:
+    """Whether the set-parallel rank kernel beats the straight loop."""
+    return n >= _MIN_ROUNDS_TRACE and max_stream <= n // _ROUNDS_IMBALANCE
+
+
+def _lru_position_kernel(
+    set_idx: np.ndarray, keys: np.ndarray, num_sets: int, depth: int
+) -> np.ndarray:
+    """Exact per-access LRU recency ranks, set-parallel.
+
+    For every access, the rank of its key in its set's LRU recency
+    stack *before* the access (0 = most recent, ``depth`` = not among
+    the ``depth`` most recent).  Because an LRU stack is the recency
+    order of distinct keys — capacity only truncates it — rank < assoc
+    decides hit/miss for **every** associativity up to ``depth``, which
+    is what lets one kernel pass serve a whole config batch.
+
+    Sets evolve independently, so the sequential dependence is only
+    within a set's own access stream: the kernel walks stream positions
+    (rounds), updating all sets' stacks at that position in one
+    vectorized step.  Cost is O(max stream length) numpy rounds; the
+    caller gates on :func:`_rounds_feasible`.
+    """
+    n = int(keys.shape[0])
+    counts = np.bincount(set_idx, minlength=num_sets)
+    # Longest-stream-first set order makes each round's active sets a
+    # contiguous prefix of the state arrays.
+    set_rank = np.argsort(-counts, kind="stable")
+    max_len = int(counts.max()) if num_sets else 0
+    order = np.argsort(set_idx, kind="stable")
+    offsets = np.zeros(num_sets + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    offsets_ranked = offsets[set_rank]
+    active = num_sets - np.searchsorted(
+        np.sort(counts), np.arange(max_len), side="right"
+    )
+    stack = np.full((num_sets, depth), -1, dtype=np.int64)
+    ranks = np.empty(n, dtype=np.int64)
+    col = np.arange(1, depth, dtype=np.int64)
+    for r in range(max_len):
+        m = active[r]
+        tp = order[offsets_ranked[:m] + r]
+        line = keys[tp]
+        st = stack[:m]
+        eq = st == line[:, None]
+        hit = eq.any(axis=1)
+        rank = np.where(hit, eq.argmax(axis=1), depth)
+        ranks[tp] = rank
+        # Insert at the front: entries above the old position (or the
+        # evicted tail on a miss) shift down one slot.
+        shift_to = np.where(hit, rank, depth - 1)
+        st[:, 1:] = np.where(
+            col[None, :] <= shift_to[:, None], st[:, :-1], st[:, 1:]
+        )
+        st[:, 0] = line
+    return ranks
+
+
+def _tlb_miss_mask(pages: np.ndarray, entries: int) -> np.ndarray:
+    """Exact per-access DTLB miss flags (fully-associative LRU).
+
+    Consecutive same-page accesses are guaranteed hits that leave the
+    recency order unchanged, so only the run-compressed page stream is
+    replayed through an OrderedDict LRU — typically a small fraction of
+    the accesses — and the result is config-independent (the mask is
+    per TLB size, not per core).
+    """
+    n = int(pages.shape[0])
+    miss = np.zeros(n, dtype=bool)
+    if n == 0:
+        return miss
+    change = np.empty(n, dtype=bool)
+    change[0] = True
+    change[1:] = pages[1:] != pages[:-1]
+    starts = np.nonzero(change)[0]
+    tlb: OrderedDict[int, None] = OrderedDict()
+    run_miss = []
+    for page in pages[starts].tolist():
+        if page in tlb:
+            tlb.move_to_end(page)
+            run_miss.append(False)
+        else:
+            run_miss.append(True)
+            if len(tlb) >= entries:
+                tlb.popitem(last=False)
+            tlb[page] = None
+    miss[starts] = run_miss
+    return miss
+
+
+def _l2_substream_loop(
+    lines: np.ndarray,
+    pcs: np.ndarray | None,
+    set2_idx: np.ndarray,
+    a2: int,
+    n2: int,
+    prefetching: bool,
+    counting_mask: np.ndarray | None,
+) -> tuple[np.ndarray, int, int]:
+    """Reference-exact L2 (+ prefetcher) replay over the L1-miss substream.
+
+    Mirrors the L1-miss branch of :func:`_simulate_memory_reference`
+    line for line; the caller supplies exactly the accesses that miss
+    the L1.  Returns (per-access L2 hit flags, prefetch installs,
+    prefetch hits); the prefetch counts are gated on ``counting_mask``.
+    """
+    hits = np.zeros(int(lines.shape[0]), dtype=bool)
+    l2_sets: defaultdict[int, list[int]] = defaultdict(list)
+    rpt: dict[int, tuple[int, int, bool]] = {}
+    prefetched: set[int] = set()
+    pf_installs = pf_hits = 0
+    pcs_it = pcs.tolist() if prefetching else repeat(0)
+    counting_it = (
+        counting_mask.tolist() if counting_mask is not None
+        else repeat(False)
+    )
+    for k, (pc, line, s2, counting) in enumerate(zip(
+        pcs_it, lines.tolist(), set2_idx.tolist(), counting_it
+    )):
+        set2 = l2_sets[s2]
+        if line in set2:
+            hits[k] = True
+            set2.remove(line)
+            set2.append(line)
+            if line in prefetched:
+                prefetched.discard(line)
+                if counting:
+                    pf_hits += 1
+        else:
+            set2.append(line)
+            if len(set2) > a2:
+                evicted = set2[0]
+                del set2[0]
+                prefetched.discard(evicted)
+        if prefetching:
+            last_line, last_stride, confirmed = rpt.get(pc, (line, 0, False))
+            stride = line - last_line
+            if stride:
+                confirmed = stride == last_stride
+            if confirmed and stride:
+                for d in (1, 2):
+                    target = line + stride * d
+                    pset = l2_sets[target % n2]
+                    if target not in pset:
+                        pset.append(target)
+                        if len(pset) > a2:
+                            evicted = pset[0]
+                            del pset[0]
+                            prefetched.discard(evicted)
+                        prefetched.add(target)
+                        if counting:
+                            pf_installs += 1
+            rpt[pc] = (line, stride if stride else last_stride, confirmed)
+    return hits, pf_installs, pf_hits
+
+
+def _assemble_memory_events(
+    n: int,
+    warmup: int,
+    stores: np.ndarray,
+    l1_hit: np.ndarray,
+    sub_idx: np.ndarray,
+    l2_hit: np.ndarray,
+    pf_installs: int,
+    pf_hits: int,
+    tlb_miss: np.ndarray,
+) -> MemoryEvents:
+    """Fold per-access hit/miss flags into measured-window counts."""
+    measured = n - warmup
+    sub_meas = sub_idx >= warmup
+    l2_accesses = int(np.count_nonzero(sub_meas))
+    miss2_meas = sub_meas & ~l2_hit
+    sub_stores = stores[sub_idx]
+    store_l1 = int(np.count_nonzero(sub_stores & sub_meas))
+    return MemoryEvents(
+        load_l1_misses=l2_accesses - store_l1,
+        load_l2_misses=int(np.count_nonzero(~sub_stores & miss2_meas)),
+        store_l1_misses=store_l1,
+        store_l2_misses=int(np.count_nonzero(sub_stores & miss2_meas)),
+        l1d_hits=int(np.count_nonzero(l1_hit[warmup:])),
+        l1d_accesses=measured,
+        l2_hits=int(np.count_nonzero(l2_hit & sub_meas)),
+        l2_accesses=l2_accesses,
+        prefetch_installs=pf_installs,
+        prefetch_hits=pf_hits,
+        dtlb_misses=int(np.count_nonzero(tlb_miss[warmup:])),
+        dtlb_accesses=measured,
+    )
+
+
+def _run_straight(
+    core: CoreConfig, columns: tuple, warmup: int, n: int
+) -> MemoryEvents:
+    """Whole-trace per-access kernel (vectorized engine's last resort)."""
+    lines, stores, pcs, set1, set2, pages = columns
+    kernel = _MemoryKernel(core, lines, stores, pcs, set1, set2, pages)
+    kernel.run(0, warmup, counting=False)
+    kernel.run(warmup, n, counting=True)
+    return kernel.finish()
+
+
+def _simulate_memory_aperiodic(
+    core: CoreConfig,
+    trace: ExpandedTrace,
+    warmup: int,
+    shared: dict | None,
+    l1_depths: dict | None,
+    l2_depths: dict | None,
+) -> MemoryEvents:
+    """Exact aperiodic/streaming memory engine (no steady state needed).
+
+    The L1 and the DTLB see the full access stream, so their hit/miss
+    flags come straight from :func:`_lru_position_kernel` recency ranks
+    and the :func:`_tlb_miss_mask` compressed replay — both shared
+    across every config in a batch that agrees on the shaping geometry
+    (L1 ranks per num_sets, TLB mask per TLB size).  The L2 sees
+    exactly the L1-miss substream: non-prefetching cores rank it with
+    the same kernel; prefetching cores replay only the substream
+    through the reference L2+prefetcher loop (prefetch targets feed the
+    L2's own future, so that part stays sequential — but it runs on the
+    miss substream, not the full trace).
+    """
+    n1, a1 = core.l1d.num_sets, core.l1d.assoc
+    n2, a2 = core.l2.num_sets, core.l2.assoc
+    n = int(trace.mem_lines.shape[0])
+    columns = _memory_columns(core, trace, shared)
+    lines, stores, pcs, set1, set2, pages = columns
+    counts1 = np.bincount(set1, minlength=n1)
+    if not _rounds_feasible(n, int(counts1.max())):
+        _record_path("memory.vectorized.straight")
+        return _run_straight(core, columns, warmup, n)
+    depth1 = max(a1, (l1_depths or {}).get(n1, 0))
+    l1_rank = _shared_ranks(
+        shared, ("l1rank", n1), depth1,
+        lambda: _lru_position_kernel(set1, lines, n1, depth1),
+    )
+    tlb_entries = tlb_for_core(core.name).entries
+    tlb_miss = _shared_get(
+        shared, ("tlb", tlb_entries),
+        lambda: _tlb_miss_mask(pages, tlb_entries),
+    )
+    sub_idx = _shared_get(
+        shared, ("sub", n1, a1),
+        lambda: np.nonzero(l1_rank >= a1)[0],
+    )
+    sub_lines = lines[sub_idx]
+    sub_set2 = set2[sub_idx]
+    pf_installs = pf_hits = 0
+    if core.l2_prefetcher:
+        l2_hit, pf_installs, pf_hits = _l2_substream_loop(
+            sub_lines, pcs[sub_idx], sub_set2, a2, n2,
+            True, sub_idx >= warmup,
+        )
+    else:
+        sub_n = int(sub_idx.size)
+        counts2 = np.bincount(sub_set2, minlength=n2) if sub_n else None
+        if counts2 is not None and _rounds_feasible(
+            sub_n, int(counts2.max())
+        ):
+            depth2 = max(a2, (l2_depths or {}).get((n1, a1, n2), 0))
+            l2_rank = _shared_ranks(
+                shared, ("l2rank", n1, a1, n2), depth2,
+                lambda: _lru_position_kernel(
+                    sub_set2, sub_lines, n2, depth2
+                ),
+            )
+            l2_hit = l2_rank < a2
+        else:
+            l2_hit, _, _ = _l2_substream_loop(
+                sub_lines, None, sub_set2, a2, n2, False, None
+            )
+    _record_path("memory.vectorized.aperiodic")
+    return _assemble_memory_events(
+        n, warmup, stores, l1_rank < a1, sub_idx, l2_hit,
+        pf_installs, pf_hits, tlb_miss,
+    )
+
+
+def _simulate_memory_vectorized(
+    core: CoreConfig,
+    trace: ExpandedTrace,
+    warmup_accesses: int,
+    shared: dict | None = None,
+    l1_depths: dict | None = None,
+    l2_depths: dict | None = None,
+) -> MemoryEvents:
+    """Array-kernel memory engine: dispatch on the trace's structure.
+
+    Periodic traces take the steady-state extrapolation path; aperiodic
+    and streaming traces (no detectable period within the window) take
+    the exact recency-rank path.  Both are bit-identical to
+    :func:`_simulate_memory_reference`.  ``shared`` (plus the depth
+    hints) is the config-batch scratch — see
+    :func:`simulate_memory_batch`.
     """
     n = int(trace.mem_lines.shape[0])
     warmup = _clamped_warmup(warmup_accesses, n)
     if warmup >= n:
         return MemoryEvents()
-
-    lines_arr = np.asarray(trace.mem_lines, dtype=np.int64)
-    kernel = _MemoryKernel(
-        core,
-        lines_arr,
-        np.asarray(trace.mem_is_store, dtype=bool),
-        np.asarray(trace.mem_pcs, dtype=np.int64),
-        lines_arr % core.l1d.num_sets,
-        lines_arr % core.l2.num_sets,
-        lines_arr >> _PAGE_SHIFT,
-    )
-
     m = n // trace.iterations if trace.iterations else 0
     p_acc = _trace_period(trace) * m
     if p_acc == 0 or n < 2 * p_acc:
-        kernel.run(0, warmup, counting=False)
-        kernel.run(warmup, n, counting=True)
-        return kernel.finish()
+        return _simulate_memory_aperiodic(
+            core, trace, warmup, shared, l1_depths, l2_depths
+        )
+    return _simulate_memory_periodic(core, trace, warmup, p_acc, shared)
+
+
+def simulate_memory_batch(
+    cores: list[CoreConfig],
+    trace: ExpandedTrace,
+    warmup_accesses: list[int],
+    engine: str | None = None,
+) -> list[MemoryEvents]:
+    """Memory events for N core configs over one trace, config-batched.
+
+    One pass precomputes the trace columns the whole batch shares —
+    line/store/pc arrays, per-num_sets set indices, page numbers,
+    per-TLB-size miss masks, per-num_sets LRU recency ranks at the
+    deepest associativity any config needs — then evaluates each
+    *distinct* (memory key, warmup) combination against them.  The
+    shared columns persist in the trace's ``_kernel_cache``, so
+    successive batches over the same trace keep reusing them.
+    Bit-identical to calling :func:`simulate_memory` per core.
+    """
+    if len(cores) != len(warmup_accesses):
+        raise ValueError("one warmup boundary per core required")
+    engine = resolve_engine(engine)
+    if engine == "reference":
+        return [
+            _simulate_memory_reference(core, trace, warmup)
+            for core, warmup in zip(cores, warmup_accesses)
+        ]
+    _record_path("memory.batch")
+    n = int(trace.mem_lines.shape[0])
+    uniques: dict[tuple, int] = {}
+    work: list[tuple[CoreConfig, int]] = []
+    assignment: list[int] = []
+    for core, warmup in zip(cores, warmup_accesses):
+        key = memory_event_key(core) + (_clamped_warmup(warmup, n),)
+        slot = uniques.get(key)
+        if slot is None:
+            slot = len(work)
+            uniques[key] = slot
+            work.append((core, warmup))
+        assignment.append(slot)
+    # Deepest rank each geometry needs, so one kernel pass serves every
+    # associativity in the batch (LRU inclusion).
+    l1_depths: dict[int, int] = {}
+    l2_depths: dict[tuple, int] = {}
+    for core, _ in work:
+        n1, a1 = core.l1d.num_sets, core.l1d.assoc
+        l1_depths[n1] = max(l1_depths.get(n1, 0), a1)
+        sub = (n1, a1, core.l2.num_sets)
+        l2_depths[sub] = max(l2_depths.get(sub, 0), core.l2.assoc)
+    shared = _trace_kernel_cache(trace)
+    results = [
+        _simulate_memory_vectorized(
+            core, trace, warmup,
+            shared=shared, l1_depths=l1_depths, l2_depths=l2_depths,
+        )
+        for core, warmup in work
+    ]
+    return [results[slot] for slot in assignment]
+
+
+def _simulate_memory_periodic(
+    core: CoreConfig,
+    trace: ExpandedTrace,
+    warmup: int,
+    p_acc: int,
+    shared: dict | None,
+) -> MemoryEvents:
+    """Steady-state extrapolation over a periodic trace.
+
+    The LRU/TLB/prefetcher state machine runs over the minimal trace
+    period, snapshotting state at period boundaries.  As soon as a
+    boundary state recurs, every later period is an exact replay, so
+    the remaining whole cycles are extrapolated (warmup: state is
+    simply known; measurement: per-cycle event deltas repeat) and only
+    the partial tail is simulated.  Bit-identical to
+    :func:`_simulate_memory_reference` by construction.
+    """
+    _record_path("memory.vectorized.periodic")
+    n = int(trace.mem_lines.shape[0])
+    lines, stores, pcs, set1, set2, pages = _memory_columns(
+        core, trace, shared
+    )
+    kernel = _MemoryKernel(core, lines, stores, pcs, set1, set2, pages)
 
     # Snapshots are taken at positions congruent to the warmup boundary
     # (mod the trace period): a warmup cycle then jumps *exactly* to the
@@ -579,9 +1062,25 @@ def _simulate_memory_vectorized(
 
 
 def branch_event_key(core: CoreConfig) -> tuple:
-    """Every core parameter :func:`simulate_branches` reads."""
+    """Every core parameter :func:`simulate_branches` reads.
+
+    The key leads with the predictor *kind* and spells out each
+    component table: two cores whose predictors differ in kind (or in
+    tournament chooser size) but share ``(entries, history_bits)`` used
+    to collide in the branch-event memo and reuse each other's results.
+    """
     reference = predictor_for_core(core.name)
-    return (reference.table.entries, getattr(reference, "history_bits", 0))
+    if isinstance(reference, TournamentPredictor):
+        return (
+            "tournament",
+            reference.bimodal.table.entries,
+            reference.gshare.table.entries,
+            reference.gshare.history_bits,
+            reference.chooser.entries,
+        )
+    if isinstance(reference, GSharePredictor):
+        return ("gshare", reference.table.entries, reference.history_bits)
+    return ("bimodal", reference.table.entries)
 
 
 def simulate_branches(
@@ -590,30 +1089,158 @@ def simulate_branches(
     warmup_branches: int,
     engine: str | None = None,
 ) -> tuple[int, int]:
-    """gshare direction prediction over the exact outcome trace.
+    """Branch direction prediction over the exact outcome trace.
 
-    Functionally identical to :class:`repro.sim.branch.GSharePredictor`.
-    Returns ``(mispredicts, lookups)`` for the measured window, which
-    starts after ``warmup_branches`` (clamped) trained-but-uncounted
-    branches.
+    Functionally identical to the core's
+    :func:`~repro.sim.branch.predictor_for_core` predictor (gshare,
+    bimodal or tournament).  Returns ``(mispredicts, lookups)`` for the
+    measured window, which starts after ``warmup_branches`` (clamped)
+    trained-but-uncounted branches.
     """
     if resolve_engine(engine) == "vectorized":
         return _simulate_branches_vectorized(core, trace, warmup_branches)
     return _simulate_branches_reference(core, trace, warmup_branches)
 
 
+def simulate_branches_batch(
+    cores: list[CoreConfig],
+    trace: ExpandedTrace,
+    warmup_branches: list[int],
+    engine: str | None = None,
+) -> list[tuple[int, int]]:
+    """Branch events for N core configs over one trace, config-batched.
+
+    Packed global histories are computed once per history width (shared
+    through the trace's ``_kernel_cache``), component table indices are
+    stacked along a leading config axis, and every distinct predictor in
+    the batch rides one multi-row :func:`_counter_prestates` scan (plus
+    one more for tournament choosers, whose steps depend on the
+    component predictions).  Bit-identical to calling
+    :func:`simulate_branches` per core.
+    """
+    if len(cores) != len(warmup_branches):
+        raise ValueError("one warmup boundary per core required")
+    engine = resolve_engine(engine)
+    if engine == "reference":
+        return [
+            _simulate_branches_reference(core, trace, warmup)
+            for core, warmup in zip(cores, warmup_branches)
+        ]
+    _record_path("branch.batch")
+    outcomes = np.asarray(trace.branch_outcomes, dtype=bool)
+    n = int(outcomes.shape[0])
+    uniques: dict[tuple, int] = {}
+    work: list[tuple[tuple, int]] = []
+    assignment: list[int] = []
+    for core, warmup in zip(cores, warmup_branches):
+        key = (branch_event_key(core), _clamped_warmup(warmup, n))
+        slot = uniques.get(key)
+        if slot is None:
+            slot = len(work)
+            uniques[key] = slot
+            work.append(key)
+        assignment.append(slot)
+
+    shared = _trace_kernel_cache(trace)
+    pcs = None
+    steps = None
+    rows: list[np.ndarray] = []
+    row_of: dict[int, tuple[int, ...]] = {}
+    for slot, (key, warmup) in enumerate(work):
+        if warmup >= n:
+            continue
+        if pcs is None:
+            pcs = np.asarray(trace.branch_pcs, dtype=np.int64) >> 2
+            steps = np.where(outcomes, np.int8(1), np.int8(-1))
+        row_of[slot] = tuple(
+            range(len(rows), len(rows) + (2 if key[0] == "tournament" else 1))
+        )
+        rows.extend(_component_index_rows(key, pcs, outcomes, shared))
+    layout = None
+    if rows:
+        stacked = np.stack(rows)
+        layout = _counter_layout(stacked)
+        states = _counter_prestates(stacked, steps, layout)
+    else:
+        states = None
+
+    results: list[tuple[int, int]] = []
+    chooser_rows: list[tuple[int, np.ndarray, np.ndarray]] = []
+    for slot, (key, warmup) in enumerate(work):
+        if warmup >= n:
+            results.append((0, 0))
+            continue
+        if key[0] == "tournament":
+            g_row, b_row = row_of[slot]
+            chooser_rows.append((slot, states[g_row] >= 2, states[b_row] >= 2))
+            results.append((0, n - warmup))  # mispredicts filled below
+        else:
+            pred = states[row_of[slot][0]] >= 2
+            results.append((
+                int(np.count_nonzero(pred[warmup:] != outcomes[warmup:])),
+                n - warmup,
+            ))
+    if chooser_rows:
+        c_steps = [
+            np.where(
+                g_pred == b_pred,
+                np.int8(0),
+                np.where(g_pred == outcomes, np.int8(1), np.int8(-1)),
+            )
+            for slot, g_pred, b_pred in chooser_rows
+        ]
+        # Choosers sized like their bimodal component (the common case)
+        # are indexed identically, so they reuse phase A's bimodal rows
+        # — indices and layouts both.
+        if all(work[slot][0][4] == work[slot][0][1]
+               for slot, _, _ in chooser_rows):
+            b_rows = [row_of[slot][1] for slot, _, _ in chooser_rows]
+            c_stack = stacked[b_rows]
+            c_layout = _layout_rows(layout, b_rows, n)
+        else:
+            c_stack = np.stack([
+                pcs & (work[slot][0][4] - 1)
+                for slot, _, _ in chooser_rows
+            ])
+            c_layout = None
+        c_states = _counter_prestates(c_stack, np.stack(c_steps), c_layout)
+        for (slot, g_pred, b_pred), c_state in zip(chooser_rows, c_states):
+            warmup = work[slot][1]
+            pred = np.where(c_state >= 2, g_pred, b_pred)
+            results[slot] = (
+                int(np.count_nonzero(pred[warmup:] != outcomes[warmup:])),
+                n - warmup,
+            )
+    return [results[slot] for slot in assignment]
+
+
 def _simulate_branches_reference(
     core: CoreConfig, trace: ExpandedTrace, warmup_branches: int
 ) -> tuple[int, int]:
-    """Per-branch gshare loop (the oracle engine)."""
+    """Per-branch predictor loops (the oracle engine)."""
+    _record_path("branch.reference")
     pcs = trace.branch_pcs.tolist()
     outcomes = trace.branch_outcomes.tolist()
     n = len(pcs)
     warmup = _clamped_warmup(warmup_branches, n)
     if warmup >= n:
         return 0, 0
+    key = branch_event_key(core)
+    if key[0] == "tournament":
+        return _branches_reference_tournament(pcs, outcomes, warmup, key)
+    entries = key[1]
+    history_bits = key[2] if key[0] == "gshare" else 0
+    return _branches_reference_gshare(
+        pcs, outcomes, warmup, entries, history_bits
+    )
 
-    entries, history_bits = branch_event_key(core)
+
+def _branches_reference_gshare(
+    pcs: list, outcomes: list, warmup: int,
+    entries: int, history_bits: int,
+) -> tuple[int, int]:
+    """gshare loop; with ``history_bits=0`` the history stays zero and
+    this is exactly the bimodal predictor."""
     entry_mask = entries - 1
     history_mask = (1 << history_bits) - 1
 
@@ -642,90 +1269,439 @@ def _simulate_branches_reference(
     return mispredicts, lookups
 
 
-def _simulate_branches_vectorized(
-    core: CoreConfig, trace: ExpandedTrace, warmup_branches: int
+def _branches_reference_tournament(
+    pcs: list, outcomes: list, warmup: int, key: tuple
 ) -> tuple[int, int]:
-    """Closed-form gshare over numpy arrays.
+    """Tournament loop mirroring
+    :class:`repro.sim.branch.TournamentPredictor`: chooser picks
+    bimodal vs gshare, trains toward the correct component only when
+    they disagree, and both components train on every branch."""
+    _, b_entries, g_entries, g_history_bits, c_entries = key
+    b_mask = b_entries - 1
+    g_mask = g_entries - 1
+    c_mask = c_entries - 1
+    history_mask = (1 << g_history_bits) - 1
 
-    The global history before branch ``k`` is just the previous
-    ``history_bits`` outcomes packed as bits (independent of the
-    counters), so every table index is precomputable.  Grouping accesses
-    by index then reduces each 2-bit saturating counter to a segmented
-    scan: a run of ±1 saturating steps composes into a clamp function
-    ``x -> min(b, max(a, x + d))``, which a Hillis–Steele doubling scan
-    evaluates for every prefix in ``O(log n)`` array passes.  The
-    prediction at each access applies the exclusive prefix to the
-    initial weakly-taken counter.  Bit-identical to the reference loop.
+    bimodal = [2] * b_entries
+    gshare = [2] * g_entries
+    chooser = [2] * c_entries
+    history = 0
+    mispredicts = 0
+    lookups = 0
+    counting = warmup == 0
+    for k, (pc, taken) in enumerate(zip(pcs, outcomes)):
+        if not counting and k >= warmup:
+            counting = True
+        pc2 = pc >> 2
+        b_index = pc2 & b_mask
+        g_index = (pc2 ^ history) & g_mask
+        c_index = pc2 & c_mask
+        b_pred = bimodal[b_index] >= 2
+        g_pred = gshare[g_index] >= 2
+        prediction = g_pred if chooser[c_index] >= 2 else b_pred
+        if counting:
+            lookups += 1
+            if prediction != taken:
+                mispredicts += 1
+        if g_pred != b_pred:
+            c = chooser[c_index]
+            if g_pred == taken:
+                if c < 3:
+                    chooser[c_index] = c + 1
+            elif c > 0:
+                chooser[c_index] = c - 1
+        c = bimodal[b_index]
+        if taken:
+            if c < 3:
+                bimodal[b_index] = c + 1
+        elif c > 0:
+            bimodal[b_index] = c - 1
+        c = gshare[g_index]
+        if taken:
+            if c < 3:
+                gshare[g_index] = c + 1
+            history = ((history << 1) | 1) & history_mask
+        else:
+            if c > 0:
+                gshare[g_index] = c - 1
+            history = (history << 1) & history_mask
+    return mispredicts, lookups
+
+
+def _branch_history(
+    outcomes: np.ndarray, history_bits: int, shared: dict | None = None
+) -> np.ndarray:
+    """Packed global history before each branch (independent of the
+    counters): bit ``b`` of entry ``k`` is outcome ``k-1-b``.
+
+    Width-independent sharing: the cache keeps the widest packing
+    computed so far, and any narrower history is its low-bit mask —
+    one packing serves gshare components of every size in a batch.
+    Narrow histories (≤16 bits, every Table II predictor) come back
+    uint16 so the downstream index math stays quarter-width.
+    """
+    n = int(outcomes.shape[0])
+    if history_bits <= 0:
+        return np.zeros(n, dtype=np.uint16)
+    if shared is not None:
+        cached = shared.get(("history",))
+        if cached is not None and cached[0] >= history_bits:
+            bits, packed = cached
+            if bits == history_bits:
+                return packed
+            return packed & ((1 << history_bits) - 1)
+    # Bit b of entry k is outcome k-1-b: one shifted add per history
+    # bit (far cheaper in a narrow dtype than an int64 matmul).
+    dtype = np.uint16 if history_bits <= 16 else np.int64
+    taken = outcomes.view(np.uint8)
+    history = np.zeros(n, dtype=dtype)
+    for b in range(min(history_bits, n - 1)):
+        np.add(
+            history[b + 1:],
+            taken[: n - 1 - b].astype(dtype) << dtype(b),
+            out=history[b + 1:],
+        )
+    if shared is not None:
+        cached = shared.get(("history",))
+        if cached is None or cached[0] < history_bits:
+            shared[("history",)] = (history_bits, history)
+    return history
+
+
+def _component_index_rows(
+    key: tuple,
+    pcs2: np.ndarray,
+    outcomes: np.ndarray,
+    shared: dict | None,
+) -> np.ndarray:
+    """Per-access table indices for a predictor's component tables,
+    stacked as one matrix (tournament: gshare row then bimodal row;
+    others: one row).
+
+    Tables that fit (≤ 2**15 entries — all of Table II) are indexed in
+    uint16: masking distributes over the gshare XOR, so the whole row
+    is built quarter-width, which also puts the downstream layout sort
+    straight onto numpy's 16-bit radix path.
+    """
+    kind = key[0]
+    if kind == "tournament":
+        _, b_entries, g_entries, g_history_bits, _ = key
+        specs = [
+            (g_entries, g_history_bits,
+             _branch_history(outcomes, g_history_bits, shared)),
+            (b_entries, 0, None),
+        ]
+    elif kind == "gshare":
+        _, entries, history_bits = key
+        specs = [
+            (entries, history_bits,
+             _branch_history(outcomes, history_bits, shared)),
+        ]
+    else:
+        specs = [(key[1], 0, None)]
+    narrow = all(
+        entries <= 1 << 15
+        and (history is None or history.dtype == np.uint16)
+        for entries, _, history in specs
+    )
+    dtype = np.uint16 if narrow else np.int64
+    out = np.empty((len(specs), pcs2.shape[0]), dtype=dtype)
+    masked: dict[int, np.ndarray] = {}
+    for row, (entries, history_bits, history) in enumerate(specs):
+        base = masked.get(entries)
+        if base is None:
+            base = np.bitwise_and(
+                pcs2, entries - 1, dtype=dtype, casting="unsafe"
+            )
+            masked[entries] = base
+        if history is None:
+            out[row] = base
+        else:
+            np.bitwise_xor(
+                base, history.astype(dtype, copy=False), out=out[row]
+            )
+            if (1 << history_bits) > entries:
+                out[row] &= entries - 1
+    return out
+
+
+def _counter_layout(indices: np.ndarray) -> tuple:
+    """Segment layout grouping each table entry's accesses in program
+    order, per row of an (R, n) index matrix.
+
+    Returns ``(order, seg_start, starts, seg_id, pos, max_len)``:
+    the per-row stable sort order, segment-start mask, and — over the
+    row-major flattening, where each row's segments stay contiguous —
+    flat segment start offsets, each element's segment id, its offset
+    within that segment, and the longest segment.
+
+    Split out from :func:`_counter_prestates` so callers can reuse a
+    layout across scans over the *same* index rows — the tournament
+    chooser is indexed identically to its bimodal component, so its
+    second-phase scan rides the component's ordering for free (see
+    :func:`_layout_rows`).  Table indices are bounded by the table
+    size, so they almost always arrive (or fit) 16-bit — where numpy's
+    stable sort is a radix sort an order of magnitude faster than the
+    32/64-bit comparison sorts.
+    """
+    if indices.dtype in (np.uint16, np.int16):
+        keys = indices
+    elif indices.size and int(indices.max()) < np.iinfo(np.int16).max:
+        keys = indices.astype(np.int16)
+    else:
+        keys = indices.astype(np.int64, copy=False)
+    order = np.argsort(keys, axis=1, kind="stable")
+    grouped = np.take_along_axis(keys, order, axis=1)
+    seg_start = np.empty(indices.shape, dtype=bool)
+    seg_start[:, 0] = True
+    seg_start[:, 1:] = grouped[:, 1:] != grouped[:, :-1]
+    flat = seg_start.ravel()
+    starts = np.nonzero(flat)[0].astype(np.int32)
+    seg_id = np.cumsum(flat, dtype=np.int32) - 1
+    total = indices.size
+    pos = np.arange(total, dtype=np.int32) - starts[seg_id]
+    max_len = int(np.diff(np.append(starts, total)).max()) if total else 0
+    return order, seg_start, starts, seg_id, pos, max_len
+
+
+def _layout_rows(layout: tuple, rows: list[int], n: int) -> tuple:
+    """Sub-layout of :func:`_counter_layout` restricted to ``rows``.
+
+    Re-bases the flat segment metadata instead of re-deriving it, so a
+    scan over a subset of already-laid-out index rows (the tournament
+    chooser reusing its bimodal component's rows) skips the sort *and*
+    the cumulative segment passes.  ``max_len`` keeps the parent's
+    value — an upper bound, exact whenever the selected rows contain
+    the longest segment.
+    """
+    order, seg_start, starts, seg_id, pos, max_len = layout
+    starts_parts, segid_parts, pos_parts = [], [], []
+    seg_base = 0
+    for k, r in enumerate(rows):
+        lo, hi = r * n, (r + 1) * n
+        s0 = int(seg_id[lo])
+        s1 = int(seg_id[hi - 1]) + 1
+        starts_parts.append(starts[s0:s1] + np.int32((k - r) * n))
+        segid_parts.append(seg_id[lo:hi] + np.int32(seg_base - s0))
+        pos_parts.append(pos[lo:hi])
+        seg_base += s1 - s0
+    return (
+        order[rows],
+        seg_start[rows],
+        np.concatenate(starts_parts) if rows else starts[:0],
+        np.concatenate(segid_parts) if rows else seg_id[:0],
+        np.concatenate(pos_parts) if rows else pos[:0],
+        max_len,
+    )
+
+
+def _counter_prestates(
+    indices: np.ndarray,
+    steps: np.ndarray,
+    layout: tuple | None = None,
+    grouped_steps: bool = False,
+    keep_grouped: bool = False,
+) -> np.ndarray:
+    """Pre-access 2-bit saturating-counter states for R independent
+    tables at once.
+
+    ``indices``/``steps`` are (R, n): row r gives table r's entry index
+    and saturating step per access.  Grouping accesses by index makes
+    each table entry an independent segment, evaluated by one of two
+    bit-identical kernels:
+
+    * **rounds** (the fast path on loop branch traces, whose segments —
+      one per static branch site per table — are long and plentiful):
+      every segment steps its walk simultaneously, one numpy
+      ``clip(state + d)`` per stream position over a padded
+      (position, segment) matrix.  The round count is the longest
+      segment (≈ the loop iteration count), *independent of the trace
+      length*, so cost is dominated by the O(n) layout passes.
+    * **doubling scan** (fallback for short or skewed segment layouts
+      where padding would blow up): a run of saturating steps composes
+      into a clamp ``x -> min(b, max(a, x + d))``, and a Hillis–Steele
+      scan evaluates every prefix in ``O(log longest-segment)`` array
+      passes over all rows together.
+
+    A zero step is the identity under both kernels — that is what lets
+    the tournament chooser (trained only when its components disagree)
+    ride the same machinery.  Returns the int8 counter value *before*
+    each access (initial state: weakly taken, 2), in original access
+    order per row.  ``steps`` may be 1-D when every row steps
+    identically (gather through the order is cheaper than a broadcast
+    take_along).
+
+    ``grouped_steps``/``keep_grouped`` let a caller who already lives
+    in the layout's sorted domain (the tournament chooser phase, whose
+    steps come from component predictions) skip the permutation on the
+    way in and/or out.
+    """
+    rows, n = indices.shape
+    if layout is None:
+        layout = _counter_layout(indices)
+    order, seg_start, starts, seg_id, pos, max_len = layout
+    if grouped_steps:
+        d8 = steps.astype(np.int8, copy=False).reshape(rows, n)
+    elif steps.ndim == 1:
+        d8 = steps.astype(np.int8, copy=False)[order]
+    else:
+        d8 = np.take_along_axis(
+            steps.astype(np.int8, copy=False), order, axis=1
+        )
+
+    total = rows * n
+    if (
+        n >= _MIN_ROUNDS_TRACE
+        and max_len <= n // _ROUNDS_IMBALANCE
+        and starts.shape[0] * max_len <= 4 * total
+    ):
+        num_segs = starts.shape[0]
+        # Zero-padding freezes exhausted segments (clip(s + 0) = s), so
+        # the rounds loop needs no activity masking; (position, segment)
+        # layout keeps each round's reads contiguous.  Raw ufunc calls
+        # with explicit outputs: np.clip's dispatch overhead rivals the
+        # array work itself at these widths.  Adjacent steps are
+        # pre-composed pairwise — two saturating steps collapse into
+        # one clamp ``min(b, max(a, s + d))`` — halving the sequential
+        # round count; odd positions are filled back in with a single
+        # vectorized clip at the end.
+        paired = max_len + (max_len & 1)
+        mat = np.zeros((paired, num_segs), dtype=np.int8)
+        mat[pos, seg_id] = d8.ravel()
+        d1, d2 = mat[0::2], mat[1::2]
+        comp_a = np.maximum(d2, 0)
+        comp_b = np.minimum(d2 + 3, 3)
+        comp_d = d1 + d2
+        half = paired // 2
+        even = np.empty((half, num_segs), dtype=np.int8)
+        even[0] = 2
+        for r in range(1, half):
+            np.add(even[r - 1], comp_d[r - 1], out=even[r])
+            np.maximum(even[r], comp_a[r - 1], out=even[r])
+            np.minimum(even[r], comp_b[r - 1], out=even[r])
+        odd = even + d1
+        np.maximum(odd, 0, out=odd)
+        np.minimum(odd, 3, out=odd)
+        pre = np.empty((paired, num_segs), dtype=np.int8)
+        pre[0::2] = even
+        pre[1::2] = odd
+        state_sorted = pre[pos, seg_id].reshape(rows, n)
+        if keep_grouped:
+            return state_sorted
+        states = np.empty((rows, n), dtype=np.int8)
+        np.put_along_axis(states, order, state_sorted, axis=1)
+        return states
+
+    # Each step is f(x) = min(3, max(0, x + step)): triple (a=0, b=3, d).
+    d = d8.astype(np.int64)
+    a = np.zeros((rows, n), dtype=np.int64)
+    b = np.full((rows, n), 3, dtype=np.int64)
+
+    flag = seg_start.copy()
+    off = 1
+    while off < n and not flag.all():
+        prev_a, prev_b, prev_d = a[:, :-off], b[:, :-off], d[:, :-off]
+        cur_a, cur_b, cur_d = a[:, off:], b[:, off:], d[:, off:]
+        can = ~flag[:, off:]
+        comp_a = np.where(can, np.maximum(cur_a, prev_a + cur_d), cur_a)
+        comp_b = np.where(
+            can, np.minimum(cur_b, np.maximum(cur_a, prev_b + cur_d)), cur_b
+        )
+        comp_d = np.where(can, prev_d + cur_d, cur_d)
+        a[:, off:] = comp_a
+        b[:, off:] = comp_b
+        d[:, off:] = comp_d
+        flag[:, off:] = flag[:, off:] | flag[:, :-off]
+        off <<= 1
+
+    # Counter value *before* access k: exclusive prefix applied to the
+    # initial weakly-taken state (2).
+    state_sorted = np.empty((rows, n), dtype=np.int64)
+    state_sorted[:, 0] = 2
+    applied = np.minimum(
+        b[:, :-1], np.maximum(a[:, :-1], 2 + d[:, :-1])
+    )
+    state_sorted[:, 1:] = np.where(seg_start[:, 1:], 2, applied)
+
+    if keep_grouped:
+        return state_sorted.astype(np.int8)
+    states = np.empty((rows, n), dtype=np.int8)
+    np.put_along_axis(states, order, state_sorted.astype(np.int8), axis=1)
+    return states
+
+
+def _simulate_branches_vectorized(
+    core: CoreConfig,
+    trace: ExpandedTrace,
+    warmup_branches: int,
+    shared: dict | None = None,
+) -> tuple[int, int]:
+    """Segmented-scan branch engine for all predictor kinds.
+
+    gshare/bimodal need one :func:`_counter_prestates` row.  The
+    tournament predictor needs two phases: its gshare and bimodal
+    components scan in parallel rows (their training is unconditional,
+    so their steps are known upfront), then the chooser — whose steps
+    depend on the component *predictions* — runs one more scan with
+    steps in {-1, 0, +1}.  A chooser sized like the bimodal component
+    (every Table II tournament core) is indexed identically to it, so
+    phase two runs entirely in that row's sorted domain: the component
+    layout is reused and no permutation back to program order is ever
+    materialised — mispredicts are counted through the order itself.
+    Bit-identical to the reference loops.
     """
     outcomes = np.asarray(trace.branch_outcomes, dtype=bool)
     n = int(outcomes.shape[0])
     warmup = _clamped_warmup(warmup_branches, n)
     if warmup >= n:
         return 0, 0
-
-    entries, history_bits = branch_event_key(core)
-    entry_mask = entries - 1
-    pcs = np.asarray(trace.branch_pcs, dtype=np.int64)
-
-    if history_bits > 0:
-        taken_bits = outcomes.astype(np.int64)
-        padded = np.concatenate(
-            [np.zeros(history_bits, dtype=np.int64), taken_bits]
+    _record_path("branch.vectorized.scan")
+    key = branch_event_key(core)
+    pcs2 = np.asarray(trace.branch_pcs, dtype=np.int64) >> 2
+    steps = np.where(outcomes, np.int8(1), np.int8(-1))
+    stacked = _component_index_rows(key, pcs2, outcomes, shared)
+    layout = _counter_layout(stacked)
+    if key[0] == "tournament" and key[4] == key[1]:
+        grouped = _counter_prestates(stacked, steps, layout,
+                                     keep_grouped=True)
+        g_order, b_order = layout[0]
+        g_pred = np.empty(n, dtype=bool)
+        g_pred[g_order] = grouped[0] >= 2
+        g_pred_b = g_pred[b_order]
+        b_pred_b = grouped[1] >= 2
+        out_b = outcomes[b_order]
+        # Chooser step: +1/-1 toward gshare when the components
+        # disagree and gshare was right/wrong, else 0 — which is just
+        # (gshare correct) - (bimodal correct).
+        c_steps_b = (
+            (g_pred_b == out_b).view(np.int8)
+            - (b_pred_b == out_b).view(np.int8)
         )
-        windows = np.lib.stride_tricks.sliding_window_view(
-            padded, history_bits
-        )[:n]
-        # Window column j holds outcome k-history_bits+j, i.e. history
-        # bit history_bits-1-j.
-        weights = np.left_shift(
-            np.int64(1), np.arange(history_bits - 1, -1, -1, dtype=np.int64)
+        c_state_b = _counter_prestates(
+            stacked[1:2], c_steps_b, _layout_rows(layout, [1], n),
+            grouped_steps=True, keep_grouped=True,
+        )[0]
+        wrong = np.where(c_state_b >= 2, g_pred_b, b_pred_b) != out_b
+        if warmup:
+            wrong &= b_order >= warmup
+        return int(np.count_nonzero(wrong)), n - warmup
+    states = _counter_prestates(stacked, steps, layout)
+    if key[0] == "tournament":
+        g_pred = states[0] >= 2
+        b_pred = states[1] >= 2
+        c_steps = np.where(
+            g_pred == b_pred,
+            np.int8(0),
+            np.where(g_pred == outcomes, np.int8(1), np.int8(-1)),
         )
-        history = windows @ weights
+        c_index = (pcs2 & (key[4] - 1))[None, :]
+        c_state = _counter_prestates(c_index, c_steps)[0]
+        prediction = np.where(c_state >= 2, g_pred, b_pred)
     else:
-        history = np.zeros(n, dtype=np.int64)
-    index = ((pcs >> 2) ^ history) & entry_mask
-
-    # Stable sort groups each table entry's accesses in program order.
-    order = np.argsort(index, kind="stable")
-    grouped = index[order]
-    taken_sorted = outcomes[order]
-
-    # Each step is f(x) = min(3, max(0, x + step)): triple (a=0, b=3, d).
-    a = np.zeros(n, dtype=np.int64)
-    b = np.full(n, 3, dtype=np.int64)
-    d = np.where(taken_sorted, 1, -1).astype(np.int64)
-    seg_start = np.empty(n, dtype=bool)
-    seg_start[0] = True
-    seg_start[1:] = grouped[1:] != grouped[:-1]
-
-    flag = seg_start.copy()
-    off = 1
-    while off < n:
-        prev_a, prev_b, prev_d = a[:-off], b[:-off], d[:-off]
-        cur_a, cur_b, cur_d = a[off:], b[off:], d[off:]
-        can = ~flag[off:]
-        comp_a = np.where(can, np.maximum(cur_a, prev_a + cur_d), cur_a)
-        comp_b = np.where(
-            can, np.minimum(cur_b, np.maximum(cur_a, prev_b + cur_d)), cur_b
-        )
-        comp_d = np.where(can, prev_d + cur_d, cur_d)
-        a[off:] = comp_a
-        b[off:] = comp_b
-        d[off:] = comp_d
-        flag[off:] = flag[off:] | flag[:-off]
-        off <<= 1
-
-    # Counter value *before* access k: exclusive prefix applied to the
-    # initial weakly-taken state (2).
-    state = np.empty(n, dtype=np.int64)
-    state[0] = 2
-    applied = np.minimum(b[:-1], np.maximum(a[:-1], 2 + d[:-1]))
-    state[1:] = np.where(seg_start[1:], 2, applied)
-
-    mis_sorted = (state >= 2) != taken_sorted
-    mispredicted = np.empty(n, dtype=bool)
-    mispredicted[order] = mis_sorted
-    mispredicts = int(np.count_nonzero(mispredicted[warmup:]))
+        prediction = states[0] >= 2
+    mispredicts = int(
+        np.count_nonzero(prediction[warmup:] != outcomes[warmup:])
+    )
     return mispredicts, n - warmup
 
 

@@ -20,6 +20,7 @@ wherever the configs' parameters cannot distinguish them.
 from __future__ import annotations
 
 from repro.isa.program import Program
+from repro.sim import events
 from repro.sim.artifact import (
     MAX_MEASURE_ITERATIONS as _MAX_MEASURE_ITERATIONS,
     MAX_WARMUP_ITERATIONS as _MAX_WARMUP_ITERATIONS,
@@ -257,6 +258,7 @@ class Simulator:
         artifact: TraceArtifact | None = None,
         artifact_cache: TraceArtifactCache | None = None,
         engine: str | None = None,
+        config_batch: bool = True,
     ) -> list[SimStats]:
         """Simulate one program under a batch of core configurations.
 
@@ -264,7 +266,12 @@ class Simulator:
         the whole batch: trace expansion, dependency analysis and every
         event simulation are memoized on the core parameters they read,
         so configs differing only in back-end structure reuse each
-        other's event streams outright.  Results are bit-identical to
+        other's event streams outright.  With ``config_batch`` (the
+        default) the vectorized engine additionally evaluates all
+        *distinct* event keys in the batch over one shared block of
+        precomputed trace columns before the per-core passes run, so a
+        sweep pays for the trace-derived work once instead of once per
+        config.  Results are bit-identical to
         ``[Simulator(c).run(program, ...) for c in cores]``.
 
         Args:
@@ -278,6 +285,10 @@ class Simulator:
             engine: stage-2 event engine (``reference`` / ``vectorized``);
                 ``None`` uses the process default.  Engines are
                 bit-identical, and event memoization is engine-stamped.
+            config_batch: prefill the artifact's event memos through the
+                config-batched kernels when the vectorized engine is
+                active.  Disable to force independent per-config passes
+                (the benchmark baseline); outputs are identical.
 
         Returns:
             One :class:`SimStats` per core, in input order.
@@ -308,6 +319,24 @@ class Simulator:
             raise ValueError(
                 "artifact was built for a different program "
                 f"(fingerprint {artifact.fingerprint})"
+            )
+        if (
+            config_batch
+            and len(cores) > 1
+            and events.resolve_engine(engine) == "vectorized"
+        ):
+            # One config-batched kernel pass per event family fills the
+            # memos; the per-core passes below then hit them outright.
+            schedules = [
+                artifact.schedule(core, warmup_fraction) for core in cores
+            ]
+            warmups = [w for w, _ in schedules]
+            iterations = [w + m for w, m in schedules]
+            artifact.memory_events_batch(
+                cores, warmups, iterations, engine=engine
+            )
+            artifact.branch_events_batch(
+                cores, warmups, iterations, engine=engine
             )
         passes = [
             cls._event_pass(core, artifact, warmup_fraction, engine=engine)

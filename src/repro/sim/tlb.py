@@ -58,5 +58,11 @@ class DataTLB:
 
 
 def tlb_for_core(core_name: str) -> DataTLB:
-    """Default DTLB sizing per Table II core."""
-    return DataTLB(entries=128 if core_name == "large" else 48)
+    """Default DTLB sizing per Table II core.
+
+    Derived cores (``large-tournament`` etc., see
+    :func:`repro.sim.branch.predictor_for_core`) inherit their base
+    family's sizing.
+    """
+    large = core_name == "large" or core_name.startswith("large-")
+    return DataTLB(entries=128 if large else 48)

@@ -14,23 +14,31 @@ loops are the oracle; these tests also pin the fixed warmup semantics:
 """
 
 import itertools
+import pickle
 from dataclasses import replace
 
 import numpy as np
 import pytest
 
+import repro.sim.events as events_mod
 from repro.codegen.wrapper import GenerationOptions, generate_test_case
 from repro.sim import LARGE_CORE, SMALL_CORE, Simulator
-from repro.sim.artifact import TraceArtifact
+from repro.sim.artifact import TraceArtifact, TraceArtifactCache
+from repro.sim.branch import predictor_for_core
 from repro.sim.config import CacheGeometry
 from repro.sim.events import (
     DEFAULT_ENGINE,
     ENGINE_ENV_VAR,
     ENGINES,
     MemoryEvents,
+    branch_event_key,
+    engine_path_counts,
+    reset_engine_path_counts,
     resolve_engine,
     simulate_branches,
+    simulate_branches_batch,
     simulate_memory,
+    simulate_memory_batch,
 )
 from repro.sim.trace import ExpandedTrace
 
@@ -248,9 +256,9 @@ class TestEnginesBitIdentical:
                     core, trace, warmup, engine="vectorized"
                 )
 
-    def test_memory_aperiodic_trace_falls_back(self):
+    def test_memory_aperiodic_trace_agrees(self):
         # A non-repeating stream defeats period detection; the engine
-        # must fall back to straight simulation and still agree.
+        # takes the recency-rank rounds path and must still agree.
         rng = np.random.default_rng(11)
         lines = rng.integers(0, 4096, 300)
         stores = rng.random(300) < 0.3
@@ -282,3 +290,298 @@ class TestEngineMemoization:
         assert len(set(artifact._memory)) == len(ENGINES)
         (first, second) = artifact._memory.values()
         assert first == second
+
+
+class TestTracePeriodCandidates:
+    def test_period_past_first_eight_candidates(self):
+        # Nine identical leading rows produce eight bogus equal-row
+        # candidates (offsets 1..8) before the true period of 10; the
+        # old detector silently capped candidates at [:8] and
+        # misclassified this trace as aperiodic.
+        trace = mem_trace(([0] * 9 + [1]) * 6)
+        assert events_mod._trace_period(trace) == 10
+
+    def test_genuinely_aperiodic_stays_zero(self):
+        rng = np.random.default_rng(2)
+        trace = mem_trace(rng.integers(0, 1 << 20, 200).tolist())
+        assert events_mod._trace_period(trace) == 0
+
+
+class TestBranchEventKey:
+    def test_predictor_kinds_do_not_collide(self):
+        # gshare / bimodal / tournament variants of one family share
+        # (entries, history_bits); the key must still distinguish them
+        # or the branch-event memo serves one kind the other's counts.
+        names = ["small", "small-bimodal", "small-tournament",
+                 "large", "large-bimodal", "large-tournament"]
+        keys = [
+            branch_event_key(replace(SMALL_CORE, name=name))
+            for name in names
+        ]
+        assert len(set(keys)) == len(keys)
+
+    def test_tournament_key_carries_chooser_size(self):
+        key = branch_event_key(replace(SMALL_CORE, name="small-tournament"))
+        assert key[0] == "tournament"
+        predictor = predictor_for_core("small-tournament")
+        assert key[-1] == predictor.chooser.entries
+
+    def test_kinds_produce_distinct_counts(self):
+        # Few hot PCs, some with periodic per-PC patterns (gshare
+        # learns them, bimodal cannot), some random — a trace where
+        # the three kinds genuinely disagree.
+        rng = np.random.default_rng(5)
+        pcs = (rng.integers(0, 16, 600) * 4).tolist()
+        outcomes = []
+        per_pc = {}
+        for pc in pcs:
+            k = per_pc.get(pc, 0)
+            outcomes.append(
+                bool(k % 3) if pc % 8 == 0 else bool(rng.random() < 0.5)
+            )
+            per_pc[pc] = k + 1
+        trace = branch_trace(pcs, outcomes)
+        results = {
+            name: simulate_branches(
+                replace(SMALL_CORE, name=name), trace, 0
+            )
+            for name in ("small", "small-bimodal", "small-tournament")
+        }
+        assert len(set(results.values())) == 3
+
+
+class TestEnginePathObservability:
+    def setup_method(self):
+        reset_engine_path_counts()
+
+    def test_periodic_aperiodic_and_reference_paths(self):
+        periodic = mem_trace([(16 * t) % 512 for t in range(32)] * 40)
+        rng = np.random.default_rng(3)
+        aperiodic = mem_trace(rng.integers(0, 4096, 400).tolist())
+        simulate_memory(SMALL_CORE, periodic, 10, engine="vectorized")
+        simulate_memory(SMALL_CORE, aperiodic, 10, engine="vectorized")
+        simulate_memory(SMALL_CORE, aperiodic, 10, engine="reference")
+        counts = engine_path_counts()
+        assert counts["memory.vectorized.periodic"] == 1
+        assert counts["memory.vectorized.aperiodic"] == 1
+        assert counts["memory.reference"] == 1
+        assert "memory.vectorized.straight" not in counts
+
+    def test_tiny_aperiodic_trace_takes_straight_path(self):
+        rng = np.random.default_rng(4)
+        tiny = mem_trace(rng.integers(0, 4096, 40).tolist())
+        simulate_memory(SMALL_CORE, tiny, 0, engine="vectorized")
+        assert engine_path_counts()["memory.vectorized.straight"] == 1
+
+    def test_branch_paths(self):
+        rng = np.random.default_rng(6)
+        trace = branch_trace(
+            (rng.integers(0, 1 << 12, 200) * 4).tolist(),
+            (rng.random(200) < 0.5).tolist(),
+        )
+        simulate_branches(SMALL_CORE, trace, 0, engine="vectorized")
+        simulate_branches(SMALL_CORE, trace, 0, engine="reference")
+        counts = engine_path_counts()
+        assert counts["branch.vectorized.scan"] == 1
+        assert counts["branch.reference"] == 1
+
+    def test_reset_clears(self):
+        simulate_branches(
+            SMALL_CORE, branch_trace([4], [True]), 0, engine="reference"
+        )
+        assert engine_path_counts()
+        reset_engine_path_counts()
+        assert engine_path_counts() == {}
+
+
+class TestTournamentAndBimodalAgreement:
+    """Cross-engine equality for the predictor kinds the scan engine
+    gained in this change (chooser steps include the identity)."""
+
+    @pytest.mark.parametrize(
+        "name", ["small-bimodal", "small-tournament", "large-tournament"]
+    )
+    def test_random_traces_agree(self, name):
+        core = replace(
+            LARGE_CORE if name.startswith("large") else SMALL_CORE,
+            name=name,
+        )
+        rng = np.random.default_rng(17)
+        for trial in range(4):
+            n = int(rng.integers(1, 800))
+            pcs = (rng.integers(0, 1 << 13, n) * 4).tolist()
+            outcomes = (rng.random(n) < rng.random()).tolist()
+            trace = branch_trace(pcs, outcomes)
+            for warmup in (0, n // 3, n):
+                assert simulate_branches(
+                    core, trace, warmup, engine="reference"
+                ) == simulate_branches(
+                    core, trace, warmup, engine="vectorized"
+                )
+
+
+class TestAperiodicVectorizedAgreement:
+    """The recency-rank rounds kernel must match the reference loop on
+    aperiodic streams — including prefetching cores, where the L2 sees
+    an exactly-replayed miss substream."""
+
+    @pytest.mark.parametrize("core", [SMALL_CORE, LARGE_CORE],
+                             ids=lambda c: c.name)
+    def test_random_aperiodic_streams_agree(self, core):
+        rng = np.random.default_rng(23)
+        for trial in range(4):
+            n = int(rng.integers(150, 900))
+            lines = rng.integers(0, 6000, n).tolist()
+            stores = (rng.random(n) < 0.3).tolist()
+            pcs = (rng.integers(0, 64, n) * 4).tolist()
+            trace = mem_trace(lines, pcs=pcs, stores=stores)
+            for warmup in (0, n // 4):
+                assert simulate_memory(
+                    core, trace, warmup, engine="reference"
+                ) == simulate_memory(
+                    core, trace, warmup, engine="vectorized"
+                )
+
+    def test_streaming_program_takes_rounds_path_and_agrees(self):
+        # MEM_SIZE far past the L2 keeps the window inside one sweep:
+        # no period, so this exercises the aperiodic kernel end-to-end.
+        program = generate_test_case(
+            dict(KNOBS, MEM_SIZE=2048), GenerationOptions(seed=9)
+        )
+        artifact = TraceArtifact.build(program, 20_000)
+        warmup, measure = artifact.schedule(SMALL_CORE, 0.2)
+        trace = artifact.trace(warmup + measure, SMALL_CORE.l1d.line_bytes)
+        reset_engine_path_counts()
+        ref = simulate_memory(
+            SMALL_CORE, trace, warmup * artifact.mem_per_iter,
+            engine="reference",
+        )
+        vec = simulate_memory(
+            SMALL_CORE, trace, warmup * artifact.mem_per_iter,
+            engine="vectorized",
+        )
+        assert ref == vec
+        counts = engine_path_counts()
+        assert counts.get("memory.vectorized.aperiodic") == 1
+        assert "memory.vectorized.straight" not in counts
+
+
+class TestBatchEntryPoints:
+    CORES = [
+        SMALL_CORE,
+        LARGE_CORE,
+        replace(SMALL_CORE, name="small-tournament"),
+        replace(LARGE_CORE, name="large-bimodal"),
+        replace(SMALL_CORE,
+                l1d=replace(SMALL_CORE.l1d, assoc=2)),
+        SMALL_CORE,  # duplicate: must dedupe, not recompute
+    ]
+
+    def test_simulate_memory_batch_matches_singles(self):
+        rng = np.random.default_rng(29)
+        n = 1500
+        trace = mem_trace(
+            rng.integers(0, 4000, n).tolist(),
+            pcs=(rng.integers(0, 64, n) * 4).tolist(),
+            stores=(rng.random(n) < 0.3).tolist(),
+        )
+        warmups = [0, 13, 200, 13, 0, 0]
+        batch = simulate_memory_batch(
+            self.CORES, trace, warmups, engine="vectorized"
+        )
+        singles = [
+            simulate_memory(core, trace, warmup, engine="reference")
+            for core, warmup in zip(self.CORES, warmups)
+        ]
+        assert batch == singles
+
+    def test_simulate_branches_batch_matches_singles(self):
+        rng = np.random.default_rng(31)
+        n = 1200
+        trace = branch_trace(
+            (rng.integers(0, 1 << 13, n) * 4).tolist(),
+            (rng.random(n) < 0.6).tolist(),
+        )
+        warmups = [0, 25, 100, 25, 0, n + 5]
+        batch = simulate_branches_batch(
+            self.CORES, trace, warmups, engine="vectorized"
+        )
+        singles = [
+            simulate_branches(core, trace, warmup, engine="reference")
+            for core, warmup in zip(self.CORES, warmups)
+        ]
+        assert batch == singles
+
+    def test_batch_length_mismatch_rejected(self):
+        trace = branch_trace([4], [True])
+        with pytest.raises(ValueError, match="warmup"):
+            simulate_branches_batch([SMALL_CORE], trace, [0, 0])
+        with pytest.raises(ValueError, match="warmup"):
+            simulate_memory_batch([SMALL_CORE], mem_trace([1]), [])
+
+    def test_artifact_batch_accessors_fill_memos_identically(self):
+        program = generate_test_case(
+            dict(KNOBS, MEM_SIZE=128), GenerationOptions(seed=12)
+        )
+        batched = TraceArtifact.build(program, 8_000)
+        single = TraceArtifact.build(program, 8_000)
+        cores = self.CORES
+        schedules = [batched.schedule(core, 0.2) for core in cores]
+        warmups = [w for w, _ in schedules]
+        iterations = [w + m for w, m in schedules]
+        mem_batch = batched.memory_events_batch(cores, warmups, iterations)
+        br_batch = batched.branch_events_batch(cores, warmups, iterations)
+        mem_single = [
+            single.memory_events(core, w, i)
+            for core, w, i in zip(cores, warmups, iterations)
+        ]
+        br_single = [
+            single.branch_events(core, w, i)
+            for core, w, i in zip(cores, warmups, iterations)
+        ]
+        assert mem_batch == mem_single
+        assert br_batch == br_single
+        assert batched._memory == single._memory
+        assert batched._branches == single._branches
+
+    @pytest.mark.parametrize("mem_size", [16, 2048])
+    def test_run_many_config_batch_bit_identical(self, mem_size):
+        program = generate_test_case(
+            dict(KNOBS, MEM_SIZE=mem_size), GenerationOptions(seed=8)
+        )
+        runs = {
+            mode: Simulator.run_many(
+                self.CORES, program,
+                artifact_cache=TraceArtifactCache(),
+                config_batch=mode == "batched",
+                engine=engine,
+            )
+            for mode, engine in (
+                ("batched", "vectorized"),
+                ("per-config", "vectorized"),
+                ("reference", "reference"),
+            )
+        }
+        assert runs["batched"] == runs["per-config"] == runs["reference"]
+
+
+class TestKernelCachePickling:
+    def test_kernel_cache_excluded_from_pickles(self):
+        trace = mem_trace([(16 * t) % 256 for t in range(300)])
+        simulate_memory_batch(
+            [SMALL_CORE, LARGE_CORE], trace, [0, 0], engine="vectorized"
+        )
+        assert trace._kernel_cache  # batching populated scratch
+        clone = pickle.loads(pickle.dumps(trace))
+        assert clone._kernel_cache == {}
+        assert np.array_equal(clone.mem_lines, trace.mem_lines)
+
+    def test_pre_batching_pickles_load(self):
+        # Artifacts persisted before the scratch field existed unpickle
+        # into traces with an empty (usable) cache.
+        trace = mem_trace([1, 2, 3])
+        state = trace.__getstate__()
+        assert "_kernel_cache" not in state
+        revived = ExpandedTrace.__new__(ExpandedTrace)
+        revived.__setstate__(state)
+        assert revived._kernel_cache == {}

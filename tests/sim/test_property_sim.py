@@ -1,10 +1,16 @@
 """Property-based tests: simulator contracts over the whole knob lattice."""
 
+from dataclasses import replace
+
+import numpy as np
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.codegen.wrapper import GenerationOptions, generate_test_case
 from repro.sim import LARGE_CORE, SMALL_CORE, Simulator
+from repro.sim.artifact import TraceArtifactCache
+from repro.sim.events import simulate_branches, simulate_memory
+from repro.sim.trace import ExpandedTrace
 from repro.tuning.knobs import (
     B_PATTERN_VALUES,
     INSTRUCTION_FRACTIONS,
@@ -29,6 +35,32 @@ fast_lattice_config = st.fixed_dictionaries(
         "B_PATTERN": st.sampled_from(B_PATTERN_VALUES),
     }
 )
+
+
+def _branch_only_trace(pcs, outcomes) -> ExpandedTrace:
+    n = len(pcs)
+    return ExpandedTrace(
+        iterations=n, loop_size=1, line_bytes=64,
+        mem_pcs=np.empty(0, dtype=np.int64),
+        mem_lines=np.empty(0, dtype=np.int64),
+        mem_is_store=np.empty(0, dtype=bool),
+        branch_pcs=np.asarray(pcs, dtype=np.int64),
+        branch_outcomes=np.asarray(outcomes, dtype=bool),
+        class_counts={},
+    )
+
+
+def _memory_only_trace(lines, pcs, stores) -> ExpandedTrace:
+    n = len(lines)
+    return ExpandedTrace(
+        iterations=n, loop_size=1, line_bytes=64,
+        mem_pcs=np.asarray(pcs, dtype=np.int64),
+        mem_lines=np.asarray(lines, dtype=np.int64),
+        mem_is_store=np.asarray(stores, dtype=bool),
+        branch_pcs=np.empty(0, dtype=np.int64),
+        branch_outcomes=np.empty(0, dtype=bool),
+        class_counts={},
+    )
 
 
 class TestSimulatorContracts:
@@ -82,6 +114,62 @@ class TestSimulatorContracts:
             program, instructions=3_000, engine="vectorized"
         )
         assert reference == vectorized  # full SimStats equality
+
+    @given(fast_lattice_config, st.integers(0, 2 ** 32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_run_many_config_batch_bit_identical(self, config, seed):
+        program = generate_test_case(
+            config, GenerationOptions(loop_size=80, seed=seed % 97)
+        )
+        cores = [
+            SMALL_CORE,
+            LARGE_CORE,
+            replace(SMALL_CORE, name="small-tournament"),
+            replace(LARGE_CORE, name="large-bimodal"),
+            SMALL_CORE,
+        ]
+        batched = Simulator.run_many(
+            cores, program, instructions=3_000,
+            artifact_cache=TraceArtifactCache(), config_batch=True,
+        )
+        per_config = Simulator.run_many(
+            cores, program, instructions=3_000,
+            artifact_cache=TraceArtifactCache(), config_batch=False,
+        )
+        assert batched == per_config  # full SimStats equality
+
+    @given(st.integers(0, 2 ** 32 - 1), st.integers(1, 900),
+           st.sampled_from(["small-tournament", "large-tournament",
+                            "small-bimodal"]))
+    @settings(max_examples=20, deadline=None)
+    def test_tournament_and_bimodal_engines_agree(self, seed, n, name):
+        rng = np.random.default_rng(seed)
+        base = LARGE_CORE if name.startswith("large") else SMALL_CORE
+        core = replace(base, name=name)
+        trace = _branch_only_trace(
+            rng.integers(0, 1 << 13, n) * 4,
+            rng.random(n) < rng.random(),
+        )
+        warmup = int(rng.integers(0, n + 2))
+        assert simulate_branches(
+            core, trace, warmup, engine="reference"
+        ) == simulate_branches(core, trace, warmup, engine="vectorized")
+
+    @given(st.integers(0, 2 ** 32 - 1), st.integers(1, 700),
+           st.sampled_from(["small", "large"]))
+    @settings(max_examples=20, deadline=None)
+    def test_aperiodic_memory_engines_agree(self, seed, n, core_name):
+        rng = np.random.default_rng(seed)
+        core = SMALL_CORE if core_name == "small" else LARGE_CORE
+        trace = _memory_only_trace(
+            rng.integers(0, 6000, n),
+            rng.integers(0, 64, n) * 4,
+            rng.random(n) < 0.3,
+        )
+        warmup = int(rng.integers(0, n + 2))
+        assert simulate_memory(
+            core, trace, warmup, engine="reference"
+        ) == simulate_memory(core, trace, warmup, engine="vectorized")
 
     @given(fast_lattice_config)
     @settings(max_examples=10, deadline=None)
