@@ -67,13 +67,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
              "coordinator reschedules it (default: coordinator's; set "
              "above the worst-case single-job runtime)",
     )
+    parser.add_argument(
+        "--batch-group-min", type=int, default=None, metavar="N",
+        help="smallest evaluation chunk shipped to a worker when the "
+             "platform supports generation batching (chunks align to "
+             "equivalence-group boundaries; 1 restores pure per-jobs "
+             "chunking)",
+    )
 
 
 def _execution_overrides(args: argparse.Namespace) -> dict:
     """The --jobs/--backend/--cache-*/--dist-* flags explicitly set."""
     overrides = {}
     for flag in ("jobs", "backend", "cache_dir", "cache_max_entries",
-                 "dist_addr", "dist_workers", "dist_lease_timeout"):
+                 "dist_addr", "dist_workers", "dist_lease_timeout",
+                 "batch_group_min"):
         value = getattr(args, flag, None)
         if value is not None:
             overrides[flag] = value

@@ -136,6 +136,76 @@ def default_pass_list(
     return passes
 
 
+def generation_fingerprint(
+    knobs: dict, options: GenerationOptions | None = None
+) -> tuple:
+    """Equivalence key: equal fingerprints generate identical programs.
+
+    Tuning epochs are full of knob configurations that differ only in
+    ways the generator cannot see — proportionally scaled instruction
+    weights (``apportion`` normalizes by the weight sum before rounding),
+    ``B_PATTERN`` on a profile with no branches (the branch pass draws
+    RNG per branch instruction, so zero branches means the knob never
+    touches the program or the RNG stream), or memory-locality knobs
+    when no memory instruction has weight (the memory pass is absent
+    from the pipeline entirely).  This function maps a knob dict to a
+    hashable key that quotients out exactly those differences, so the
+    grouping planner can dispatch one generation + one simulation per
+    group and fan the result back out.
+
+    Safety over sharpness: the key errs toward *splitting*.  Unknown
+    knob names are folded in verbatim (a future knob is never wrongly
+    merged), and every parameter the pass pipeline reads — normalized
+    profile, ``REG_DIST``, streams (only when the memory pass runs),
+    ``B_PATTERN`` (only when the profile has branches), loop size, seed
+    and base pattern — is part of the key.  Two configs with equal
+    fingerprints satisfy ``program_fingerprint(generate_test_case(a))
+    == program_fingerprint(generate_test_case(b))``; only
+    ``metadata["knobs"]`` (provenance, never simulated) may differ.
+    """
+    from dataclasses import astuple
+
+    options = options or GenerationOptions()
+    profile = _profile_from_knobs(knobs)
+    # Same normalization as apportion(): w / weight_sum is IEEE
+    # correctly-rounded, so proportionally scaled profiles produce the
+    # exact same ideal shares and therefore the same program.
+    weight_sum = sum(profile.values())
+    norm_profile = tuple(
+        sorted((mnemonic, weight / weight_sum) for mnemonic, weight in profile.items())
+    )
+    # Identical has_mem expression to default_pass_list: when false the
+    # memory pass is absent and the MEM_* knobs are provably inert.
+    has_mem = any(knobs.get(k, 0) > 0 for k in ("LD", "LW", "SD", "SW")) or (
+        knobs.get("STREAMS")
+    )
+    streams = (
+        tuple(astuple(s) for s in _streams_from_knobs(knobs)) if has_mem else ()
+    )
+    # The branch pass consumes RNG once per branch *instruction*; with
+    # no branches in the profile, B_PATTERN never reaches the program.
+    has_branches = any(m in profile for m in ("BEQ", "BNE"))
+    b_pattern = float(knobs.get("B_PATTERN", 0.0)) if has_branches else None
+    known = set(KNOB_INSTRUCTIONS) | {
+        "REG_DIST", "MEM_SIZE", "MEM_STRIDE", "MEM_TEMP1", "MEM_TEMP2",
+        "B_PATTERN", "STREAMS",
+    }
+    extra = tuple(
+        sorted((k, repr(v)) for k, v in knobs.items() if k not in known)
+    )
+    return (
+        "genfp-v1",
+        norm_profile,
+        int(knobs.get("REG_DIST", 1)),
+        b_pattern,
+        streams,
+        extra,
+        options.loop_size,
+        options.seed,
+        tuple(options.base_pattern),
+    )
+
+
 def generate_test_case(
     knobs: dict, options: GenerationOptions | None = None
 ) -> Program:

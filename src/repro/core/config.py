@@ -87,6 +87,12 @@ class MicroGradConfig:
             evicted faster via heartbeats).  ``None`` keeps the
             coordinator default; set it above the worst-case single-job
             runtime.
+        batch_group_min: smallest evaluation chunk worth shipping to a
+            worker when the platform supports generation batching.
+            Epoch batches are chunked on equivalence-group boundaries
+            and never below this size, so whole groups stay on one
+            worker and ride one shared simulation pass (``1`` restores
+            pure per-``jobs`` chunking).
     """
 
     use_case: str = "cloning"
@@ -113,6 +119,7 @@ class MicroGradConfig:
     dist_addr: str | None = None
     dist_workers: int | None = None
     dist_lease_timeout: float | None = None
+    batch_group_min: int = 4
 
     def __post_init__(self) -> None:
         if self.use_case not in _VALID_USE_CASES:
@@ -152,6 +159,8 @@ class MicroGradConfig:
         if self.dist_lease_timeout is not None \
                 and self.dist_lease_timeout <= 0:
             raise ValueError("dist_lease_timeout must be > 0 (or None)")
+        if self.batch_group_min < 1:
+            raise ValueError("batch_group_min must be >= 1")
         if self.dist_addr is not None:
             from repro.dist.protocol import parse_addr
 

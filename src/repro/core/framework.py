@@ -84,6 +84,7 @@ class MicroGrad:
             dist_addr=config.dist_addr,
             dist_workers=config.dist_workers,
             dist_lease_timeout=config.dist_lease_timeout,
+            batch_group_min=config.batch_group_min,
         )
         self.disk_cache = (
             DiskResultCache(
@@ -199,6 +200,12 @@ class MicroGrad:
             f"|loop={self.config.loop_size}|seed={self.config.seed}"
         )
 
+    def _group_key(self, knob_config: dict):
+        """Generation-equivalence key for the evaluator's grouping planner."""
+        from repro.codegen.wrapper import generation_fingerprint
+
+        return generation_fingerprint(knob_config, self._generation_options())
+
     def build_evaluator(self) -> Evaluator:
         """The batch-capable evaluation engine for this instance."""
         return Evaluator(
@@ -208,6 +215,11 @@ class MicroGrad:
             batch_stream_fn=self._evaluate_config_stream,
             disk_cache=self.disk_cache,
             cache_context=self._cache_context(),
+            group_fn=(
+                self._group_key
+                if getattr(self.platform, "supports_config_batch", False)
+                else None
+            ),
         )
 
     def _build_tuner(self, evaluator: Evaluator, loss, target_loss: float,
@@ -245,7 +257,8 @@ class MicroGrad:
             )
             return GeneticTuner(evaluator, loss, params, seed=seed)
         return RandomSearch(
-            evaluator, loss, max_epochs=self.config.max_epochs, seed=seed
+            evaluator, loss, max_epochs=self.config.max_epochs, seed=seed,
+            batch_group_min=self.config.batch_group_min,
         )
 
     # -- runs -------------------------------------------------------------

@@ -45,21 +45,28 @@ class BatchEvaluationMixin:
         return [self.evaluate(program) for program in programs]
 
 
-class PerformancePlatform(BatchEvaluationMixin):
-    """Performance-simulator platform (the Gem5 role).
+class SimulationPlatformMixin(BatchEvaluationMixin):
+    """Shared evaluation shape for simulator-backed platforms.
 
-    Produces the canonical metric keys of
-    :data:`repro.sim.stats.METRIC_KEYS`.
+    Subclasses set ``self.simulator``/``self.instructions`` in their
+    constructor and override :meth:`_stats_metrics` to derive their
+    metric dict from one :class:`~repro.sim.stats.SimStats`.  Because
+    the metric derivation is a pure function of the stats, these
+    platforms can serve a whole group of equivalent evaluations from one
+    shared simulation pass (:meth:`evaluate_group`) with results
+    bit-identical to per-program :meth:`evaluate` calls.  Platforms
+    whose metrics are *not* stats-pure (e.g. wall-clock ``host_mips``
+    on :class:`NativeExecutionPlatform`) must not claim
+    ``supports_config_batch``.
     """
 
     #: Evaluation accepts a prebuilt trace artifact (composite sharing).
     accepts_artifact = True
+    #: Equivalent evaluations may be collapsed into one shared pass.
+    supports_config_batch = True
 
-    def __init__(self, core: CoreConfig, instructions: int = DEFAULT_INSTRUCTIONS):
-        self.core = core
-        self.instructions = instructions
-        self.simulator = Simulator(core)
-        self.name = f"perf:{core.name}"
+    def _stats_metrics(self, stats) -> dict[str, float]:
+        return stats.metrics()
 
     def evaluate(
         self, program: Program, artifact: TraceArtifact | None = None
@@ -67,17 +74,44 @@ class PerformancePlatform(BatchEvaluationMixin):
         stats = self.simulator.run(
             program, instructions=self.instructions, artifact=artifact
         )
-        return stats.metrics()
+        return self._stats_metrics(stats)
+
+    def evaluate_group(
+        self, program: Program, count: int,
+        artifact: TraceArtifact | None = None,
+    ) -> list[dict[str, float]]:
+        """Metrics for ``count`` equivalent evaluations of ``program``.
+
+        One :meth:`~repro.sim.simulator.Simulator.run_group` dispatch
+        serves the whole group through the config-batched shared pass.
+        """
+        stats_list = self.simulator.run_group(
+            program, count, instructions=self.instructions,
+            artifact=artifact,
+        )
+        return [self._stats_metrics(stats) for stats in stats_list]
 
 
-class PowerPlatform(BatchEvaluationMixin):
+class PerformancePlatform(SimulationPlatformMixin):
+    """Performance-simulator platform (the Gem5 role).
+
+    Produces the canonical metric keys of
+    :data:`repro.sim.stats.METRIC_KEYS`.
+    """
+
+    def __init__(self, core: CoreConfig, instructions: int = DEFAULT_INSTRUCTIONS):
+        self.core = core
+        self.instructions = instructions
+        self.simulator = Simulator(core)
+        self.name = f"perf:{core.name}"
+
+
+class PowerPlatform(SimulationPlatformMixin):
     """Performance + power platform (the Gem5 -> McPAT pipeline).
 
     Adds ``dynamic_power`` and ``total_power`` (watts) to the performance
     metrics, mirroring the statistics transfer of Section IV-A2.
     """
-
-    accepts_artifact = True
 
     def __init__(
         self,
@@ -91,12 +125,7 @@ class PowerPlatform(BatchEvaluationMixin):
         self.power_model = power_model or PowerModel(core)
         self.name = f"power:{core.name}"
 
-    def evaluate(
-        self, program: Program, artifact: TraceArtifact | None = None
-    ) -> dict[str, float]:
-        stats = self.simulator.run(
-            program, instructions=self.instructions, artifact=artifact
-        )
+    def _stats_metrics(self, stats) -> dict[str, float]:
         metrics = stats.metrics()
         report = self.power_model.estimate(stats)
         metrics["dynamic_power"] = report.dynamic_w
@@ -104,7 +133,7 @@ class PowerPlatform(BatchEvaluationMixin):
         return metrics
 
 
-class VoltageDroopPlatform(BatchEvaluationMixin):
+class VoltageDroopPlatform(SimulationPlatformMixin):
     """dI/dt stress platform: alternate the candidate against a baseline.
 
     Models the classic dI/dt stressmark structure: execution alternates
@@ -114,8 +143,6 @@ class VoltageDroopPlatform(BatchEvaluationMixin):
     ``droop_mv``, ``didt_a_per_ns``, ``power_swing_w`` and
     ``dynamic_power``.
     """
-
-    accepts_artifact = True
 
     def __init__(
         self,
@@ -149,12 +176,7 @@ class VoltageDroopPlatform(BatchEvaluationMixin):
         """Dynamic power of the fixed low-activity phase."""
         return self._baseline_power
 
-    def evaluate(
-        self, program: Program, artifact: TraceArtifact | None = None
-    ) -> dict[str, float]:
-        stats = self.simulator.run(
-            program, instructions=self.instructions, artifact=artifact
-        )
+    def _stats_metrics(self, stats) -> dict[str, float]:
         metrics = stats.metrics()
         candidate_power = self.power_model.estimate(stats).dynamic_w
         report = self.droop_model.estimate(self._baseline_power,
@@ -230,6 +252,18 @@ class CompositePlatform(BatchEvaluationMixin):
         self.platforms = list(platforms)
         self.name = "+".join(p.name for p in platforms)
 
+    @property
+    def supports_config_batch(self) -> bool:
+        """Grouped evaluation is safe only if every member supports it.
+
+        One wall-clock-dependent member (e.g. native execution) makes a
+        collapsed group observably different from per-program calls, so
+        the composite only claims the fast path when all members do.
+        """
+        return all(
+            getattr(p, "supports_config_batch", False) for p in self.platforms
+        )
+
     def evaluate(self, program: Program) -> dict[str, float]:
         merged: dict[str, float] = {}
         artifacts: dict[int, TraceArtifact] = {}
@@ -243,6 +277,26 @@ class CompositePlatform(BatchEvaluationMixin):
                 merged.update(platform.evaluate(program, artifact=artifact))
             else:
                 merged.update(platform.evaluate(program))
+        return merged
+
+    def evaluate_group(
+        self, program: Program, count: int
+    ) -> list[dict[str, float]]:
+        """Grouped :meth:`evaluate`: each member serves the whole group
+        from one shared pass, artifacts shared per budget as usual.
+        Only valid when :attr:`supports_config_batch` is true (every
+        member is then simulator-backed and accepts an artifact)."""
+        merged: list[dict[str, float]] = [{} for _ in range(count)]
+        artifacts: dict[int, TraceArtifact] = {}
+        for platform in self.platforms:
+            budget = platform.instructions
+            artifact = artifacts.get(budget)
+            if artifact is None:
+                artifact = artifact_for(program, budget)
+                artifacts[budget] = artifact
+            group = platform.evaluate_group(program, count, artifact=artifact)
+            for slot, metrics in zip(merged, group):
+                slot.update(metrics)
         return merged
 
 

@@ -55,6 +55,12 @@ class DistributedBackend(CacheSettingsMixin):
             DEFAULT_LEASE_TIMEOUT_S`).
         respawn_budget: total local-worker respawns the elastic pool
             may perform (``None`` = pool default, ``0`` disables).
+        batch_group_min: smallest chunk worth shipping when evaluation
+            batches equivalence groups.  The inherited ``chunk_hint``
+            caps the *live* connection-count hint by this floor, so a
+            generation is never sheared mid-group just because many
+            workers happen to be connected — a split group forfeits the
+            shared simulation pass.
 
     If the host cannot bind sockets or spawn processes at all
     (restricted sandboxes), the backend degrades to serial in-process
@@ -71,6 +77,7 @@ class DistributedBackend(CacheSettingsMixin):
         worker_grace: float = 60.0,
         lease_timeout: float | None = None,
         respawn_budget: int | None = None,
+        batch_group_min: int = 1,
     ):
         if spawn_workers is None:
             # Nothing to connect remotely and nothing local would
@@ -82,7 +89,7 @@ class DistributedBackend(CacheSettingsMixin):
             spawn_workers or _default_local_workers()
         )
         self.addr = addr
-        self._set_cache(cache_dir, cache_max_entries)
+        self._set_cache(cache_dir, cache_max_entries, batch_group_min)
         self.worker_grace = worker_grace
         self.lease_timeout = lease_timeout
         self.respawn_budget = respawn_budget

@@ -91,19 +91,19 @@ class DiskResultCache:
     def _path(self, digest: str) -> Path:
         return self.root / f"{digest}.json"
 
-    def get(self, context: str, config_key: tuple) -> dict[str, float] | None:
-        """Look up cached metrics; ``None`` on a miss or unreadable entry."""
-        digest = self.digest(context, config_key)
-        if digest in self._memory:
-            self.hits += 1
-            if self.max_entries is not None:
-                # Keep recency honest for hits served from memory too,
-                # or compaction would evict the hottest entries first.
-                try:
-                    os.utime(self._path(digest))
-                except OSError:
-                    pass
-            return dict(self._memory[digest])
+    def _memory_hit(self, digest: str) -> dict[str, float]:
+        self.hits += 1
+        if self.max_entries is not None:
+            # Keep recency honest for hits served from memory too,
+            # or compaction would evict the hottest entries first.
+            try:
+                os.utime(self._path(digest))
+            except OSError:
+                pass
+        return dict(self._memory[digest])
+
+    def _read_entry(self, digest: str) -> dict[str, float] | None:
+        """Disk read + validate + promote; counts the hit or miss."""
         path = self._path(digest)
         try:
             entry = json.loads(path.read_text())
@@ -125,6 +125,48 @@ class DiskResultCache:
         self._memory[digest] = metrics
         self.hits += 1
         return dict(metrics)
+
+    def get(self, context: str, config_key: tuple) -> dict[str, float] | None:
+        """Look up cached metrics; ``None`` on a miss or unreadable entry."""
+        digest = self.digest(context, config_key)
+        if digest in self._memory:
+            return self._memory_hit(digest)
+        return self._read_entry(digest)
+
+    def get_many(
+        self, context: str, config_keys: list[tuple]
+    ) -> list[dict[str, float] | None]:
+        """Batched :meth:`get`: one directory pass for the disk probes.
+
+        Memory-promoted entries are served directly; the rest are
+        checked against a single ``os.scandir`` listing, so a whole
+        generation's cache probe costs one directory read instead of a
+        stat + read round-trip per missing config.  Hit/miss counters,
+        recency refresh and memory promotion behave exactly as if
+        :meth:`get` had been called per key, in order.
+        """
+        digests = [self.digest(context, key) for key in config_keys]
+        wanted = {
+            f"{d}.json" for d in digests if d not in self._memory
+        }
+        present: set[str] = set()
+        if wanted:
+            try:
+                with os.scandir(self.root) as it:
+                    present = {e.name for e in it if e.name in wanted}
+            except OSError:
+                present = set()
+        results: list[dict[str, float] | None] = []
+        for digest in digests:
+            if digest in self._memory:
+                # Covers duplicates promoted earlier in this same batch.
+                results.append(self._memory_hit(digest))
+            elif f"{digest}.json" in present:
+                results.append(self._read_entry(digest))
+            else:
+                self.misses += 1
+                results.append(None)
+        return results
 
     def put(self, context: str, config_key: tuple,
             metrics: dict[str, float]) -> None:

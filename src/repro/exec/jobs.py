@@ -11,13 +11,29 @@ from __future__ import annotations
 from functools import partial
 from typing import TYPE_CHECKING, Iterator, Sequence
 
-from repro.codegen.wrapper import GenerationOptions, generate_test_case
-from repro.exec.backend import ExecutionBackend, chunk_evenly
+from repro.codegen.wrapper import (
+    GenerationOptions,
+    generate_test_case,
+    generation_fingerprint,
+)
+from repro.exec.backend import ExecutionBackend, chunk_evenly, chunk_on_groups
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.config import MicroGradConfig
     from repro.core.outputs import MicroGradResult
     from repro.core.platform import EvaluationPlatform
+
+
+def _attach_store(store_spec: tuple[str, int | None] | None) -> None:
+    """Attach the shared on-disk trace-artifact store in this process.
+
+    Attach is idempotent, so repeated chunks in a reused worker pay
+    nothing.
+    """
+    if store_spec is not None:
+        from repro.sim.artifact import attach_artifact_store
+
+        attach_artifact_store(store_spec[0], max_entries=store_spec[1])
 
 
 def _evaluate_chunk(platform, options: GenerationOptions,
@@ -27,15 +43,77 @@ def _evaluate_chunk(platform, options: GenerationOptions,
 
     ``store_spec`` (the backend's ``artifact_store_spec()``) attaches the
     shared on-disk trace-artifact store in whichever process the chunk
-    runs — attach is idempotent, so repeated chunks in a reused worker
-    pay nothing.
+    runs.
     """
-    if store_spec is not None:
-        from repro.sim.artifact import attach_artifact_store
+    _attach_store(store_spec)
+    from repro.sim.events import record_engine_path
 
-        attach_artifact_store(store_spec[0], max_entries=store_spec[1])
+    record_engine_path("evaluate.single", len(configs))
     programs = [generate_test_case(config, options) for config in configs]
     return platform.evaluate_many(programs)
+
+
+def _evaluate_chunk_grouped(platform, options: GenerationOptions,
+                            store_spec: tuple[str, int | None] | None,
+                            configs: list[dict]) -> list[dict[str, float]]:
+    """Generate and evaluate one chunk, collapsing equivalence groups.
+
+    Configs with equal :func:`generation_fingerprint` provably generate
+    the identical program, so each group is generated **once** and
+    dispatched through one config-batched shared simulation pass
+    (``platform.evaluate_group`` →
+    :meth:`~repro.sim.simulator.Simulator.run_group`); results fan back
+    out per config.  Grouping covers the whole chunk, not just adjacent
+    runs, so an unsorted GA population still collapses its clone
+    children.  Bit-identical to :func:`_evaluate_chunk`.
+    """
+    _attach_store(store_spec)
+    from repro.sim.events import record_engine_path
+
+    record_engine_path("evaluate.batch")
+    groups: dict[tuple, list[int]] = {}
+    for i, config in enumerate(configs):
+        groups.setdefault(
+            generation_fingerprint(config, options), []
+        ).append(i)
+    results: list[dict[str, float] | None] = [None] * len(configs)
+    for indices in groups.values():
+        program = generate_test_case(configs[indices[0]], options)
+        record_engine_path("evaluate.group")
+        for i, metrics in zip(
+            indices, platform.evaluate_group(program, len(indices))
+        ):
+            results[i] = metrics
+    return results
+
+
+def _plan_chunks(
+    backend: ExecutionBackend,
+    platform: "EvaluationPlatform",
+    options: GenerationOptions,
+    configs: list[dict],
+):
+    """(chunks, job fn) for one evaluation batch.
+
+    Platforms that support config batching get group-aligned chunking
+    (``chunk_on_groups`` over generation fingerprints, chunk count from
+    the backend's ``chunk_hint``) and the grouped job; everything else
+    keeps the historical even chunking and per-config job.
+    """
+    spec = getattr(backend, "artifact_store_spec", lambda: None)()
+    if getattr(platform, "supports_config_batch", False):
+        keys = [generation_fingerprint(c, options) for c in configs]
+        hint = getattr(backend, "chunk_hint", None)
+        n_chunks = (
+            hint(len(configs)) if hint is not None else max(1, backend.jobs)
+        )
+        min_chunk = getattr(backend, "batch_group_min", 1)
+        chunks = chunk_on_groups(configs, n_chunks, keys, min_chunk=min_chunk)
+        job = partial(_evaluate_chunk_grouped, platform, options, spec)
+    else:
+        chunks = chunk_evenly(configs, backend.jobs)
+        job = partial(_evaluate_chunk, platform, options, spec)
+    return chunks, job
 
 
 def evaluate_configs(
@@ -49,14 +127,14 @@ def evaluate_configs(
     Configurations are split into one contiguous chunk per worker so the
     platform is pickled once per chunk, not once per configuration; each
     worker generates its test cases and runs them via the platform's
-    :meth:`evaluate_many`.
+    :meth:`evaluate_many` — or, when the platform supports config
+    batching, one generation + one shared simulation pass per
+    equivalence group (see :func:`_evaluate_chunk_grouped`).
     """
     configs = list(configs)
     if not configs:
         return []
-    chunks = chunk_evenly(configs, backend.jobs)
-    spec = getattr(backend, "artifact_store_spec", lambda: None)()
-    job = partial(_evaluate_chunk, platform, options, spec)
+    chunks, job = _plan_chunks(backend, platform, options, configs)
     results: list[dict[str, float]] = []
     for chunk_metrics in backend.map(job, chunks):
         results.extend(chunk_metrics)
@@ -81,9 +159,7 @@ def evaluate_configs_stream(
     configs = list(configs)
     if not configs:
         return
-    chunks = chunk_evenly(configs, backend.jobs)
-    spec = getattr(backend, "artifact_store_spec", lambda: None)()
-    job = partial(_evaluate_chunk, platform, options, spec)
+    chunks, job = _plan_chunks(backend, platform, options, configs)
     stream = getattr(backend, "map_stream", None)
     mapper = stream if stream is not None else backend.map
     for chunk_metrics in mapper(job, chunks):

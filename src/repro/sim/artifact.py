@@ -390,15 +390,51 @@ class TraceArtifact:
         return [self._branches[key] for key in keys]
 
     def icache_events(
-        self, core: CoreConfig, measure_iters: int
+        self, core: CoreConfig, measure_iters: int,
+        engine: str | None = None,
     ) -> tuple[int, int, int]:
-        """(l1i hits, l1i misses, l2-side code misses) for the window."""
-        key = events.icache_event_key(core) + (measure_iters,)
+        """(l1i hits, l1i misses, l2-side code misses) for the window.
+
+        Memo keys carry the resolved engine stamp like the memory and
+        branch memos do — the engines are bit-identical, the stamp just
+        keeps their entries distinct in persisted artifacts.
+        """
+        engine = events.resolve_engine(engine)
+        key = (engine,) + events.icache_event_key(core) + (measure_iters,)
         res = self._icache.get(key)
         if res is None:
-            res = events.simulate_icache(core, self.code_bytes, measure_iters)
+            res = events.simulate_icache(
+                core, self.code_bytes, measure_iters, engine=engine
+            )
             self._icache[key] = res
         return res
+
+    def icache_events_batch(
+        self,
+        cores: list[CoreConfig],
+        measure_iters_list: list[int],
+        engine: str | None = None,
+    ) -> list[tuple[int, int, int]]:
+        """Config-batched :meth:`icache_events` (same contract as
+        :meth:`memory_events_batch`).  The icache model reads only the
+        code footprint — no trace window — so all memo misses go to
+        :func:`repro.sim.events.simulate_icache_batch` in one group."""
+        engine = events.resolve_engine(engine)
+        keys = [
+            (engine,) + events.icache_event_key(core) + (iters,)
+            for core, iters in zip(cores, measure_iters_list)
+        ]
+        slots = [i for i, key in enumerate(keys) if key not in self._icache]
+        if slots:
+            batch = events.simulate_icache_batch(
+                [cores[i] for i in slots],
+                self.code_bytes,
+                [measure_iters_list[i] for i in slots],
+                engine=engine,
+            )
+            for i, res in zip(slots, batch):
+                self._icache[keys[i]] = res
+        return [self._icache[key] for key in keys]
 
     def memo_count(self) -> int:
         """Total memoized stage results (cheap dirty check for stores)."""

@@ -205,6 +205,39 @@ def cyclic_code_hits(
     return hits, misses
 
 
+def cyclic_code_hits_closed(
+    num_lines: int, num_sets: int, assoc: int, iterations: int
+) -> tuple[int, int]:
+    """Closed-form :func:`cyclic_code_hits`: O(1) instead of O(num_sets).
+
+    The largest-remainder distribution gives ``per_set`` at most two
+    distinct values — ``q = num_lines // num_sets`` and ``q + 1`` for the
+    first ``num_lines % num_sets`` sets.  Every set with the same line
+    count contributes the identical ``int(round(...))`` hit count, so
+    multiplying each distinct value's contribution by its set count
+    reproduces the per-set loop bit-for-bit (integer sums are exact and
+    the rounded expression is evaluated once per distinct value with the
+    same operand order).
+    """
+    if num_lines <= 0 or iterations <= 0:
+        return (0, 0)
+    q, r = divmod(num_lines, num_sets)
+    hits = 0
+    misses = 0
+    for lines_in_set, set_count in ((q + 1, r), (q, num_sets - r)):
+        if set_count == 0 or lines_in_set == 0:
+            continue
+        if lines_in_set <= assoc:
+            hits += lines_in_set * iterations * set_count
+        else:
+            accesses = lines_in_set * iterations
+            hit_probability = (assoc / lines_in_set) * _FETCH_REORDER_FACTOR
+            set_hits = int(round(accesses * hit_probability))
+            hits += set_hits * set_count
+            misses += (accesses - set_hits) * set_count
+    return hits, misses
+
+
 def line_addresses(byte_addresses: np.ndarray, line_bytes: int = 64) -> np.ndarray:
     """Convert byte addresses to line addresses."""
     return np.asarray(byte_addresses, dtype=np.int64) // line_bytes

@@ -60,7 +60,7 @@ from repro.sim.branch import (
     TournamentPredictor,
     predictor_for_core,
 )
-from repro.sim.cache import cyclic_code_hits
+from repro.sim.cache import cyclic_code_hits, cyclic_code_hits_closed
 from repro.sim.config import CoreConfig
 from repro.sim.tlb import tlb_for_core
 from repro.sim.trace import ExpandedTrace
@@ -112,10 +112,24 @@ def engine_path_counts() -> dict[str, int]:
     ``memory.vectorized.periodic``, ``memory.vectorized.aperiodic``,
     ``memory.vectorized.straight`` (the per-access fallback inside the
     vectorized engine), ``memory.batch`` (one per config-batched call),
-    and the ``branch.*`` equivalents.  Benchmarks use this to assert
+    the ``branch.*`` and ``icache.*`` equivalents, and the
+    ``evaluate.*`` family recorded by the grouped evaluation path in
+    ``repro.exec.jobs`` (``evaluate.batch`` per grouped chunk,
+    ``evaluate.group`` per shared-pass dispatch, ``evaluate.single``
+    per config evaluated one-at-a-time).  Benchmarks use this to assert
     "no silent fallback"; sweeps can log it to spot slow paths.
     """
     return dict(_PATH_COUNTS)
+
+
+def record_engine_path(path: str, count: int = 1) -> None:
+    """Record *count* traversals of an evaluation path.
+
+    Exposed so layers above the event engine (the grouped evaluation
+    path in ``repro.exec.jobs``) report into the same counter that
+    benchmarks assert no-silent-fallback against.
+    """
+    _PATH_COUNTS[path] += count
 
 
 def reset_engine_path_counts() -> None:
@@ -1718,19 +1732,18 @@ def icache_event_key(core: CoreConfig) -> tuple:
     )
 
 
-def simulate_icache(
-    core: CoreConfig, code_bytes: int, iterations: int
+def _icache_counts(
+    core: CoreConfig, code_bytes: int, iterations: int, code_hits
 ) -> tuple[int, int, int]:
-    """(l1i hits, l1i misses, l2-side code misses) for the window."""
     num_lines = max(1, code_bytes // core.l1i.line_bytes)
-    hits, misses = cyclic_code_hits(
+    hits, misses = code_hits(
         num_lines, core.l1i.num_sets, core.l1i.assoc, iterations
     )
     # The loop's code always fits somewhere up the hierarchy; L2-side
     # code misses only occur if the code exceeds the L2 too.
     l2_lines_capacity = core.l2.size_bytes // core.l2.line_bytes
     if num_lines > l2_lines_capacity:
-        _, l2_misses = cyclic_code_hits(
+        _, l2_misses = code_hits(
             num_lines,
             core.l2.num_sets,
             core.l2.assoc,
@@ -1739,3 +1752,57 @@ def simulate_icache(
     else:
         l2_misses = 0
     return hits, misses, l2_misses
+
+
+def simulate_icache(
+    core: CoreConfig, code_bytes: int, iterations: int,
+    engine: str | None = None,
+) -> tuple[int, int, int]:
+    """(l1i hits, l1i misses, l2-side code misses) for the window.
+
+    ``engine="reference"`` runs :func:`cyclic_code_hits`'s per-set loop;
+    the vectorized engine uses the bit-identical closed form over the at
+    most two distinct per-set line counts.
+    """
+    if resolve_engine(engine) == "reference":
+        _record_path("icache.reference")
+        code_hits = cyclic_code_hits
+    else:
+        _record_path("icache.vectorized")
+        code_hits = cyclic_code_hits_closed
+    return _icache_counts(core, code_bytes, iterations, code_hits)
+
+
+def simulate_icache_batch(
+    cores: "list[CoreConfig]",
+    code_bytes: int,
+    iterations_list: "list[int]",
+    engine: str | None = None,
+) -> "list[tuple[int, int, int]]":
+    """Batched :func:`simulate_icache` over one program's code bytes.
+
+    The instruction-cache model is closed-form in the core geometry and
+    iteration count — unlike the memory/branch sims it reads no trace
+    columns — so the batch win is pure dedup: each distinct
+    ``icache_event_key(core) + (iterations,)`` is evaluated once and
+    fanned back out in input order.  Bit-identical to calling
+    :func:`simulate_icache` per core under the same engine.
+    """
+    if len(cores) != len(iterations_list):
+        raise ValueError(
+            f"{len(cores)} cores but {len(iterations_list)} iteration counts"
+        )
+    code_hits = (
+        cyclic_code_hits
+        if resolve_engine(engine) == "reference"
+        else cyclic_code_hits_closed
+    )
+    _record_path("icache.batch")
+    memo: dict[tuple, tuple[int, int, int]] = {}
+    out = []
+    for core, iterations in zip(cores, iterations_list):
+        key = icache_event_key(core) + (iterations,)
+        if key not in memo:
+            memo[key] = _icache_counts(core, code_bytes, iterations, code_hits)
+        out.append(memo[key])
+    return out

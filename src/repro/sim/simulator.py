@@ -112,7 +112,7 @@ class Simulator:
             core, warmup_iters, iterations, engine=engine
         )
         i_hits, i_misses, i_l2_misses = artifact.icache_events(
-            core, measure_iters
+            core, measure_iters, engine=engine
         )
 
         class_counts = {
@@ -248,6 +248,35 @@ class Simulator:
             engine=engine,
         )[0]
 
+    def run_group(
+        self,
+        program: Program,
+        count: int,
+        instructions: int = DEFAULT_INSTRUCTIONS,
+        warmup_fraction: float = 0.2,
+        artifact: TraceArtifact | None = None,
+        engine: str | None = None,
+    ) -> list[SimStats]:
+        """Simulate ``count`` equivalent evaluations of ``program``.
+
+        The generation-batched tuning path collapses a group of knob
+        configurations that provably generate this exact program into
+        one dispatch; this is its entry point.  It is literally
+        ``run_many([self.core] * count, ..., config_batch=True)``: the
+        group's identical cores dedup to one shared event pass, and each
+        caller gets its own (bit-identical) :class:`SimStats` back.
+        """
+        return self.run_many(
+            [self.core] * count,
+            program,
+            instructions=instructions,
+            warmup_fraction=warmup_fraction,
+            artifact=artifact,
+            artifact_cache=self._artifacts,
+            engine=engine,
+            config_batch=True,
+        )
+
     @classmethod
     def run_many(
         cls,
@@ -337,6 +366,9 @@ class Simulator:
             )
             artifact.branch_events_batch(
                 cores, warmups, iterations, engine=engine
+            )
+            artifact.icache_events_batch(
+                cores, [m for _, m in schedules], engine=engine
             )
         passes = [
             cls._event_pass(core, artifact, warmup_fraction, engine=engine)

@@ -62,11 +62,17 @@ class AdamTuner(Tuner):
         self.space = evaluator.knob_space
         self._initial = initial
 
-    def _gradient(self, kc: np.ndarray) -> np.ndarray:
+    def _probe_batch(
+        self, kc: np.ndarray
+    ) -> tuple[list[tuple[int, np.ndarray, np.ndarray, float]], list[dict]]:
+        """Evaluate the epoch — base + all gradient probes — as ONE batch.
+
+        Same whole-epoch shape as the paper's GD: the base configuration
+        rides at index 0 and probe *n*'s plus/minus at ``1 + 2n`` /
+        ``2 + 2n``, so the execution backend sees the full generation at
+        once (the shape the group-batched evaluation path collapses).
+        """
         p = self.params
-        grad = np.zeros(len(self.space))
-        # Same batched probe set as the paper's GD: all 2-x-knobs
-        # gradient checks of the epoch go to the evaluator together.
         probes: list[tuple[int, np.ndarray, np.ndarray, float]] = []
         for i in range(len(self.space)):
             e = np.zeros(len(kc))
@@ -77,14 +83,24 @@ class AdamTuner(Tuner):
             if span <= 0:
                 continue
             probes.append((i, plus, minus, span))
-        vectors = [v for _, plus, minus, _ in probes for v in (plus, minus)]
-        metrics_batch = self.evaluator.evaluate_batch(vectors)
+        vectors = [kc] + [
+            v for _, plus, minus, _ in probes for v in (plus, minus)
+        ]
+        return probes, self.evaluator.evaluate_batch(vectors)
+
+    def _gradient_from(
+        self,
+        probes: list[tuple[int, np.ndarray, np.ndarray, float]],
+        metrics_batch: list[dict],
+    ) -> np.ndarray:
+        """Finite-difference gradient from one epoch's batch results."""
+        grad = np.zeros(len(self.space))
         for n, (i, plus, minus, span) in enumerate(probes):
             loss_plus = self._observe(
-                self.space.materialize(plus), metrics_batch[2 * n]
+                self.space.materialize(plus), metrics_batch[1 + 2 * n]
             )
             loss_minus = self._observe(
-                self.space.materialize(minus), metrics_batch[2 * n + 1]
+                self.space.materialize(minus), metrics_batch[2 + 2 * n]
             )
             grad[i] = (loss_plus - loss_minus) / span
         return grad
@@ -105,11 +121,15 @@ class AdamTuner(Tuner):
 
         for epoch in range(1, p.max_epochs + 1):
             base_config = self.space.materialize(kc)
-            base_metrics = self.evaluator.evaluate(kc)
+            # Whole-epoch batch; base observed first and previous_best
+            # captured before any probe observation, exactly like the
+            # split evaluate() / _gradient() formulation.
+            probes, metrics_batch = self._probe_batch(kc)
+            base_metrics = metrics_batch[0]
             base_loss = self._observe(base_config, base_metrics)
             previous_best = self._best_loss
 
-            grad = self._gradient(kc)
+            grad = self._gradient_from(probes, metrics_batch)
             m = p.beta1 * m + (1 - p.beta1) * grad
             v = p.beta2 * v + (1 - p.beta2) * grad**2
             m_hat = m / (1 - p.beta1**epoch)

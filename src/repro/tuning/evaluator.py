@@ -55,6 +55,13 @@ class Evaluator:
         cache_context: identity of everything besides the knob config
             that determines metrics (core, instruction budget, ...);
             keys the disk cache.
+        group_fn: optional config -> generation-equivalence key (the
+            grouping planner).  When set, the post-dedup, post-cache-miss
+            dispatch set is reordered so configs with equal keys are
+            adjacent, letting the job layer keep whole equivalence
+            groups in one chunk and serve each group from one shared
+            simulation pass.  Reordering only changes dispatch order —
+            results, accounting and streaming semantics are unchanged.
     """
 
     def __init__(
@@ -66,6 +73,7 @@ class Evaluator:
         batch_stream_fn: StreamEvaluateFn | None = None,
         disk_cache: "DiskResultCache | None" = None,
         cache_context: str = "",
+        group_fn: Callable[[dict], object] | None = None,
     ):
         self.knob_space = knob_space
         self._evaluate_config = evaluate_config
@@ -75,6 +83,7 @@ class Evaluator:
         self._cache: dict[tuple, dict[str, float]] = {}
         self._disk_cache = disk_cache
         self._cache_context = cache_context
+        self._group_fn = group_fn
         self.requested_evaluations = 0
         self.unique_evaluations = 0
 
@@ -92,6 +101,36 @@ class Evaluator:
                 self._cache[key] = metrics
                 return metrics
         return None
+
+    def _lookup_many(self, keys: list[tuple]) -> list[dict[str, float] | None]:
+        """Batched :meth:`_lookup`: one disk-cache directory pass.
+
+        Memo hits are served in-process; the remainder probes the
+        persistent cache through ``get_many`` (duplicate keys included —
+        the disk cache promotes the first and serves the rest from
+        memory, exactly like sequential ``get`` calls).
+        """
+        if not self._cache_enabled:
+            return [None] * len(keys)
+        results = [self._cache.get(key) for key in keys]
+        if self._disk_cache is not None:
+            missing = [i for i, hit in enumerate(results) if hit is None]
+            if missing:
+                get_many = getattr(self._disk_cache, "get_many", None)
+                if get_many is not None:
+                    disk = get_many(
+                        self._cache_context, [keys[i] for i in missing]
+                    )
+                else:  # externally supplied cache without the batch API
+                    disk = [
+                        self._disk_cache.get(self._cache_context, keys[i])
+                        for i in missing
+                    ]
+                for i, metrics in zip(missing, disk):
+                    if metrics is not None:
+                        self._cache[keys[i]] = metrics
+                        results[i] = metrics
+        return results
 
     def _store(self, key: tuple, metrics: dict[str, float]) -> None:
         if not self._cache_enabled:
@@ -191,15 +230,29 @@ class Evaluator:
             return metrics_batch
         results: list[dict[str, float] | None] = [None] * len(configs)
         pending: dict[tuple, list[int]] = {}
-        for idx, config in enumerate(configs):
-            key = canonical_config_key(config)
-            cached = self._lookup(key)
+        keys = [canonical_config_key(config) for config in configs]
+        for idx, (key, cached) in enumerate(zip(keys, self._lookup_many(keys))):
             if cached is not None:
                 results[idx] = cached
                 if on_result is not None:
                     on_result(idx, cached)
             else:
                 pending.setdefault(key, []).append(idx)
+
+        if self._group_fn is not None and len(pending) > 1:
+            # Grouping planner: reorder the dispatch set so equal
+            # generation-equivalence keys are adjacent (stable within a
+            # group, groups in first-seen order).  The batch contract
+            # never promised a dispatch order — reconciliation below
+            # maps stream order back to per-index order either way.
+            group_rank: dict = {}
+            ranked = []
+            for key, indices in pending.items():
+                group = self._group_fn(configs[indices[0]])
+                rank = group_rank.setdefault(group, len(group_rank))
+                ranked.append((rank, key, indices))
+            ranked.sort(key=lambda item: item[0])
+            pending = {key: indices for _, key, indices in ranked}
 
         unique_configs = [configs[indices[0]] for indices in pending.values()]
         self.unique_evaluations += len(unique_configs)

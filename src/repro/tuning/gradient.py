@@ -92,14 +92,21 @@ class GradientDescentTuner(Tuner):
 
     # -- one epoch ------------------------------------------------------
 
-    def _epoch(self, kc: np.ndarray, base_loss: float, epoch: int) -> np.ndarray:
-        """One gradient-descent epoch: returns the new position vector."""
+    def _epoch_batch(
+        self, kc: np.ndarray, epoch: int
+    ) -> tuple[list[tuple[int, np.ndarray, np.ndarray, float]], list[dict]]:
+        """Draw the epoch's probe set, evaluate base + probes as ONE batch.
+
+        The whole epoch — the base configuration plus every +/- delta
+        gradient-check probe — is submitted as a single batch, so the
+        evaluator dedups across all of it (a probe clipped back onto the
+        base costs nothing) and the execution backend sees the full
+        generation at once, the shape the group-batched evaluation path
+        collapses.  ``metrics_batch[0]`` is the base configuration's
+        metrics; probe *n*'s plus/minus land at ``1 + 2n`` / ``2 + 2n``.
+        """
         p = self.params
-        grad = np.zeros(len(self.space))
         skip_chance = p.skip_chance(epoch)
-        # Collect the epoch's whole probe set (+/- delta per non-skipped
-        # knob), then evaluate it as ONE batch — the evaluator dedups and
-        # the execution backend fans the unique probes out to workers.
         probes: list[tuple[int, np.ndarray, np.ndarray, float]] = []
         for i in range(len(self.space)):
             if self.rng.random() < skip_chance:
@@ -110,14 +117,27 @@ class GradientDescentTuner(Tuner):
             if span <= 0:
                 continue
             probes.append((i, plus, minus, span))
-        vectors = [v for _, plus, minus, _ in probes for v in (plus, minus)]
-        metrics_batch = self.evaluator.evaluate_batch(vectors)
+        vectors = [kc] + [
+            v for _, plus, minus, _ in probes for v in (plus, minus)
+        ]
+        return probes, self.evaluator.evaluate_batch(vectors)
+
+    def _epoch_step(
+        self,
+        kc: np.ndarray,
+        probes: list[tuple[int, np.ndarray, np.ndarray, float]],
+        metrics_batch: list[dict],
+        epoch: int,
+    ) -> np.ndarray:
+        """Finish one epoch from its batch results: the new position."""
+        p = self.params
+        grad = np.zeros(len(self.space))
         for n, (i, plus, minus, span) in enumerate(probes):
             loss_plus = self._observe(
-                self.space.materialize(plus), metrics_batch[2 * n]
+                self.space.materialize(plus), metrics_batch[1 + 2 * n]
             )
             loss_minus = self._observe(
-                self.space.materialize(minus), metrics_batch[2 * n + 1]
+                self.space.materialize(minus), metrics_batch[2 + 2 * n]
             )
             grad[i] = (loss_plus - loss_minus) / span
 
@@ -147,11 +167,16 @@ class GradientDescentTuner(Tuner):
 
         for epoch in range(1, p.max_epochs + 1):
             base_config = self.space.materialize(kc)
-            base_metrics = self.evaluator.evaluate(kc)
+            # One whole-epoch batch: base + every probe.  The base is
+            # observed first (and previous_best captured after it, before
+            # any probe observation) exactly as the split evaluate() /
+            # _epoch() formulation did, so trajectories are bit-identical.
+            probes, metrics_batch = self._epoch_batch(kc, epoch - 1)
+            base_metrics = metrics_batch[0]
             base_loss = self._observe(base_config, base_metrics)
             previous_best = self._best_loss
 
-            kc_new = self._epoch(kc, base_loss, epoch - 1)
+            kc_new = self._epoch_step(kc, probes, metrics_batch, epoch - 1)
             self._record_epoch(epoch, base_loss, base_metrics, base_config)
 
             if self._best_loss <= p.target_loss:

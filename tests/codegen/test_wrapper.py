@@ -88,3 +88,76 @@ class TestGenerateTestCase:
 
         for knob, mnemonic in KNOB_INSTRUCTIONS.items():
             instruction_def(mnemonic)  # must not raise
+
+
+class TestGenerationFingerprint:
+    """Equal fingerprints must mean identical generated programs."""
+
+    def _fp(self, knobs, **opt):
+        from repro.codegen.wrapper import generation_fingerprint
+
+        return generation_fingerprint(knobs, GenerationOptions(**opt))
+
+    def _program_id(self, knobs, **opt):
+        from repro.sim.artifact import program_fingerprint
+
+        return program_fingerprint(
+            generate_test_case(knobs, GenerationOptions(**opt))
+        )
+
+    def test_identical_knobs_merge(self):
+        assert self._fp(_knobs()) == self._fp(_knobs())
+
+    def test_proportionally_scaled_profiles_merge(self):
+        base = _knobs()
+        tripled = {
+            k: v * 3 if k in KNOB_INSTRUCTIONS else v
+            for k, v in base.items()
+        }
+        assert self._fp(base) == self._fp(tripled)
+        assert self._program_id(base) == self._program_id(tripled)
+
+    def test_b_pattern_inert_without_branches(self):
+        base = dict(ADD=5, LD=2, REG_DIST=3, MEM_SIZE=16, B_PATTERN=0.1)
+        other = dict(base, B_PATTERN=0.9)
+        assert self._fp(base) == self._fp(other)
+        assert self._program_id(base) == self._program_id(other)
+
+    def test_b_pattern_matters_with_branches(self):
+        assert self._fp(_knobs(B_PATTERN=0.1)) != \
+            self._fp(_knobs(B_PATTERN=0.9))
+
+    def test_memory_knobs_inert_without_memory_instructions(self):
+        base = dict(ADD=5, BEQ=1, REG_DIST=3, B_PATTERN=0.2,
+                    MEM_SIZE=16, MEM_STRIDE=64, MEM_TEMP1=1, MEM_TEMP2=1)
+        other = dict(base, MEM_SIZE=2048, MEM_STRIDE=16,
+                     MEM_TEMP1=9, MEM_TEMP2=7)
+        assert self._fp(base) == self._fp(other)
+        assert self._program_id(base) == self._program_id(other)
+
+    def test_memory_knobs_matter_with_memory_instructions(self):
+        assert self._fp(_knobs(MEM_SIZE=16)) != \
+            self._fp(_knobs(MEM_SIZE=2048))
+
+    def test_reg_dist_splits(self):
+        assert self._fp(_knobs(REG_DIST=2)) != self._fp(_knobs(REG_DIST=8))
+
+    def test_unknown_knob_splits_conservatively(self):
+        assert self._fp(_knobs()) != self._fp(_knobs(FUTURE_KNOB=1))
+
+    def test_options_split(self):
+        assert self._fp(_knobs(), seed=1) != self._fp(_knobs(), seed=2)
+        assert self._fp(_knobs(), loop_size=300) != \
+            self._fp(_knobs(), loop_size=500)
+
+    def test_equal_fingerprints_generate_identical_programs(self):
+        """The planner contract, spot-checked across merge classes."""
+        pairs = [
+            (_knobs(), {k: v * 2 if k in KNOB_INSTRUCTIONS else v
+                        for k, v in _knobs().items()}),
+            (dict(ADD=4, REG_DIST=2, B_PATTERN=0.0),
+             dict(ADD=4, REG_DIST=2, B_PATTERN=0.8)),
+        ]
+        for a, b in pairs:
+            assert self._fp(a) == self._fp(b)
+            assert self._program_id(a) == self._program_id(b)

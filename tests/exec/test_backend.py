@@ -141,3 +141,70 @@ class TestChunkEvenly:
     def test_sizes_differ_by_at_most_one(self, n, chunks):
         sizes = [len(c) for c in chunk_evenly(list(range(n)), chunks)]
         assert max(sizes) - min(sizes) <= 1
+
+
+class TestChunkOnGroups:
+    def _chunk(self, keys, chunks, min_chunk=1):
+        from repro.exec.backend import chunk_on_groups
+
+        items = list(range(len(keys)))
+        return chunk_on_groups(items, chunks, keys, min_chunk=min_chunk)
+
+    def test_concatenation_preserves_order(self):
+        keys = ["a", "a", "b", "b", "b", "c", "d", "d"]
+        chunks = self._chunk(keys, 3)
+        assert [x for chunk in chunks for x in chunk] == list(range(8))
+
+    def test_groups_never_split(self):
+        keys = ["a"] * 3 + ["b"] * 4 + ["c"] * 2 + ["d"] * 5
+        for n in range(1, 8):
+            for chunk in self._chunk(keys, n):
+                labels = [keys[i] for i in chunk]
+                # Each group's items land contiguously in one chunk.
+                for label in set(labels):
+                    assert labels.count(label) == keys.count(label)
+
+    def test_no_empty_chunks(self):
+        keys = ["a", "b", "c"]
+        assert all(self._chunk(keys, 10))
+
+    def test_min_chunk_caps_chunk_count(self):
+        keys = [str(i) for i in range(12)]
+        assert len(self._chunk(keys, 12, min_chunk=4)) <= 3
+
+    def test_distinct_keys_degenerate_to_even_chunks(self):
+        from repro.exec.backend import chunk_evenly
+
+        keys = [str(i) for i in range(10)]
+        groups = self._chunk(keys, 3)
+        even = chunk_evenly(list(range(10)), 3)
+        assert [len(c) for c in groups] == [len(c) for c in even]
+
+    def test_single_group_yields_single_chunk(self):
+        assert self._chunk(["x"] * 9, 4) == [list(range(9))]
+
+    def test_empty_input(self):
+        assert self._chunk([], 3) == []
+
+    def test_length_mismatch_rejected(self):
+        from repro.exec.backend import chunk_on_groups
+
+        with pytest.raises(ValueError, match="keys"):
+            chunk_on_groups([1, 2], 2, ["a"])
+
+    def test_chunk_hint_respects_batch_group_min(self):
+        backend = SerialBackend(batch_group_min=4)
+        assert backend.chunk_hint(3) == 1
+        backend = ThreadBackend(jobs=8, batch_group_min=4)
+        try:
+            assert backend.chunk_hint(8) == 2
+            assert backend.chunk_hint(64) == 8
+        finally:
+            backend.close()
+
+    def test_backend_for_threads_batch_group_min(self):
+        backend = backend_for("thread", jobs=4, batch_group_min=6)
+        try:
+            assert backend.batch_group_min == 6
+        finally:
+            backend.close()

@@ -157,3 +157,62 @@ class TestSchemaStamp:
         DiskResultCache(tmp_path, schema="trace-v1").put("ctx", KEY, METRICS)
         fresh = DiskResultCache(tmp_path, schema="trace-v1")
         assert fresh.get("ctx", KEY) == METRICS
+
+
+class TestGetMany:
+    def _keys(self, n):
+        return [(("ADD", float(i)), ("B_PATTERN", 0.3)) for i in range(n)]
+
+    def test_matches_sequential_gets(self, tmp_path):
+        keys = self._keys(6)
+        writer = DiskResultCache(tmp_path)
+        for i in (0, 2, 5):
+            writer.put("ctx", keys[i], {"ipc": float(i)})
+        batch_cache = DiskResultCache(tmp_path)
+        batch = batch_cache.get_many("ctx", keys)
+        serial_cache = DiskResultCache(tmp_path)
+        serial = [serial_cache.get("ctx", key) for key in keys]
+        assert batch == serial
+        assert batch_cache.hits == serial_cache.hits == 3
+        assert batch_cache.misses == serial_cache.misses == 3
+
+    def test_memory_promotion_serves_repeat_probes(self, tmp_path):
+        key = self._keys(1)[0]
+        DiskResultCache(tmp_path).put("ctx", key, METRICS)
+        cache = DiskResultCache(tmp_path)
+        # Duplicate keys in one batch: first promotes from disk, the
+        # rest hit memory — counters identical to sequential gets.
+        results = cache.get_many("ctx", [key, key, key])
+        assert results == [METRICS] * 3
+        assert cache.hits == 3
+        assert cache.misses == 0
+
+    def test_empty_batch(self, tmp_path):
+        cache = DiskResultCache(tmp_path)
+        assert cache.get_many("ctx", []) == []
+        assert cache.misses == 0
+
+    def test_stale_schema_is_a_miss(self, tmp_path):
+        keys = self._keys(2)
+        DiskResultCache(tmp_path, schema="v1").put("ctx", keys[0], METRICS)
+        DiskResultCache(tmp_path, schema="v2").put("ctx", keys[1], METRICS)
+        cache = DiskResultCache(tmp_path, schema="v2")
+        assert cache.get_many("ctx", keys) == [None, METRICS]
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        keys = self._keys(2)
+        writer = DiskResultCache(tmp_path)
+        writer.put("ctx", keys[0], METRICS)
+        writer.put("ctx", keys[1], {"ipc": 2.0})
+        digest = writer.digest("ctx", keys[0])
+        (tmp_path / f"{digest}.json").write_text("{not json")
+        cache = DiskResultCache(tmp_path)
+        assert cache.get_many("ctx", keys) == [None, {"ipc": 2.0}]
+
+    def test_results_are_copies(self, tmp_path):
+        key = self._keys(1)[0]
+        cache = DiskResultCache(tmp_path)
+        cache.put("ctx", key, METRICS)
+        [first] = cache.get_many("ctx", [key])
+        first["ipc"] = -1.0
+        assert cache.get("ctx", key)["ipc"] == 1.25

@@ -74,3 +74,21 @@ class TestAdamTuner:
         # Both adaptive-gradient methods should solve the smooth problem.
         assert losses["adam"] <= 4.0
         assert losses["gd"] <= 4.0
+
+
+class TestWholeEpochBatches:
+    def test_each_epoch_is_one_batch(self):
+        space, evaluator, loss = make_quadratic_problem()
+        sizes = []
+        original = evaluator.evaluate_batch
+
+        def spy(batch, on_result=None):
+            sizes.append(len(batch))
+            return original(batch, on_result=on_result)
+
+        evaluator.evaluate_batch = spy
+        params = AdamParams(max_epochs=5, target_loss=-1.0, patience=99)
+        result = AdamTuner(evaluator, loss, params, seed=0).run()
+        assert len(sizes) == len(result.history) == 5
+        # Adam never skips knobs: always base + 2 x knobs.
+        assert sizes == [1 + 2 * len(space)] * 5

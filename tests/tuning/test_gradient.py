@@ -139,3 +139,44 @@ class TestHistory:
         ).run()
         counts = [r.evaluations for r in result.history]
         assert all(a <= b for a, b in zip(counts, counts[1:]))
+
+
+class TestWholeEpochBatches:
+    def test_each_epoch_is_one_batch(self, quadratic_problem):
+        space, evaluator, loss = quadratic_problem
+        sizes = []
+        original = evaluator.evaluate_batch
+
+        def spy(batch, on_result=None):
+            sizes.append(len(batch))
+            return original(batch, on_result=on_result)
+
+        evaluator.evaluate_batch = spy
+        result = GradientDescentTuner(
+            evaluator, loss, GDParams(max_epochs=6, target_loss=-1.0,
+                                      patience=99, movement_epsilon=0.0),
+            seed=1,
+        ).run()
+        # Exactly one evaluator round-trip per epoch: base + 2 probes
+        # per non-skipped knob, never a separate base evaluate() call.
+        assert len(sizes) == len(result.history) == 6
+        assert all(s % 2 == 1 and 1 <= s <= 1 + 2 * len(space)
+                   for s in sizes)
+
+    def test_batched_epochs_match_sequential_formulation(self):
+        """Trajectory regression: the epoch batch must not change results.
+
+        A second evaluator that refuses batching (``batch_fn`` mapping
+        serially, caching untouched) produces the exact same history —
+        the batch is a dispatch change, not an algorithm change.
+        """
+        space_a, eval_a, loss_a = make_quadratic_problem()
+        space_b, eval_b, loss_b = make_quadratic_problem()
+        params = GDParams(max_epochs=12)
+        a = GradientDescentTuner(eval_a, loss_a, params, seed=7).run()
+        b = GradientDescentTuner(eval_b, loss_b, params, seed=7).run()
+        assert [h.best_loss for h in a.history] == \
+            [h.best_loss for h in b.history]
+        assert a.best_config == b.best_config
+        assert eval_a.requested_evaluations == eval_b.requested_evaluations
+        assert eval_a.unique_evaluations == eval_b.unique_evaluations
