@@ -7,6 +7,7 @@ Commands:
     simpoints     select simpoints for a reference workload
     cores         list the available core configurations
     worker        serve evaluation jobs for a backend=dist coordinator
+    status        show live cluster status of a backend=dist coordinator
 """
 
 from __future__ import annotations
@@ -74,6 +75,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
              "equivalence-group boundaries; 1 restores pure per-jobs "
              "chunking)",
     )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the run's merged metrics report (stage time "
+             "breakdown, engine-path and cache counters across every "
+             "worker) as JSON to FILE",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="print per-epoch tuning progress (best loss, configs/s, "
+             "cache-hit rate)",
+    )
 
 
 def _execution_overrides(args: argparse.Namespace) -> dict:
@@ -81,7 +93,7 @@ def _execution_overrides(args: argparse.Namespace) -> dict:
     overrides = {}
     for flag in ("jobs", "backend", "cache_dir", "cache_max_entries",
                  "dist_addr", "dist_workers", "dist_lease_timeout",
-                 "batch_group_min"):
+                 "batch_group_min", "metrics_out"):
         value = getattr(args, flag, None)
         if value is not None:
             overrides[flag] = value
@@ -98,6 +110,20 @@ def _config_from(args: argparse.Namespace, **kwargs) -> MicroGradConfig:
     return MicroGradConfig(**kwargs)
 
 
+def _enable_progress(args: argparse.Namespace) -> None:
+    """Turn on per-epoch tuning progress lines for --progress runs."""
+    if not getattr(args, "progress", False):
+        return
+    import logging
+
+    logger = logging.getLogger("repro.tuning.progress")
+    logger.setLevel(logging.INFO)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        logger.addHandler(handler)
+
+
 def _run_and_report(config: MicroGradConfig, out_dir: str | None) -> int:
     mg = MicroGrad(config)
     try:
@@ -106,6 +132,8 @@ def _run_and_report(config: MicroGradConfig, out_dir: str | None) -> int:
         mg.close()
     print(result.summary())
     print(json.dumps(result.metrics, indent=2))
+    if config.metrics_out:
+        print(f"metrics report written to {config.metrics_out}")
     if out_dir:
         path = result.save(out_dir)
         print(f"saved to {path}")
@@ -113,6 +141,7 @@ def _run_and_report(config: MicroGradConfig, out_dir: str | None) -> int:
 
 
 def _cmd_clone(args: argparse.Namespace) -> int:
+    _enable_progress(args)
     config = _config_from(
         args,
         use_case="cloning",
@@ -126,6 +155,7 @@ def _cmd_clone(args: argparse.Namespace) -> int:
 
 
 def _cmd_stress(args: argparse.Namespace) -> int:
+    _enable_progress(args)
     config = _config_from(
         args,
         use_case="stress",
@@ -196,6 +226,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
 def _cmd_droop(args: argparse.Namespace) -> int:
     from repro.core.platform import VoltageDroopPlatform
 
+    _enable_progress(args)
     config = _config_from(
         args,
         use_case="stress",
@@ -219,6 +250,18 @@ def _cmd_droop(args: argparse.Namespace) -> int:
     print(f"power swing: {result.metrics['power_swing_w']:.2f} W")
     if args.out:
         print(f"saved to {result.save(args.out)}")
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.dist.status import fetch_cluster_status
+    from repro.obs import format_cluster_status
+
+    report = fetch_cluster_status(args.addr, timeout=args.timeout)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_cluster_status(report))
     return 0
 
 
@@ -327,6 +370,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="exit after N jobs (default: run until "
                              "the coordinator shuts down)")
     worker.set_defaults(func=_cmd_worker)
+
+    status = sub.add_parser(
+        "status",
+        help="show live cluster status of a backend=dist coordinator",
+    )
+    status.add_argument("addr", metavar="HOST:PORT",
+                        help="coordinator address to query")
+    status.add_argument("--timeout", type=float, default=10.0, metavar="S",
+                        help="seconds to wait for the reply (default 10)")
+    status.add_argument("--json", action="store_true",
+                        help="print the raw report as JSON")
+    status.set_defaults(func=_cmd_status)
 
     droop = sub.add_parser("droop", help="generate a voltage-droop virus")
     _add_common(droop)

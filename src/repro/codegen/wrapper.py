@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.codegen.passes.addresses import UpdateInstructionAddressesPass
 from repro.codegen.passes.branches import RandomizeByTypePass
 from repro.codegen.passes.building_block import SimpleBuildingBlockPass
@@ -222,8 +223,12 @@ def generate_test_case(
         records the configuration for provenance.
     """
     options = options or GenerationOptions()
-    synth = Synthesizer(default_pass_list(knobs, options), seed=options.seed)
-    program = synth.synthesize()
+    with obs.span("codegen"):
+        synth = Synthesizer(
+            default_pass_list(knobs, options), seed=options.seed
+        )
+        program = synth.synthesize()
+    obs.inc("codegen.programs")
     program.metadata["knobs"] = {
         k: (v if not isinstance(v, list) else list(v)) for k, v in knobs.items()
         if k != "STREAMS"

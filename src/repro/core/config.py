@@ -93,6 +93,12 @@ class MicroGradConfig:
             and never below this size, so whole groups stay on one
             worker and ride one shared simulation pass (``1`` restores
             pure per-``jobs`` chunking).
+        metrics_out: path to write the run's merged metrics report
+            (JSON: per-stage time breakdown, engine-path and cache-hit
+            counters across every worker — see
+            :func:`repro.obs.build_run_report`).  ``None`` skips the
+            file; the report is always available on
+            ``MicroGradResult.run_report``.
     """
 
     use_case: str = "cloning"
@@ -120,6 +126,7 @@ class MicroGradConfig:
     dist_workers: int | None = None
     dist_lease_timeout: float | None = None
     batch_group_min: int = 4
+    metrics_out: str | None = None
 
     def __post_init__(self) -> None:
         if self.use_case not in _VALID_USE_CASES:

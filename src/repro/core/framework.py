@@ -9,10 +9,14 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import json
 import math
 import os
 import pickle
+import time
+from pathlib import Path
 
+from repro import obs
 from repro.codegen.wrapper import GenerationOptions, generate_test_case
 from repro.core.config import MicroGradConfig
 from repro.core.outputs import MicroGradResult
@@ -264,7 +268,45 @@ class MicroGrad:
     # -- runs -------------------------------------------------------------
 
     def run(self) -> MicroGradResult:
-        """Execute the configured use case end to end."""
+        """Execute the configured use case end to end.
+
+        The whole run executes inside a metrics collection scope: every
+        counter and stage span recorded during it — including worker
+        snapshots merged back from process pools and distributed
+        workers — lands in ``result.run_report`` (and, with
+        ``config.metrics_out``, in a JSON file).
+        """
+        start = time.perf_counter()
+        with obs.collect() as scope, obs.span("run"):
+            result = self._run_inner()
+        wall_s = time.perf_counter() - start
+        tuning = result.tuning
+        extra = {
+            "use_case": self.config.use_case,
+            "core": self.config.core,
+            "tuner": self.config.tuner,
+            "backend": self.config.backend,
+        }
+        if tuning is not None:
+            extra.update(
+                epochs=tuning.epochs,
+                best_loss=tuning.best_loss,
+                requested_evaluations=tuning.requested_evaluations,
+                unique_evaluations=tuning.unique_evaluations,
+            )
+        result.run_report = obs.build_run_report(
+            scope.snapshot(), wall_s=wall_s, extra=extra
+        )
+        if self.config.metrics_out:
+            path = Path(self.config.metrics_out)
+            if path.parent != Path("."):
+                path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(
+                json.dumps(result.run_report, indent=2, sort_keys=True)
+            )
+        return result
+
+    def _run_inner(self) -> MicroGradResult:
         initial = None
         if self.config.use_case == "cloning":
             usecase = CloningUseCase(self.config)

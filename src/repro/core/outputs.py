@@ -31,6 +31,10 @@ class MicroGradResult:
         accuracy: per-metric measured/target ratios (cloning).
         mean_accuracy: mean symmetric accuracy (cloning) or 0.
         tuning: the underlying tuner result (history, eval accounting).
+        run_report: merged metrics report for the run (see
+            :func:`repro.obs.build_run_report`) — stage time breakdown,
+            engine-path and cache counters across every worker that
+            contributed.
     """
 
     use_case: str
@@ -42,6 +46,7 @@ class MicroGradResult:
     accuracy: dict[str, float] = field(default_factory=dict)
     mean_accuracy: float = 0.0
     tuning: TuningResult | None = None
+    run_report: dict | None = None
 
     @property
     def assembly(self) -> str:
@@ -80,6 +85,10 @@ class MicroGradResult:
         (out / "epochs.json").write_text(
             json.dumps(self.epoch_progression(), indent=2)
         )
+        if self.run_report is not None:
+            (out / "run_report.json").write_text(
+                json.dumps(self.run_report, indent=2, sort_keys=True)
+            )
         return out
 
     def summary(self) -> str:

@@ -17,6 +17,12 @@ changes.  Workers join from anywhere: ``python -m repro.cli worker
 
 from repro.dist.backend import DistributedBackend
 from repro.dist.coordinator import Coordinator
+from repro.dist.status import fetch_cluster_status
 from repro.dist.worker import run_worker
 
-__all__ = ["Coordinator", "DistributedBackend", "run_worker"]
+__all__ = [
+    "Coordinator",
+    "DistributedBackend",
+    "fetch_cluster_status",
+    "run_worker",
+]

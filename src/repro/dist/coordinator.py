@@ -83,6 +83,14 @@ class _Connection:
     peer: str
     name: str = ""
     proto: int = 1
+    #: a monitoring client (``hello`` with ``role: "observer"``): never
+    #: dispatched to, never counted as a worker, never evicted for
+    #: heartbeat silence.
+    observer: bool = False
+    #: jobs this connection resolved (results and errors both count).
+    jobs_done: int = 0
+    #: latest ``status`` frame metrics (a ``MetricsSnapshot.to_dict()``).
+    status: dict = field(default_factory=dict)
     #: heartbeat interval the worker advertised in ``hello`` (0 = none).
     heartbeat_s: float = 0.0
     #: job id -> monotonic lease deadline (``inf`` when timeouts are off).
@@ -178,9 +186,60 @@ class Coordinator:
         return format_addr(self.host, self.port)
 
     def worker_count(self) -> int:
-        """Live worker connections right now."""
+        """Live worker connections right now (observers excluded)."""
         with self._cv:
-            return len(self._connections)
+            return sum(1 for c in self._connections if not c.observer)
+
+    def status_report(self) -> dict:
+        """JSON-able cluster snapshot (the ``status_reply`` body).
+
+        Per-worker rows (name, protocol, leases held, jobs done, age of
+        the last received frame, latest ``status`` metrics), queue
+        depths, the coordinator's lifetime counters, and the merge of
+        every worker's latest metrics snapshot.
+        """
+        from repro.obs import MetricsSnapshot
+
+        now = time.monotonic()
+        merged = MetricsSnapshot()
+        workers = []
+        with self._cv:
+            conns = sorted(
+                (c for c in self._connections if not c.observer),
+                key=lambda c: c.name or c.peer,
+            )
+            for conn in conns:
+                workers.append({
+                    "name": conn.name or conn.peer,
+                    "peer": conn.peer,
+                    "proto": conn.proto,
+                    "leases": len(conn.leases),
+                    "jobs_done": conn.jobs_done,
+                    "heartbeat_age_s": round(now - conn.last_recv, 3),
+                    "metrics": conn.status,
+                })
+                if conn.status:
+                    try:
+                        merged = merged.merge(
+                            MetricsSnapshot.from_dict(conn.status)
+                        )
+                    except (TypeError, ValueError, KeyError):
+                        pass  # malformed frame: skip, don't fail status
+            report = {
+                "addr": self.addr,
+                "workers": workers,
+                "pending": len(self._queue),
+                "unresolved": len(self._jobs) - len(self._results),
+                "counters": {
+                    "workers_seen": self.workers_seen,
+                    "jobs_completed": self.jobs_completed,
+                    "reschedules": self.reschedules,
+                    "lease_expiries": self.lease_expiries,
+                    "evictions": self.evictions,
+                },
+            }
+        report["cluster_metrics"] = merged.to_dict()
+        return report
 
     def shutdown(self) -> None:
         """Stop accepting, disconnect workers, fail pending waits."""
@@ -288,7 +347,7 @@ class Coordinator:
                     raise TimeoutError(
                         f"{len(job_ids)} distributed jobs still pending"
                     )
-                if self._connections:
+                if any(not c.observer for c in self._connections):
                     empty_since = None
                 elif empty_since is None:
                     empty_since = now
@@ -374,7 +433,6 @@ class Coordinator:
                     self._drop_socket(sock)
                     return
                 self._connections.add(conn)
-                self.workers_seen += 1
                 # Prune threads of connections that already left, so an
                 # elastic cluster (workers joining/leaving at will) does
                 # not accumulate one dead Thread per connection forever.
@@ -388,6 +446,10 @@ class Coordinator:
     def _serve(self, conn: _Connection) -> None:
         """Handle one worker connection until it drops or is evicted."""
         tick = self._tick_s()
+        # A connection only counts toward workers_seen once its hello
+        # proves it is a worker, not an observer (and v1 peers that
+        # never hello count on their first job-protocol frame instead).
+        counted = False
         try:
             while True:
                 try:
@@ -405,6 +467,9 @@ class Coordinator:
                 if kind == "hello":
                     conn.name = str(header.get("worker", conn.peer))
                     conn.proto = int(header.get("proto", 1))
+                    conn.observer = (
+                        str(header.get("role", "worker")) == "observer"
+                    )
                     try:
                         conn.heartbeat_s = max(
                             0.0, float(header.get("heartbeat", 0) or 0)
@@ -414,6 +479,19 @@ class Coordinator:
                 elif kind == "ping":
                     with conn.send_lock:
                         send_msg(conn.sock, {"type": "pong"})
+                elif kind == "status":
+                    metrics = header.get("metrics")
+                    conn.status = metrics if isinstance(metrics, dict) \
+                        else {}
+                    jobs = header.get("jobs_executed")
+                    if isinstance(jobs, int):
+                        conn.jobs_done = max(conn.jobs_done, jobs)
+                elif kind == "status_request":
+                    report = self.status_report()
+                    with conn.send_lock:
+                        send_msg(conn.sock, {
+                            "type": "status_reply", "report": report,
+                        })
                 elif kind == "request":
                     self._handle_request(conn)
                 elif kind == "result":
@@ -423,6 +501,11 @@ class Coordinator:
                         conn, int(header["job"]),
                         ("error", str(header.get("error", "unknown error"))),
                     )
+                if not counted and not conn.observer:
+                    counted = True
+                    with self._cv:
+                        self.workers_seen += 1
+                        self._cv.notify_all()
         except (ConnectionError, OSError, ValueError, KeyError):
             pass
         finally:
@@ -470,7 +553,9 @@ class Coordinator:
         sends: list[tuple[_Connection, dict, bytes | None]] = []
         if self._closing:
             return sends
-        hungry = deque(c for c in self._connections if c.hungry)
+        hungry = deque(
+            c for c in self._connections if c.hungry and not c.observer
+        )
         while self._queue and hungry:
             job = self._jobs.get(self._queue.popleft())
             if job is None or job.id in self._results:
@@ -507,6 +592,7 @@ class Coordinator:
         notify_dispatch = False
         with self._cv:
             conn.leases.pop(job_id, None)
+            conn.jobs_done += 1
             if job_id not in self._jobs:
                 # Forgotten (abandoned batch): storing the late result
                 # would leak it forever, since the caller that could
@@ -592,7 +678,7 @@ class Coordinator:
         now = time.monotonic()
         stale = []
         for conn in self._connections:
-            if conn.proto < 2 or conn.evicting:
+            if conn.proto < 2 or conn.evicting or conn.observer:
                 continue
             tolerance = max(self.heartbeat_timeout_s,
                             3.0 * conn.heartbeat_s)

@@ -18,11 +18,27 @@ Message types
 
 worker → coordinator:
     ``hello``   announce (``worker`` name, ``proto`` version, heartbeat
-                interval); first frame on a connection.
+                interval, optional ``role``); first frame on a
+                connection.  ``role: "observer"`` marks a monitoring
+                client (``repro.cli status``): it is excluded from the
+                worker count, job dispatch and heartbeat eviction.
     ``request`` ask for a job.
     ``result``  finished job (``job`` id) + pickled metrics payload.
     ``error``   job raised (``job`` id, ``error`` traceback text).
     ``ping``    heartbeat (protocol >= 2); proves liveness mid-job.
+    ``status``  metrics snapshot (protocol >= 2), piggybacked on the
+                heartbeat cadence: ``jobs_executed`` plus ``metrics``,
+                a JSON :meth:`repro.obs.MetricsSnapshot.to_dict` —
+                counters/gauges/timers this worker has recorded.  The
+                coordinator keeps only the latest per connection.
+
+client ↔ coordinator (observers):
+    ``status_request`` ask for the cluster status.
+    ``status_reply``   answer: ``report`` with per-worker rows (name,
+                       proto, leases held, jobs done, seconds since the
+                       last frame, latest ``status`` metrics), queue
+                       depths, the coordinator's lifetime counters, and
+                       the merged cluster-wide metrics snapshot.
 
 coordinator → worker:
     ``job``      a leased job (``job`` id) + pickled ``(fn, item)``.
@@ -52,7 +68,10 @@ import struct
 from typing import Any
 
 #: Wire protocol generation announced in ``hello`` frames.  Version 2
-#: added ``ping``/``pong`` heartbeats and blocking job requests.
+#: added ``ping``/``pong`` heartbeats, blocking job requests, and the
+#: additive observability frames (``status``, ``status_request``/
+#: ``status_reply``, observer ``role``) — peers that never send them
+#: interoperate unchanged.
 PROTOCOL_VERSION = 2
 
 #: (header length, payload length) frame prefix.

@@ -1,0 +1,62 @@
+"""Observer-side client of the coordinator's ``status`` protocol.
+
+``repro.cli status <addr>`` (and anything else that wants a cluster
+snapshot) connects with an observer ``hello`` — the coordinator excludes
+observers from the worker count, job dispatch and heartbeat eviction —
+sends one ``status_request``, and returns the ``status_reply`` report.
+See :meth:`repro.dist.coordinator.Coordinator.status_report` for the
+report's shape and :func:`repro.obs.format_cluster_status` for the
+human rendering.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+
+from repro.dist.protocol import (
+    PROTOCOL_VERSION,
+    ReceiveTimeout,
+    connect,
+    recv_msg,
+    send_msg,
+)
+
+
+def fetch_cluster_status(addr: str, timeout: float = 10.0) -> dict:
+    """One-shot cluster status from the coordinator at ``addr``.
+
+    Raises ``TimeoutError`` when no reply lands within ``timeout``
+    seconds, and the usual ``ConnectionError``/``OSError`` family when
+    the coordinator is unreachable.
+    """
+    sock = connect(addr, timeout=timeout)
+    try:
+        send_msg(sock, {
+            "type": "hello",
+            "worker": f"status-{socket.gethostname()}-{os.getpid()}",
+            "proto": PROTOCOL_VERSION,
+            "heartbeat": 0,
+            "role": "observer",
+        })
+        send_msg(sock, {"type": "status_request"})
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"no status reply from {addr} within {timeout:.0f}s"
+                )
+            try:
+                header, _ = recv_msg(sock, timeout=remaining)
+            except ReceiveTimeout:
+                continue
+            if header.get("type") == "status_reply":
+                report = header.get("report")
+                return report if isinstance(report, dict) else {}
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass

@@ -37,6 +37,7 @@ import threading
 import time
 import traceback
 
+from repro import obs
 from repro.dist.protocol import (
     PROTOCOL_VERSION,
     ReceiveTimeout,
@@ -63,12 +64,24 @@ _COORDINATOR_SILENCE_FACTOR = 10.0
 
 
 def _heartbeat_loop(sock: socket.socket, send_lock: threading.Lock,
-                    interval_s: float, stop: threading.Event) -> None:
-    """Send ``ping`` frames until stopped or the socket dies."""
+                    interval_s: float, stop: threading.Event,
+                    status_fn=None) -> None:
+    """Send ``ping`` frames until stopped or the socket dies.
+
+    With ``status_fn`` (a callable returning the ``status`` frame header
+    fields, or ``None`` to skip a beat), each ping is followed by a
+    ``status`` frame — the worker's metrics snapshot piggybacks on the
+    liveness cadence instead of needing its own timer or connection.
+    """
     while not stop.wait(interval_s):
         try:
             with send_lock:
                 send_msg(sock, {"type": "ping"})
+            if status_fn is not None:
+                status = status_fn()
+                if status:
+                    with send_lock:
+                        send_msg(sock, dict(status, type="status"))
         except (ConnectionError, OSError):
             return
 
@@ -119,7 +132,9 @@ def run_worker(
     send_lock = threading.Lock()
     stop = stop if stop is not None else threading.Event()
     heartbeat: threading.Thread | None = None
-    executed = 0
+    # Shared with the heartbeat thread, which reports it in ``status``
+    # frames (a list, not an int, so both threads see updates).
+    executed_box = [0]
     try:
         with send_lock:
             send_msg(sock, {
@@ -127,15 +142,21 @@ def run_worker(
                 "heartbeat": heartbeat_s if heartbeating else 0,
             })
         if heartbeating:
+            def _status() -> dict:
+                return {
+                    "jobs_executed": executed_box[0],
+                    "metrics": obs.snapshot().to_dict(),
+                }
+
             heartbeat = threading.Thread(
                 target=_heartbeat_loop,
-                args=(sock, send_lock, float(heartbeat_s), stop),
+                args=(sock, send_lock, float(heartbeat_s), stop, _status),
                 name="dist-heartbeat", daemon=True,
             )
             heartbeat.start()
         silence_limit = (heartbeat_s * _COORDINATOR_SILENCE_FACTOR
                          if heartbeating else None)
-        while (max_jobs is None or executed < max_jobs) \
+        while (max_jobs is None or executed_box[0] < max_jobs) \
                 and not stop.is_set():
             with send_lock:
                 send_msg(sock, {"type": "request"})
@@ -152,7 +173,8 @@ def run_worker(
             if kind != "job":
                 raise ConnectionError(f"unexpected frame {header!r}")
             job_id = int(header["job"])
-            executed += 1
+            executed_box[0] += 1
+            obs.inc("worker.jobs_executed")
             # A stop request mid-job drains: the job in hand always
             # finishes and its result is sent before disconnecting.
             try:
@@ -191,7 +213,7 @@ def run_worker(
             sock.close()
         except OSError:
             pass
-    return executed
+    return executed_box[0]
 
 
 def _await_reply(sock, heartbeating: bool, silence_limit: float | None,

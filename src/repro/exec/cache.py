@@ -30,6 +30,8 @@ import os
 import tempfile
 from pathlib import Path
 
+from repro import obs
+
 
 def _canonical_json(payload) -> str:
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
@@ -93,6 +95,7 @@ class DiskResultCache:
 
     def _memory_hit(self, digest: str) -> dict[str, float]:
         self.hits += 1
+        obs.inc("cache.result.hits")
         if self.max_entries is not None:
             # Keep recency honest for hits served from memory too,
             # or compaction would evict the hottest entries first.
@@ -110,12 +113,14 @@ class DiskResultCache:
             metrics = {k: float(v) for k, v in entry["metrics"].items()}
         except (OSError, ValueError, KeyError, TypeError):
             self.misses += 1
+            obs.inc("cache.result.misses")
             return None
         stamped = entry.get("schema")
         if stamped is not None and self.schema is not None \
                 and stamped != self.schema:
             # Produced under different simulation semantics: stale.
             self.misses += 1
+            obs.inc("cache.result.misses")
             return None
         try:
             # Disk hit: refresh recency so LRU compaction spares it.
@@ -124,6 +129,7 @@ class DiskResultCache:
             pass
         self._memory[digest] = metrics
         self.hits += 1
+        obs.inc("cache.result.hits")
         return dict(metrics)
 
     def get(self, context: str, config_key: tuple) -> dict[str, float] | None:
@@ -151,11 +157,12 @@ class DiskResultCache:
         }
         present: set[str] = set()
         if wanted:
-            try:
-                with os.scandir(self.root) as it:
-                    present = {e.name for e in it if e.name in wanted}
-            except OSError:
-                present = set()
+            with obs.span("cache.result.probe"):
+                try:
+                    with os.scandir(self.root) as it:
+                        present = {e.name for e in it if e.name in wanted}
+                except OSError:
+                    present = set()
         results: list[dict[str, float] | None] = []
         for digest in digests:
             if digest in self._memory:
@@ -165,6 +172,7 @@ class DiskResultCache:
                 results.append(self._read_entry(digest))
             else:
                 self.misses += 1
+                obs.inc("cache.result.misses")
                 results.append(None)
         return results
 
@@ -226,6 +234,7 @@ class DiskResultCache:
             self._memory.pop(path.stem, None)
             removed += 1
         self.evictions += removed
+        obs.inc("cache.result.evictions", removed)
         return removed
 
     def __len__(self) -> int:

@@ -4,6 +4,13 @@ Worker processes receive module-level functions plus plain-data arguments
 (platforms, generation options and knob configurations all pickle), so
 generation **and** simulation run inside the worker — the parent process
 only ships knob dictionaries out and metric dictionaries back.
+
+Every chunk job additionally returns a :class:`~repro.obs.MetricsSnapshot`
+of the metrics it recorded (engine paths, cache hits, stage spans) so
+counters survive the process boundary: the caller folds each chunk's
+snapshot into its own registry via :func:`repro.obs.merge_remote`, which
+skips same-process echoes (serial/thread backends record directly) and
+merges foreign ones (process pools, distributed workers).
 """
 
 from __future__ import annotations
@@ -11,6 +18,7 @@ from __future__ import annotations
 from functools import partial
 from typing import TYPE_CHECKING, Iterator, Sequence
 
+from repro import obs
 from repro.codegen.wrapper import (
     GenerationOptions,
     generate_test_case,
@@ -38,24 +46,31 @@ def _attach_store(store_spec: tuple[str, int | None] | None) -> None:
 
 def _evaluate_chunk(platform, options: GenerationOptions,
                     store_spec: tuple[str, int | None] | None,
-                    configs: list[dict]) -> list[dict[str, float]]:
+                    configs: list[dict]):
     """Generate and evaluate one contiguous chunk of configurations.
 
     ``store_spec`` (the backend's ``artifact_store_spec()``) attaches the
     shared on-disk trace-artifact store in whichever process the chunk
     runs.
+
+    Returns ``(metrics_list, snapshot)`` — the per-config metrics plus
+    the chunk's metrics delta for the caller to merge.
     """
     _attach_store(store_spec)
     from repro.sim.events import record_engine_path
 
-    record_engine_path("evaluate.single", len(configs))
-    programs = [generate_test_case(config, options) for config in configs]
-    return platform.evaluate_many(programs)
+    with obs.collect() as scope, obs.span("exec.chunk"):
+        record_engine_path("evaluate.single", len(configs))
+        programs = [
+            generate_test_case(config, options) for config in configs
+        ]
+        results = platform.evaluate_many(programs)
+    return results, scope.snapshot()
 
 
 def _evaluate_chunk_grouped(platform, options: GenerationOptions,
                             store_spec: tuple[str, int | None] | None,
-                            configs: list[dict]) -> list[dict[str, float]]:
+                            configs: list[dict]):
     """Generate and evaluate one chunk, collapsing equivalence groups.
 
     Configs with equal :func:`generation_fingerprint` provably generate
@@ -66,25 +81,28 @@ def _evaluate_chunk_grouped(platform, options: GenerationOptions,
     out per config.  Grouping covers the whole chunk, not just adjacent
     runs, so an unsorted GA population still collapses its clone
     children.  Bit-identical to :func:`_evaluate_chunk`.
+
+    Returns ``(metrics_list, snapshot)`` like :func:`_evaluate_chunk`.
     """
     _attach_store(store_spec)
     from repro.sim.events import record_engine_path
 
-    record_engine_path("evaluate.batch")
-    groups: dict[tuple, list[int]] = {}
-    for i, config in enumerate(configs):
-        groups.setdefault(
-            generation_fingerprint(config, options), []
-        ).append(i)
-    results: list[dict[str, float] | None] = [None] * len(configs)
-    for indices in groups.values():
-        program = generate_test_case(configs[indices[0]], options)
-        record_engine_path("evaluate.group")
-        for i, metrics in zip(
-            indices, platform.evaluate_group(program, len(indices))
-        ):
-            results[i] = metrics
-    return results
+    with obs.collect() as scope, obs.span("exec.chunk"):
+        record_engine_path("evaluate.batch")
+        groups: dict[tuple, list[int]] = {}
+        for i, config in enumerate(configs):
+            groups.setdefault(
+                generation_fingerprint(config, options), []
+            ).append(i)
+        results: list[dict[str, float] | None] = [None] * len(configs)
+        for indices in groups.values():
+            program = generate_test_case(configs[indices[0]], options)
+            record_engine_path("evaluate.group")
+            for i, metrics in zip(
+                indices, platform.evaluate_group(program, len(indices))
+            ):
+                results[i] = metrics
+    return results, scope.snapshot()
 
 
 def _plan_chunks(
@@ -136,7 +154,8 @@ def evaluate_configs(
         return []
     chunks, job = _plan_chunks(backend, platform, options, configs)
     results: list[dict[str, float]] = []
-    for chunk_metrics in backend.map(job, chunks):
+    for chunk_metrics, snapshot in backend.map(job, chunks):
+        obs.merge_remote(snapshot)
         results.extend(chunk_metrics)
     return results
 
@@ -162,16 +181,23 @@ def evaluate_configs_stream(
     chunks, job = _plan_chunks(backend, platform, options, configs)
     stream = getattr(backend, "map_stream", None)
     mapper = stream if stream is not None else backend.map
-    for chunk_metrics in mapper(job, chunks):
+    for chunk_metrics, snapshot in mapper(job, chunks):
+        obs.merge_remote(snapshot)
         yield from chunk_metrics
 
 
-def _clone_job(job) -> "MicroGradResult":
-    """Run one full cloning pass (used for per-simpoint fan-out)."""
+def _clone_job(job):
+    """Run one full cloning pass (used for per-simpoint fan-out).
+
+    Returns ``(result, snapshot)`` so the parent process inherits the
+    pass's metrics even when it ran in a worker.
+    """
     from repro.core.framework import MicroGrad
 
     config, platform = job
-    return MicroGrad(config, platform=platform).run()
+    with obs.collect() as scope:
+        result = MicroGrad(config, platform=platform).run()
+    return result, scope.snapshot()
 
 
 def run_clone_jobs(
@@ -186,4 +212,10 @@ def run_clone_jobs(
     ``None`` lets each worker rebuild the default platform from its
     sub-config.
     """
-    return backend.map(_clone_job, [(config, platform) for config in configs])
+    results = []
+    for result, snapshot in backend.map(
+        _clone_job, [(config, platform) for config in configs]
+    ):
+        obs.merge_remote(snapshot)
+        results.append(result)
+    return results

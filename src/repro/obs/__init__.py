@@ -1,0 +1,65 @@
+"""Unified observability layer: metrics registry, spans, reports.
+
+Usage from instrumented code::
+
+    from repro import obs
+
+    obs.inc("codegen.programs")
+    with obs.span("trace.build"):
+        ...
+
+See :mod:`repro.obs.registry` for the data model and merge semantics,
+:mod:`repro.obs.report` for run reports and cluster-status rendering.
+"""
+
+from repro.obs.registry import (
+    OBS_ENV_VAR,
+    REGISTRY,
+    MetricsRegistry,
+    MetricsSnapshot,
+    TimerStat,
+    collect,
+    counters,
+    inc,
+    is_enabled,
+    local_origin,
+    merge_remote,
+    observe,
+    reset,
+    set_enabled,
+    set_gauge,
+    snapshot,
+    span,
+)
+from repro.obs.report import (
+    ENGINE_PATH_PREFIX,
+    RUN_REPORT_SCHEMA,
+    build_run_report,
+    format_cluster_status,
+    format_run_report,
+)
+
+__all__ = [
+    "ENGINE_PATH_PREFIX",
+    "OBS_ENV_VAR",
+    "REGISTRY",
+    "RUN_REPORT_SCHEMA",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "TimerStat",
+    "build_run_report",
+    "collect",
+    "counters",
+    "format_cluster_status",
+    "format_run_report",
+    "inc",
+    "is_enabled",
+    "local_origin",
+    "merge_remote",
+    "observe",
+    "reset",
+    "set_enabled",
+    "set_gauge",
+    "snapshot",
+    "span",
+]

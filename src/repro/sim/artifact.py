@@ -32,6 +32,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import obs
 from repro.isa.instructions import InstrClass
 from repro.isa.program import Program
 from repro.sim import events
@@ -166,6 +167,16 @@ class TraceArtifact:
         fingerprint: str | None = None,
     ) -> "TraceArtifact":
         """Characterize ``program`` once for the given budget."""
+        with obs.span("trace.build"):
+            return cls._build(program, instructions, fingerprint)
+
+    @classmethod
+    def _build(
+        cls,
+        program: Program,
+        instructions: int,
+        fingerprint: str | None,
+    ) -> "TraceArtifact":
         program.validate()
         loop = len(program)
         meta = program.metadata
@@ -280,10 +291,12 @@ class TraceArtifact:
         )
         res = self._memory.get(key)
         if res is None:
-            trace = self.trace(iterations, core.l1d.line_bytes)
-            res = events.simulate_memory(
-                core, trace, warmup_iters * self.mem_per_iter, engine=engine
-            )
+            with obs.span("events.memory"):
+                trace = self.trace(iterations, core.l1d.line_bytes)
+                res = events.simulate_memory(
+                    core, trace, warmup_iters * self.mem_per_iter,
+                    engine=engine,
+                )
             self._memory[key] = res
         return res
 
@@ -304,10 +317,12 @@ class TraceArtifact:
         if res is None:
             # Branch outcomes are independent of the cache line size, so
             # any trace with the right window length serves.
-            trace = self.trace(iterations, core.l1d.line_bytes)
-            res = events.simulate_branches(
-                core, trace, warmup_iters * self.br_per_iter, engine=engine
-            )
+            with obs.span("events.branch"):
+                trace = self.trace(iterations, core.l1d.line_bytes)
+                res = events.simulate_branches(
+                    core, trace, warmup_iters * self.br_per_iter,
+                    engine=engine,
+                )
             self._branches[key] = res
         return res
 
@@ -343,13 +358,15 @@ class TraceArtifact:
                     (iterations_list[i], core.l1d.line_bytes), []
                 ).append(i)
         for (iterations, line_bytes), slots in groups.items():
-            trace = self.trace(iterations, line_bytes)
-            batch = events.simulate_memory_batch(
-                [cores[i] for i in slots],
-                trace,
-                [warmup_iters_list[i] * self.mem_per_iter for i in slots],
-                engine=engine,
-            )
+            with obs.span("events.memory.batch"):
+                trace = self.trace(iterations, line_bytes)
+                batch = events.simulate_memory_batch(
+                    [cores[i] for i in slots],
+                    trace,
+                    [warmup_iters_list[i] * self.mem_per_iter
+                     for i in slots],
+                    engine=engine,
+                )
             for i, res in zip(slots, batch):
                 self._memory[keys[i]] = res
         return [self._memory[key] for key in keys]
@@ -378,13 +395,15 @@ class TraceArtifact:
                     (iterations_list[i], core.l1d.line_bytes), []
                 ).append(i)
         for (iterations, line_bytes), slots in groups.items():
-            trace = self.trace(iterations, line_bytes)
-            batch = events.simulate_branches_batch(
-                [cores[i] for i in slots],
-                trace,
-                [warmup_iters_list[i] * self.br_per_iter for i in slots],
-                engine=engine,
-            )
+            with obs.span("events.branch.batch"):
+                trace = self.trace(iterations, line_bytes)
+                batch = events.simulate_branches_batch(
+                    [cores[i] for i in slots],
+                    trace,
+                    [warmup_iters_list[i] * self.br_per_iter
+                     for i in slots],
+                    engine=engine,
+                )
             for i, res in zip(slots, batch):
                 self._branches[keys[i]] = res
         return [self._branches[key] for key in keys]
@@ -403,9 +422,10 @@ class TraceArtifact:
         key = (engine,) + events.icache_event_key(core) + (measure_iters,)
         res = self._icache.get(key)
         if res is None:
-            res = events.simulate_icache(
-                core, self.code_bytes, measure_iters, engine=engine
-            )
+            with obs.span("events.icache"):
+                res = events.simulate_icache(
+                    core, self.code_bytes, measure_iters, engine=engine
+                )
             self._icache[key] = res
         return res
 
@@ -426,12 +446,13 @@ class TraceArtifact:
         ]
         slots = [i for i, key in enumerate(keys) if key not in self._icache]
         if slots:
-            batch = events.simulate_icache_batch(
-                [cores[i] for i in slots],
-                self.code_bytes,
-                [measure_iters_list[i] for i in slots],
-                engine=engine,
-            )
+            with obs.span("events.icache.batch"):
+                batch = events.simulate_icache_batch(
+                    [cores[i] for i in slots],
+                    self.code_bytes,
+                    [measure_iters_list[i] for i in slots],
+                    engine=engine,
+                )
             for i, res in zip(slots, batch):
                 self._icache[keys[i]] = res
         return [self._icache[key] for key in keys]
@@ -520,6 +541,7 @@ class DiskArtifactStore:
             artifact = pickle.loads(path.read_bytes())
         except Exception:
             self.misses += 1
+            obs.inc("cache.artifact.misses")
             return None
         if (
             not isinstance(artifact, TraceArtifact)
@@ -527,6 +549,7 @@ class DiskArtifactStore:
             or artifact.instructions != instructions
         ):
             self.misses += 1
+            obs.inc("cache.artifact.misses")
             return None
         try:
             # Hit: refresh recency so LRU compaction spares it.
@@ -534,6 +557,7 @@ class DiskArtifactStore:
         except OSError:
             pass
         self.hits += 1
+        obs.inc("cache.artifact.hits")
         return artifact
 
     def put(self, artifact: TraceArtifact) -> None:
@@ -585,6 +609,7 @@ class DiskArtifactStore:
                 continue
             removed += 1
         self.evictions += removed
+        obs.inc("cache.artifact.evictions", removed)
         return removed
 
     def __len__(self) -> int:

@@ -49,12 +49,13 @@ from __future__ import annotations
 
 import logging
 import os
-from collections import Counter, OrderedDict, defaultdict
+from collections import OrderedDict, defaultdict
 from dataclasses import dataclass
 from itertools import repeat
 
 import numpy as np
 
+from repro import obs
 from repro.sim.branch import (
     GSharePredictor,
     TournamentPredictor,
@@ -93,20 +94,26 @@ _MAX_SNAPSHOTS = 32
 _MIN_ROUNDS_TRACE = 128
 _ROUNDS_IMBALANCE = 8
 
-#: Engine-path observability: how many simulations ran down each path
-#: since the last reset.  Engine bit-identity is asserted on whole
-#: result objects, so the path is reported here (and in DEBUG logs)
-#: rather than stamped into the results themselves.
-_PATH_COUNTS: Counter[str] = Counter()
+#: Engine-path observability: counters now live in the process-wide
+#: metrics registry (:mod:`repro.obs`) under this prefix, which makes
+#: them atomic under concurrent ``run_many`` calls (the old module
+#: ``Counter`` lost ``+= 1`` updates across threads) and lets worker
+#: processes ship them home in :class:`~repro.obs.MetricsSnapshot`\ s.
+#: The functions below are the stable compat surface benchmarks and
+#: tests were written against.
+_PATH_PREFIX = "engine_path."
 
 
 def _record_path(path: str) -> None:
-    _PATH_COUNTS[path] += 1
+    obs.inc(_PATH_PREFIX + path)
     logger.debug("event engine path: %s", path)
 
 
 def engine_path_counts() -> dict[str, int]:
     """Simulations per engine path since the last reset.
+
+    Compat view over the ``engine_path.*`` counters of the default
+    :mod:`repro.obs` registry (prefix stripped).
 
     Keys are ``"<stage>.<path>"``: ``memory.reference``,
     ``memory.vectorized.periodic``, ``memory.vectorized.aperiodic``,
@@ -119,7 +126,11 @@ def engine_path_counts() -> dict[str, int]:
     per config evaluated one-at-a-time).  Benchmarks use this to assert
     "no silent fallback"; sweeps can log it to spot slow paths.
     """
-    return dict(_PATH_COUNTS)
+    prefix_len = len(_PATH_PREFIX)
+    return {
+        name[prefix_len:]: int(value)
+        for name, value in obs.counters(_PATH_PREFIX).items()
+    }
 
 
 def record_engine_path(path: str, count: int = 1) -> None:
@@ -129,12 +140,12 @@ def record_engine_path(path: str, count: int = 1) -> None:
     path in ``repro.exec.jobs``) report into the same counter that
     benchmarks assert no-silent-fallback against.
     """
-    _PATH_COUNTS[path] += count
+    obs.inc(_PATH_PREFIX + path, count)
 
 
 def reset_engine_path_counts() -> None:
     """Zero the engine-path counters (benchmarks, tests)."""
-    _PATH_COUNTS.clear()
+    obs.reset(_PATH_PREFIX)
 
 
 def resolve_engine(engine: str | None = None) -> str:

@@ -19,6 +19,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.isa.instructions import InstrClass
 from repro.sim.config import CoreConfig
 
@@ -143,6 +144,13 @@ def compute_cycles_batch(
     """
     if not batch:
         return []
+    with obs.span("interval.batch"):
+        return _compute_cycles_batch(batch)
+
+
+def _compute_cycles_batch(
+    batch: Sequence[IntervalInputs],
+) -> list[IntervalResult]:
     total = np.array(
         [inputs.total_instructions for inputs in batch], dtype=np.int64
     )

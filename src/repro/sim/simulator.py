@@ -19,6 +19,7 @@ wherever the configs' parameters cannot distinguish them.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.isa.program import Program
 from repro.sim import events
 from repro.sim.artifact import (
@@ -322,6 +323,24 @@ class Simulator:
         Returns:
             One :class:`SimStats` per core, in input order.
         """
+        with obs.span("sim.run_many"):
+            return cls._run_many(
+                cores, program, instructions, warmup_fraction,
+                artifact, artifact_cache, engine, config_batch,
+            )
+
+    @classmethod
+    def _run_many(
+        cls,
+        cores: list[CoreConfig],
+        program: Program,
+        instructions: int,
+        warmup_fraction: float,
+        artifact: TraceArtifact | None,
+        artifact_cache: TraceArtifactCache | None,
+        engine: str | None,
+        config_batch: bool,
+    ) -> list[SimStats]:
         cache = None
         if artifact is None:
             from repro.sim.artifact import GLOBAL_ARTIFACT_CACHE

@@ -2,14 +2,22 @@
 
 from __future__ import annotations
 
+import logging
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.tuning.evaluator import Evaluator
 
 LossFn = Callable[[dict[str, float]], float]
+
+#: Per-epoch progress lines land here at INFO.  Silent by default;
+#: ``repro.cli --progress`` (or any logging config that enables this
+#: logger) turns them on without touching tuner code.
+progress_logger = logging.getLogger("repro.tuning.progress")
 
 
 @dataclass
@@ -72,6 +80,8 @@ class Tuner:
         self._best_loss = float("inf")
         self._best_config: dict | None = None
         self._best_metrics: dict[str, float] | None = None
+        self._epoch_mark = time.perf_counter()
+        self._eval_mark = 0
 
     def _observe(self, config: dict, metrics: dict[str, float]) -> float:
         """Score a configuration and update the best-seen state."""
@@ -84,6 +94,14 @@ class Tuner:
 
     def _record_epoch(self, epoch: int, loss_value: float,
                       metrics: dict[str, float], config: dict) -> None:
+        now = time.perf_counter()
+        epoch_s = now - self._epoch_mark
+        self._epoch_mark = now
+        obs.observe("tuner.epoch", epoch_s)
+        obs.inc("tuner.epochs")
+        requested = self.evaluator.requested_evaluations
+        epoch_evals = requested - self._eval_mark
+        self._eval_mark = requested
         self.history.append(
             EpochRecord(
                 epoch=epoch,
@@ -91,9 +109,24 @@ class Tuner:
                 best_loss=self._best_loss,
                 metrics=dict(metrics),
                 config=dict(config),
-                evaluations=self.evaluator.requested_evaluations,
+                evaluations=requested,
             )
         )
+        if progress_logger.isEnabledFor(logging.INFO):
+            cache = obs.counters("cache.result.")
+            hits = cache.get("cache.result.hits", 0)
+            misses = cache.get("cache.result.misses", 0)
+            hit_txt = (
+                f"{hits / (hits + misses) * 100.0:.1f}%"
+                if hits + misses else "n/a"
+            )
+            rate = epoch_evals / epoch_s if epoch_s > 0 else 0.0
+            progress_logger.info(
+                "epoch %d: loss %.6g (best %.6g) | %d configs in %.2fs "
+                "(%.1f/s) | cache hit %s",
+                epoch, loss_value, self._best_loss, epoch_evals,
+                epoch_s, rate, hit_txt,
+            )
 
     def _result(self, epochs: int, converged: bool, stop_reason: str) -> TuningResult:
         if self._best_config is None:

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.tuning.knobs import KnobSpace, canonical_config_key
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -212,10 +213,12 @@ class Evaluator:
         on_result: OnResultFn | None = None,
     ) -> list[dict[str, float]]:
         self.requested_evaluations += len(configs)
+        obs.inc("evaluator.requested", len(configs))
         if not self._cache_enabled:
             # No memoization anywhere: every request is real work, even
             # duplicates within the batch (matches the serial semantics).
             self.unique_evaluations += len(configs)
+            obs.inc("evaluator.unique", len(configs))
             if on_result is None:
                 return self._run_batch(configs)
             metrics_batch = []
@@ -256,6 +259,7 @@ class Evaluator:
 
         unique_configs = [configs[indices[0]] for indices in pending.values()]
         self.unique_evaluations += len(unique_configs)
+        obs.inc("evaluator.unique", len(unique_configs))
         if on_result is None:
             metrics_batch: Iterable = self._run_batch(unique_configs)
         else:

@@ -1,0 +1,167 @@
+"""Snapshot tests: merge algebra (hypothesis), pickling, wire format."""
+
+import pickle
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.obs import MetricsRegistry, MetricsSnapshot, TimerStat, local_origin
+
+names = st.sampled_from(["a", "b", "cache.hits", "engine_path.x"])
+counter_tables = st.dictionaries(names, st.integers(0, 10**6), max_size=4)
+gauge_tables = st.dictionaries(names, st.integers(-100, 100), max_size=4)
+timer_stats = st.builds(
+    lambda count, unit: TimerStat(
+        count=count,
+        total_s=count * unit,
+        min_s=unit,
+        max_s=unit,
+    ),
+    st.integers(1, 50),
+    st.sampled_from([0.25, 0.5, 1.0, 2.0]),
+)
+timer_tables = st.dictionaries(names, timer_stats, max_size=3)
+snapshots = st.builds(
+    lambda c, g, t: MetricsSnapshot(counters=c, gauges=g, timers=t),
+    counter_tables, gauge_tables, timer_tables,
+)
+
+
+def _canon(snap):
+    return (
+        dict(snap.counters),
+        dict(snap.gauges),
+        {k: (v.count, v.total_s, v.min_s, v.max_s)
+         for k, v in snap.timers.items()},
+    )
+
+
+class TestMergeAlgebra:
+    @given(snapshots, snapshots)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_commutative(self, a, b):
+        assert _canon(a.merge(b)) == _canon(b.merge(a))
+
+    @given(snapshots, snapshots, snapshots)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_associative(self, a, b, c):
+        assert _canon(a.merge(b).merge(c)) == _canon(a.merge(b.merge(c)))
+
+    @given(snapshots)
+    @settings(max_examples=30, deadline=None)
+    def test_merge_with_empty_is_identity(self, a):
+        assert _canon(a.merge(MetricsSnapshot())) == _canon(a)
+
+    def test_counters_sum_gauges_max_timers_fold(self):
+        a = MetricsSnapshot(
+            counters={"c": 2}, gauges={"g": 5},
+            timers={"t": TimerStat(count=1, total_s=1.0, min_s=1.0,
+                                   max_s=1.0)},
+        )
+        b = MetricsSnapshot(
+            counters={"c": 3}, gauges={"g": 4},
+            timers={"t": TimerStat(count=2, total_s=6.0, min_s=0.5,
+                                   max_s=4.0)},
+        )
+        merged = a.merge(b)
+        assert merged.counters == {"c": 5}
+        assert merged.gauges == {"g": 5}
+        stat = merged.timers["t"]
+        assert (stat.count, stat.total_s, stat.min_s, stat.max_s) == \
+            (3, 7.0, 0.5, 4.0)
+
+
+class TestTransport:
+    def test_snapshot_pickles(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.inc("a", 2)
+        registry.observe("t", 0.5)
+        snap = registry.snapshot()
+        clone = pickle.loads(pickle.dumps(snap))
+        assert _canon(clone) == _canon(snap)
+        assert clone.origin == snap.origin
+
+    @given(snapshots)
+    @settings(max_examples=40, deadline=None)
+    def test_dict_round_trip(self, snap):
+        clone = MetricsSnapshot.from_dict(snap.to_dict())
+        assert _canon(clone) == _canon(snap)
+
+    def test_snapshot_carries_local_origin(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.inc("a")
+        assert registry.snapshot().origin == local_origin()
+
+
+class TestMergeRemote:
+    def test_same_origin_snapshot_skipped(self):
+        """Serial/thread echoes already hit the registry directly."""
+        registry = MetricsRegistry(enabled=True)
+        registry.inc("a")
+        snap = registry.snapshot()
+        assert not registry.merge_remote(snap)
+        assert registry.counters() == {"a": 1}
+
+    def test_foreign_origin_snapshot_merged(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.inc("a")
+        foreign = MetricsSnapshot(counters={"a": 2, "b": 1},
+                                  origin=("elsewhere", 1))
+        assert registry.merge_remote(foreign)
+        assert registry.counters() == {"a": 3, "b": 1}
+
+    def test_merge_remote_accepts_wire_dict(self):
+        registry = MetricsRegistry(enabled=True)
+        wire = MetricsSnapshot(counters={"x": 4},
+                               origin=("elsewhere", 2)).to_dict()
+        assert registry.merge_remote(wire)
+        assert registry.counters() == {"x": 4}
+
+    def test_merge_remote_lands_in_active_scopes(self):
+        registry = MetricsRegistry(enabled=True)
+        foreign = MetricsSnapshot(counters={"a": 2}, origin=("other", 3))
+        with registry.collect() as scope:
+            registry.merge_remote(foreign)
+        assert scope.snapshot().counters == {"a": 2}
+
+
+class TestCollectScopes:
+    def test_scope_sees_only_its_window(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.inc("before")
+        with registry.collect() as scope:
+            registry.inc("during", 2)
+        registry.inc("after")
+        assert scope.snapshot().counters == {"during": 2}
+
+    def test_nested_scopes_both_collect(self):
+        registry = MetricsRegistry(enabled=True)
+        with registry.collect() as outer:
+            registry.inc("a")
+            with registry.collect() as inner:
+                registry.inc("b")
+        assert outer.snapshot().counters == {"a": 1, "b": 1}
+        assert inner.snapshot().counters == {"b": 1}
+
+    def test_scope_sees_other_threads(self):
+        """Scopes are process-global so pool worker threads land in them."""
+        import threading
+
+        registry = MetricsRegistry(enabled=True)
+        with registry.collect() as scope:
+            t = threading.Thread(target=lambda: registry.inc("cross"))
+            t.start()
+            t.join()
+        assert scope.snapshot().counters == {"cross": 1}
+
+
+class TestModuleHelpers:
+    def test_module_level_helpers_hit_global_registry(self):
+        with obs.collect() as scope:
+            obs.inc("helper.counter", 2)
+            with obs.span("helper.stage"):
+                pass
+        snap = scope.snapshot()
+        assert snap.counters["helper.counter"] == 2
+        assert snap.timers["helper.stage"].count == 1
