@@ -1,0 +1,56 @@
+"""AST-based invariant lint suite for the reproduction's own source.
+
+The test suite can only *sample* the invariants the system's value
+rests on — bit-identical results across execution backends, picklable
+chunk jobs, lock-guarded coordinator state, an additive wire protocol.
+This package proves them *structurally*, on every file, on every PR:
+
+* ``lock-discipline`` — every access to a ``GUARDED_BY``-declared
+  attribute happens inside ``with self.<lock>:`` or in a
+  caller-holds-lock method (:mod:`repro.analysis.locks`).
+* ``pickle-boundary`` — callables shipped through execution backends
+  are module-level, closure-free and lambda-free
+  (:mod:`repro.analysis.pickles`).
+* ``determinism`` — no unseeded global RNG or wall-clock reads in the
+  result path, no order-dependent iteration over sets
+  (:mod:`repro.analysis.determinism`).
+* ``metric-name`` — every recorded metric literal is declared in
+  :mod:`repro.obs.taxonomy` (:mod:`repro.analysis.metrics_names`).
+* ``frame-type`` — every wire frame names a registered
+  :data:`~repro.dist.protocol.FRAME_TYPES` member with a matching
+  handler (:mod:`repro.analysis.frames`).
+
+Run it with ``python -m repro.cli lint`` (CI gates on zero findings),
+and silence a deliberate violation with a trailing
+``# repro-lint: disable=<rule>`` comment.  See :mod:`repro.analysis.core`
+for the framework: checker registry, per-file visitor pipeline,
+suppressions and reporters.
+"""
+
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    LintReport,
+    Project,
+    SourceFile,
+    all_checkers,
+    checker_names,
+    format_report,
+    register,
+    report_to_dict,
+    run_lint,
+)
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "LintReport",
+    "Project",
+    "SourceFile",
+    "all_checkers",
+    "checker_names",
+    "format_report",
+    "register",
+    "report_to_dict",
+    "run_lint",
+]

@@ -1,0 +1,344 @@
+"""Framework of the invariant lint suite: checkers, suppressions, reports.
+
+The moving parts, smallest first:
+
+``Finding``
+    One rule violation at one source line.
+
+``SourceFile``
+    A parsed file: text, AST, and its ``# repro-lint:`` suppression
+    comments.  Parsed once, shared by every checker.
+
+``Checker``
+    Base class.  A checker has a ``name`` (its rule id), may restrict
+    itself to part of the tree (``applies_to``), inspects one file at a
+    time (``check``) and may finish with whole-project checks
+    (``finish``) — cross-file rules like "every declared frame type has
+    a handler" live there.
+
+``run_lint``
+    The pipeline: collect ``*.py`` files, parse each once, run every
+    registered checker over every applicable file, run the ``finish``
+    hooks, then split raw findings into reported vs suppressed.
+
+Suppressions are comments, checked per line::
+
+    self._queue.append(x)  # repro-lint: disable=lock-discipline
+
+A trailing comment silences the named rules (comma-separated, or
+``all``) on that line only; a ``repro-lint: disable=...`` comment on a
+line *of its own* silences them for the whole file.  Suppressions are
+counted and reported, never silent.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+#: ``# repro-lint: disable=rule-a,rule-b`` (or ``disable=all``).
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([\w\-, ]+)")
+
+#: Matches every rule name in a suppression comment.
+SUPPRESS_ALL = "all"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation: where, which rule, and what went wrong."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+class SourceFile:
+    """One parsed source file plus its suppression comments.
+
+    ``rel`` is the path relative to the lint root it was collected
+    under (POSIX separators) — checkers scope on it, reports print it.
+    """
+
+    def __init__(self, path: Path, rel: str, text: str, tree: ast.Module):
+        self.path = path
+        self.rel = rel
+        self.text = text
+        self.tree = tree
+        self.lines = text.splitlines()
+        self.line_suppressions: dict[int, set[str]] = {}
+        self.file_suppressions: set[str] = set()
+        self._parse_suppressions()
+        self._parents: dict[ast.AST, ast.AST] | None = None
+
+    @classmethod
+    def load(cls, path: Path, rel: str) -> "SourceFile":
+        text = path.read_text(encoding="utf-8")
+        return cls(path, rel, text, ast.parse(text, filename=str(path)))
+
+    def _parse_suppressions(self) -> None:
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(line)
+            if not match:
+                continue
+            rules = {
+                rule.strip()
+                for rule in match.group(1).split(",")
+                if rule.strip()
+            }
+            if line.strip().startswith("#"):
+                self.file_suppressions |= rules
+            else:
+                self.line_suppressions.setdefault(lineno, set()).update(rules)
+
+    def suppresses(self, finding: Finding) -> bool:
+        """True when a suppression comment covers this finding."""
+        for rules in (self.file_suppressions,
+                      self.line_suppressions.get(finding.line, ())):
+            if finding.rule in rules or SUPPRESS_ALL in rules:
+                return True
+        return False
+
+    # -- shared AST helpers used by several checkers --------------------
+
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        """child -> parent map over the whole tree (built lazily once)."""
+        if self._parents is None:
+            self._parents = {
+                child: parent
+                for parent in ast.walk(self.tree)
+                for child in ast.iter_child_nodes(parent)
+            }
+        return self._parents
+
+    def in_dirs(self, *names: str) -> bool:
+        """True when any path component of ``rel`` is one of ``names``."""
+        parts = self.rel.split("/")[:-1]
+        return any(name in parts for name in names)
+
+    def module_constants(self) -> dict[str, str]:
+        """Module-level ``NAME = "literal string"`` bindings."""
+        out: dict[str, str] = {}
+        for node in self.tree.body:
+            if (isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.Constant)
+                    and isinstance(node.value.value, str)):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        out[target.id] = node.value.value
+        return out
+
+
+class Project:
+    """Every source file of one lint run, for cross-file checks."""
+
+    def __init__(self, sources: list[SourceFile]):
+        self.sources = sources
+        self._constants: dict[str, str] | None = None
+
+    def constants(self) -> dict[str, str]:
+        """Union of all module-level string-constant bindings.
+
+        Lets checkers resolve ``kind == MSG_HELLO`` without import
+        machinery; a name bound in several modules keeps the first
+        binding (ties are benign for the constants this resolves —
+        ``MSG_*`` style protocol vocabularies).
+        """
+        if self._constants is None:
+            merged: dict[str, str] = {}
+            for source in self.sources:
+                for name, value in source.module_constants().items():
+                    merged.setdefault(name, value)
+            self._constants = merged
+        return self._constants
+
+
+class Checker:
+    """Base class for one lint rule.  Subclass and :func:`register`."""
+
+    #: Rule id — what suppression comments and ``--rule`` refer to.
+    name = ""
+    #: One-line summary shown by ``lint --list-rules``.
+    description = ""
+
+    def applies_to(self, source: SourceFile) -> bool:
+        """Whether :meth:`check` should run on this file."""
+        return True
+
+    def check(self, source: SourceFile) -> list[Finding]:
+        """Per-file findings."""
+        return []
+
+    def finish(self, project: Project) -> list[Finding]:
+        """Whole-project findings, after every file has been seen."""
+        return []
+
+
+_REGISTRY: dict[str, type[Checker]] = {}
+
+
+def register(cls: type[Checker]) -> type[Checker]:
+    """Class decorator adding a checker to the global registry."""
+    if not cls.name:
+        raise ValueError(f"checker {cls.__name__} has no rule name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def _load_builtin_checkers() -> None:
+    """Import the checker modules so their ``@register`` calls run."""
+    from repro.analysis import (  # noqa: F401  — imported for side effect
+        determinism,
+        frames,
+        locks,
+        metrics_names,
+        pickles,
+    )
+
+
+def all_checkers() -> list[Checker]:
+    """Fresh instances of every registered checker, by rule name."""
+    _load_builtin_checkers()
+    return [
+        _REGISTRY[name]() for name in sorted(_REGISTRY)
+    ]
+
+
+def checker_names() -> list[str]:
+    """The registered rule names (sorted)."""
+    _load_builtin_checkers()
+    return sorted(_REGISTRY)
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files: int = 0
+    rules: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def iter_py_files(root: Path) -> Iterable[Path]:
+    """Every ``*.py`` under ``root`` (or ``root`` itself), sorted."""
+    if root.is_file():
+        yield root
+        return
+    yield from sorted(
+        p for p in root.rglob("*.py") if "__pycache__" not in p.parts
+    )
+
+
+def load_sources(paths: Sequence[str | Path]) -> tuple[list[SourceFile],
+                                                       list[Finding]]:
+    """Parse every file under ``paths``; unparsable files become findings."""
+    sources: list[SourceFile] = []
+    errors: list[Finding] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        root = Path(raw)
+        for path in iter_py_files(root):
+            resolved = path.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            rel = (path.name if root.is_file()
+                   else path.relative_to(root).as_posix())
+            try:
+                sources.append(SourceFile.load(path, rel))
+            except SyntaxError as exc:
+                errors.append(Finding(
+                    path=rel, line=exc.lineno or 1, rule="parse-error",
+                    message=f"file does not parse: {exc.msg}",
+                ))
+    return sources, errors
+
+
+def run_lint(paths: Sequence[str | Path],
+             rules: Sequence[str] | None = None) -> LintReport:
+    """Lint every ``*.py`` under ``paths`` with the selected checkers.
+
+    Args:
+        paths: files or directories to lint.
+        rules: restrict to these rule names (default: all registered).
+
+    Returns:
+        A :class:`LintReport`; ``report.ok`` is the CI gate.
+    """
+    checkers = all_checkers()
+    if rules is not None:
+        unknown = set(rules) - {c.name for c in checkers}
+        if unknown:
+            raise ValueError(
+                f"unknown lint rules {sorted(unknown)}; "
+                f"available: {checker_names()}"
+            )
+        checkers = [c for c in checkers if c.name in set(rules)]
+    sources, errors = load_sources(paths)
+    project = Project(sources)
+    raw: list[Finding] = list(errors)
+    for checker in checkers:
+        for source in sources:
+            if checker.applies_to(source):
+                raw.extend(checker.check(source))
+        raw.extend(checker.finish(project))
+    by_rel = {source.rel: source for source in sources}
+    findings: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in sorted(set(raw)):
+        source = by_rel.get(finding.path)
+        if source is not None and source.suppresses(finding):
+            suppressed.append(finding)
+        else:
+            findings.append(finding)
+    return LintReport(
+        findings=findings,
+        suppressed=suppressed,
+        files=len(sources),
+        rules=[c.name for c in checkers],
+    )
+
+
+# -- reporters -----------------------------------------------------------
+
+def format_report(report: LintReport) -> str:
+    """Human rendering: one ``path:line: [rule] message`` per finding."""
+    lines = [str(finding) for finding in report.findings]
+    lines.append(
+        f"{len(report.findings)} finding(s), "
+        f"{len(report.suppressed)} suppressed, "
+        f"{report.files} file(s) checked, "
+        f"rules: {', '.join(report.rules)}"
+    )
+    return "\n".join(lines)
+
+
+def report_to_dict(report: LintReport) -> dict:
+    """JSON-able rendering (the CI artifact)."""
+    return {
+        "schema": "repro-lint-v1",
+        "ok": report.ok,
+        "files": report.files,
+        "rules": report.rules,
+        "findings": [finding.to_dict() for finding in report.findings],
+        "suppressed": [finding.to_dict() for finding in report.suppressed],
+    }

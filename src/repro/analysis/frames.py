@@ -1,0 +1,191 @@
+"""``frame-type``: every wire frame names a declared type, and back.
+
+The dist protocol is *additive*: a receiver ignores frame types it does
+not know, so an unknown ``type`` never errors — it just silently does
+nothing.  That forgiveness is exactly what makes a typo'd frame type
+dangerous: the frame vanishes without a trace.  The declared vocabulary
+is :data:`repro.dist.protocol.FRAME_TYPES`; this checker closes the
+loop in both directions:
+
+* **send side** (per file): every ``send_msg(sock, {...})`` /
+  ``send_msg(sock, dict(..., type=X))`` header whose ``type`` resolves
+  to a string must name a ``FRAME_TYPES`` member.  A ``type`` the
+  checker cannot resolve (a variable header built elsewhere) passes.
+* **declaration side** (whole project): every member of ``FRAME_TYPES``
+  must be *used* — its ``MSG_*`` name referenced in some module other
+  than the declaring one (sent, or compared against in a dispatch
+  loop).  A declared-but-never-handled type is dead vocabulary and a
+  finding.
+
+``FRAME_TYPES`` is parsed from the linted project when present (fixture
+projects in tests declare their own), falling back to importing
+:mod:`repro.dist.protocol`.  Member names are resolved through the
+project-wide module constants, so ``frozenset({MSG_HELLO, ...})`` and
+``frozenset({"hello", ...})`` both work.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Checker, Finding, Project, SourceFile, register
+
+#: The declared wire vocabulary (a module-level set/frozenset binding).
+_DECLARATION = "FRAME_TYPES"
+
+
+def _set_elements(expr: ast.expr) -> list[ast.expr] | None:
+    """Elements of a ``{...}`` / ``set({...})`` / ``frozenset({...})``."""
+    if isinstance(expr, ast.Set):
+        return list(expr.elts)
+    if (isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id in {"set", "frozenset"}
+            and len(expr.args) == 1):
+        return _set_elements(expr.args[0])
+    return None
+
+
+def _find_declaration(project: Project) -> tuple[SourceFile, int,
+                                                 dict[str, str]] | None:
+    """The ``FRAME_TYPES`` binding: file, line, and name->value map.
+
+    Elements that are plain strings map to themselves; ``Name``
+    elements resolve through the project constants (``MSG_HELLO`` ->
+    ``"hello"``).
+    """
+    constants = project.constants()
+    for source in project.sources:
+        for node in source.tree.body:
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target]
+                       if isinstance(node, ast.AnnAssign) else [])
+            if not any(isinstance(t, ast.Name) and t.id == _DECLARATION
+                       for t in targets):
+                continue
+            elements = _set_elements(node.value)
+            if elements is None:
+                return None
+            members: dict[str, str] = {}
+            for element in elements:
+                if (isinstance(element, ast.Constant)
+                        and isinstance(element.value, str)):
+                    members[element.value] = element.value
+                elif (isinstance(element, ast.Name)
+                        and element.id in constants):
+                    members[element.id] = constants[element.id]
+            return source, node.lineno, members
+    return None
+
+
+def _header_type(call: ast.Call) -> ast.expr | None:
+    """The ``type`` expression of a ``send_msg`` header, if visible."""
+    if len(call.args) < 2:
+        return None
+    header = call.args[1]
+    if isinstance(header, ast.Dict):
+        for key, value in zip(header.keys, header.values):
+            if (isinstance(key, ast.Constant) and key.value == "type"):
+                return value
+    if (isinstance(header, ast.Call)
+            and isinstance(header.func, ast.Name)
+            and header.func.id == "dict"):
+        for kw in header.keywords:
+            if kw.arg == "type":
+                return kw.value
+    return None
+
+
+@register
+class FrameTypeChecker(Checker):
+    """See the module docstring."""
+
+    name = "frame-type"
+    description = (
+        "send_msg frame types are declared in FRAME_TYPES, and every "
+        "declared type is used somewhere"
+    )
+
+    def __init__(self) -> None:
+        self._sends: list[tuple[SourceFile, int, ast.expr]] = []
+
+    def check(self, source: SourceFile) -> list[Finding]:
+        for node in ast.walk(source.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "send_msg"):
+                continue
+            type_expr = _header_type(node)
+            if type_expr is not None:
+                self._sends.append((source, node.lineno, type_expr))
+        return []
+
+    def finish(self, project: Project) -> list[Finding]:
+        sends, self._sends = self._sends, []
+        declaration = _find_declaration(project)
+        if declaration is None:
+            values, names, decl_source = self._fallback()
+            decl_line = 0
+        else:
+            decl_source, decl_line, members = declaration
+            values = set(members.values())
+            names = set(members)
+        constants = project.constants()
+        findings: list[Finding] = []
+        for source, line, expr in sends:
+            resolved: str | None = None
+            if (isinstance(expr, ast.Constant)
+                    and isinstance(expr.value, str)):
+                resolved = expr.value
+            elif isinstance(expr, ast.Name):
+                resolved = constants.get(expr.id)
+            if resolved is not None and resolved not in values:
+                findings.append(Finding(
+                    path=source.rel, line=line, rule=self.name,
+                    message=(
+                        f"frame type {resolved!r} is not declared in "
+                        f"FRAME_TYPES; an unknown type is silently "
+                        f"ignored by receivers — declare it in "
+                        f"repro.dist.protocol"
+                    ),
+                ))
+        if decl_source is not None:
+            findings.extend(self._check_dead_types(
+                project, decl_source, decl_line, names))
+        return findings
+
+    def _fallback(self) -> tuple[set[str], set[str], None]:
+        """Values/names from the installed protocol module."""
+        from repro.dist import protocol
+        names = {
+            name for name in dir(protocol)
+            if name.startswith("MSG_")
+            and getattr(protocol, name) in protocol.FRAME_TYPES
+        }
+        return set(protocol.FRAME_TYPES), names, None
+
+    def _check_dead_types(self, project: Project,
+                          decl_source: SourceFile, decl_line: int,
+                          names: set[str]) -> list[Finding]:
+        """Declared ``MSG_*`` members never referenced elsewhere."""
+        used: set[str] = set()
+        for source in project.sources:
+            if source is decl_source:
+                continue
+            for node in ast.walk(source.tree):
+                if (isinstance(node, (ast.Name, ast.alias))):
+                    ident = (node.name if isinstance(node, ast.alias)
+                             else node.id)
+                    if ident in names:
+                        used.add(ident)
+        return [
+            Finding(
+                path=decl_source.rel, line=decl_line, rule=self.name,
+                message=(
+                    f"declared frame type {name} is never sent or "
+                    f"handled outside its declaration — dead wire "
+                    f"vocabulary (remove it, or wire up a handler)"
+                ),
+            )
+            for name in sorted(names - used)
+        ]

@@ -1,0 +1,217 @@
+"""``lock-discipline``: statically prove guarded attributes stay guarded.
+
+A class declares its lock discipline with a class-level map::
+
+    class Coordinator:
+        GUARDED_BY = {"_queue": "_cv", "_jobs": "_cv"}
+
+The checker then proves, lexically, that **every** read or write of a
+guarded attribute (``self._queue`` and friends) happens either
+
+* inside a ``with self._cv:`` block of the same method, or
+* in a method the *caller* must hold the lock for — marked by the
+  ``*_locked`` naming convention (``_dispatch_locked``) or a trailing
+  ``# repro-lint: holds-lock`` comment on its ``def`` line.
+
+``__init__`` and ``__new__`` are exempt: the object is not shared yet.
+Callables *nested* inside a method (thread targets, callbacks) do not
+inherit the enclosing ``with`` — they run later, when the lock is long
+released — so accesses inside them are checked against an empty lock
+set.
+
+Two supporting rules keep the declaration honest:
+
+* a class that creates ``threading.Lock/RLock/Condition`` objects in
+  ``__init__`` without declaring ``GUARDED_BY`` is itself a finding —
+  new concurrent classes must declare their discipline (an explicit
+  empty map plus a suppression records a deliberate opt-out);
+* a ``GUARDED_BY`` entry naming a lock attribute the class never
+  creates is a finding (a typo would otherwise silence the checker).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Checker, Finding, SourceFile, register
+
+#: ``threading`` factories whose product is a context-manager lock.
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition"}
+
+#: Methods that run before the object can be shared across threads.
+_EXEMPT_METHODS = {"__init__", "__new__"}
+
+#: Trailing marker on a ``def`` line: the caller must hold the lock.
+_HOLDS_LOCK_MARK = "repro-lint: holds-lock"
+
+
+def _guarded_by_map(cls: ast.ClassDef) -> tuple[dict[str, str], int] | None:
+    """The ``GUARDED_BY`` dict literal of ``cls``, with its line."""
+    for node in cls.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == "GUARDED_BY"
+                   for t in node.targets):
+            continue
+        mapping: dict[str, str] = {}
+        if isinstance(node.value, ast.Dict):
+            for key, value in zip(node.value.keys, node.value.values):
+                if (isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)
+                        and isinstance(value, ast.Constant)
+                        and isinstance(value.value, str)):
+                    mapping[key.value] = value.value
+        return mapping, node.lineno
+    return None
+
+
+def _locks_created_in_init(cls: ast.ClassDef) -> set[str]:
+    """``self.X`` attributes assigned a threading lock in ``__init__``."""
+    created: set[str] = set()
+    for node in cls.body:
+        if not (isinstance(node, ast.FunctionDef)
+                and node.name == "__init__"):
+            continue
+        for stmt in ast.walk(node):
+            if not isinstance(stmt, ast.Assign):
+                continue
+            value = stmt.value
+            if not (isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Attribute)
+                    and value.func.attr in _LOCK_FACTORIES):
+                continue
+            for target in stmt.targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    created.add(target.attr)
+    return created
+
+
+def _is_caller_holds_lock(method: ast.FunctionDef,
+                          source: SourceFile) -> bool:
+    if method.name.endswith("_locked"):
+        return True
+    def_line = source.lines[method.lineno - 1] \
+        if method.lineno - 1 < len(source.lines) else ""
+    return _HOLDS_LOCK_MARK in def_line
+
+
+def _with_locks(node: ast.With) -> set[str]:
+    """Lock attribute names entered by ``with self.X, self.Y:`` items."""
+    locks: set[str] = set()
+    for item in node.items:
+        expr = item.context_expr
+        if (isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"):
+            locks.add(expr.attr)
+    return locks
+
+
+@register
+class LockDisciplineChecker(Checker):
+    """See the module docstring."""
+
+    name = "lock-discipline"
+    description = (
+        "GUARDED_BY attributes only touched under their lock or in "
+        "caller-holds-lock methods"
+    )
+
+    def check(self, source: SourceFile) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(node, source))
+        return findings
+
+    def _check_class(self, cls: ast.ClassDef,
+                     source: SourceFile) -> list[Finding]:
+        declared = _guarded_by_map(cls)
+        lock_attrs = _locks_created_in_init(cls)
+        findings: list[Finding] = []
+        if declared is None:
+            if lock_attrs:
+                findings.append(Finding(
+                    path=source.rel, line=cls.lineno, rule=self.name,
+                    message=(
+                        f"class {cls.name} creates threading lock(s) "
+                        f"{sorted(lock_attrs)} in __init__ but declares no "
+                        f"GUARDED_BY map (declare one, or an explicit "
+                        f"empty map with a suppression)"
+                    ),
+                ))
+            return findings
+        guarded, decl_line = declared
+        for lock in sorted(set(guarded.values())):
+            if lock not in lock_attrs:
+                findings.append(Finding(
+                    path=source.rel, line=decl_line, rule=self.name,
+                    message=(
+                        f"GUARDED_BY of {cls.name} names lock "
+                        f"{lock!r}, but __init__ never creates "
+                        f"self.{lock} via threading.Lock/RLock/Condition"
+                    ),
+                ))
+        if not guarded:
+            return findings
+        for node in cls.body:
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            if node.name in _EXEMPT_METHODS:
+                continue
+            if _is_caller_holds_lock(node, source):
+                continue
+            for stmt in node.body:
+                self._scan(stmt, frozenset(), guarded, cls.name,
+                           node.name, source, findings)
+        return findings
+
+    def _scan(self, node: ast.AST, held: frozenset[str],
+              guarded: dict[str, str], cls_name: str, method: str,
+              source: SourceFile, findings: list[Finding]) -> None:
+        if isinstance(node, ast.With):
+            for item in node.items:
+                self._scan(item.context_expr, held, guarded, cls_name,
+                           method, source, findings)
+                if item.optional_vars is not None:
+                    self._scan(item.optional_vars, held, guarded,
+                               cls_name, method, source, findings)
+            inner = held | _with_locks(node)
+            for stmt in node.body:
+                self._scan(stmt, inner, guarded, cls_name, method,
+                           source, findings)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            # A nested callable runs after the enclosing `with` exits:
+            # whatever it touches is checked against no held locks.
+            body = node.body if isinstance(node.body, list) \
+                else [node.body]
+            for stmt in body:
+                self._scan(stmt, frozenset(), guarded, cls_name,
+                           method, source, findings)
+            return
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and node.attr in guarded
+                and guarded[node.attr] not in held):
+            access = ("write" if isinstance(node.ctx,
+                                            (ast.Store, ast.Del))
+                      else "read")
+            findings.append(Finding(
+                path=source.rel, line=node.lineno, rule=self.name,
+                message=(
+                    f"{access} of {cls_name}.{node.attr} outside "
+                    f"'with self.{guarded[node.attr]}:' in method "
+                    f"{method} (guarded attribute; hold the lock, or "
+                    f"mark the method caller-holds-lock with a "
+                    f"*_locked name)"
+                ),
+            ))
+        for child in ast.iter_child_nodes(node):
+            self._scan(child, held, guarded, cls_name, method, source,
+                       findings)

@@ -1,0 +1,157 @@
+"""``metric-name``: every recorded metric literal is declared.
+
+:mod:`repro.obs.taxonomy` is the documented metric-name table; the
+README/DESIGN tables render from it, dashboards key on it.  A typo in
+an ``obs.inc("...")`` literal would silently split a counter in two —
+this checker makes it a lint failure instead.
+
+Checked call forms (any receiver — ``obs.inc``, bare imported ``inc``)::
+
+    inc("counter.name")            -> must be in COUNTERS (or under a
+                                      declared COUNTER_PREFIXES family)
+    set_gauge("gauge.name", v)     -> must be in GAUGES
+    span("stage.name")             -> must be in SPANS
+    observe("stage.name", secs)    -> must be in SPANS (timers share
+                                      the span namespace)
+
+Only string literals are checked; a dynamically composed name (the
+``engine_path.`` family is built as ``prefix + path``) is the caller's
+responsibility and is covered by the prefix declaration instead.
+
+The table is read from the *linted project* when it contains the
+taxonomy module (so fixture projects in tests bring their own), and
+falls back to importing :mod:`repro.obs.taxonomy` otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Checker, Finding, SourceFile, register
+
+#: Recording function -> metric kind it declares against.
+_RECORDERS = {
+    "inc": "counter",
+    "set_gauge": "gauge",
+    "span": "span",
+    "observe": "span",
+}
+
+#: Taxonomy table name per metric kind.
+_TABLES = {"counter": "COUNTERS", "gauge": "GAUGES", "span": "SPANS"}
+
+
+def _dict_literal_keys(module: ast.Module, name: str) -> set[str] | None:
+    """String keys of the module-level dict literal bound to ``name``."""
+    for node in module.body:
+        targets = (node.targets if isinstance(node, ast.Assign)
+                   else [node.target]
+                   if isinstance(node, ast.AnnAssign) else [])
+        if not any(isinstance(t, ast.Name) and t.id == name
+                   for t in targets):
+            continue
+        value = node.value
+        if not isinstance(value, ast.Dict):
+            return None
+        return {
+            key.value for key in value.keys
+            if isinstance(key, ast.Constant)
+            and isinstance(key.value, str)
+        }
+    return None
+
+
+class _Taxonomy:
+    """The metric tables, from project source or the installed module."""
+
+    def __init__(self, names: dict[str, set[str]],
+                 counter_prefixes: set[str]):
+        self.names = names
+        self.counter_prefixes = counter_prefixes
+
+    @classmethod
+    def from_project(cls, sources: list[SourceFile]) -> "_Taxonomy | None":
+        for source in sources:
+            tables = {
+                kind: _dict_literal_keys(source.tree, table)
+                for kind, table in _TABLES.items()
+            }
+            if any(keys is None for keys in tables.values()):
+                continue
+            prefixes = _dict_literal_keys(source.tree,
+                                          "COUNTER_PREFIXES")
+            return cls({k: v for k, v in tables.items()
+                        if v is not None}, prefixes or set())
+        return None
+
+    @classmethod
+    def from_module(cls) -> "_Taxonomy":
+        from repro.obs import taxonomy
+        return cls(
+            {
+                "counter": set(taxonomy.COUNTERS),
+                "gauge": set(taxonomy.GAUGES),
+                "span": set(taxonomy.SPANS),
+            },
+            set(taxonomy.COUNTER_PREFIXES),
+        )
+
+    def declared(self, kind: str, name: str) -> bool:
+        if name in self.names[kind]:
+            return True
+        return kind == "counter" and any(
+            name.startswith(prefix) for prefix in self.counter_prefixes
+        )
+
+
+@register
+class MetricNameChecker(Checker):
+    """See the module docstring."""
+
+    name = "metric-name"
+    description = (
+        "metric literals passed to inc/set_gauge/span/observe are "
+        "declared in repro.obs.taxonomy"
+    )
+
+    def __init__(self) -> None:
+        self._pending: list[tuple[SourceFile, int, str, str]] = []
+
+    def check(self, source: SourceFile) -> list[Finding]:
+        # Findings need the taxonomy, which may live anywhere in the
+        # project — record call sites now, resolve them in finish().
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            fn_name = (func.attr if isinstance(func, ast.Attribute)
+                       else func.id if isinstance(func, ast.Name)
+                       else "")
+            kind = _RECORDERS.get(fn_name)
+            if kind is None or not node.args:
+                continue
+            arg = node.args[0]
+            if (isinstance(arg, ast.Constant)
+                    and isinstance(arg.value, str)):
+                self._pending.append(
+                    (source, arg.lineno, kind, arg.value))
+        return []
+
+    def finish(self, project) -> list[Finding]:
+        taxonomy = (_Taxonomy.from_project(project.sources)
+                    or _Taxonomy.from_module())
+        findings = []
+        for source, line, kind, name in self._pending:
+            if taxonomy.declared(kind, name):
+                continue
+            findings.append(Finding(
+                path=source.rel, line=line, rule=self.name,
+                message=(
+                    f"{kind} name {name!r} is not declared in the "
+                    f"metric-name table (repro.obs.taxonomy."
+                    f"{_TABLES[kind]}); declare it there or fix the "
+                    f"typo"
+                ),
+            ))
+        self._pending = []
+        return findings

@@ -1,0 +1,134 @@
+"""``pickle-boundary``: callables shipped to workers must pickle.
+
+Everything the execution layer fans out crosses a process (or socket)
+boundary: :meth:`ExecutionBackend.map`/``map_stream``/``submit`` pickle
+the callable, and the distributed backend additionally ships it over
+the wire.  Pickle serialises functions *by qualified name*, so only
+module-level callables survive the trip — lambdas and functions nested
+inside another function raise ``PicklingError`` at runtime, usually
+deep inside a worker where the traceback is least helpful.
+
+This checker rejects, at the ``map``/``map_stream``/``submit`` call
+site and in ``Process(target=...)`` spawns:
+
+* a ``lambda`` in the callable position (directly or wrapped in
+  ``functools.partial``), and
+* a name that resolves to a function *defined inside the enclosing
+  function* — a nested ``def`` closes over its frame and does not
+  pickle.
+
+Resolution is conservative: a name the checker cannot trace (a
+parameter, an import, an attribute) passes.  The repo idiom —
+``partial(module_level_fn, frozen_args)`` as in
+``repro.exec.jobs`` — is exactly what this leaves standing.
+
+Thread targets are exempt on purpose: ``threading.Thread`` shares the
+address space and never pickles, so only ``*Process(...)`` spawns are
+held to the rule.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Checker, Finding, SourceFile, register
+
+#: Backend methods whose first positional argument crosses the boundary.
+_BOUNDARY_METHODS = {"map", "map_stream", "submit"}
+
+
+def _enclosing_nested_defs(node: ast.AST,
+                           source: SourceFile) -> set[str]:
+    """Names of functions defined inside the functions enclosing ``node``."""
+    parents = source.parents()
+    nested: set[str] = set()
+    cursor: ast.AST | None = parents.get(node)
+    while cursor is not None:
+        if isinstance(cursor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for child in ast.walk(cursor):
+                if (isinstance(child, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef))
+                        and child is not cursor):
+                    nested.add(child.name)
+        cursor = parents.get(cursor)
+    return nested
+
+
+def _is_partial(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id == "partial"
+    return isinstance(func, ast.Attribute) and func.attr == "partial"
+
+
+def _spawns_process(call: ast.Call) -> bool:
+    """``Process(...)`` / ``ctx.Process(...)`` — pickles its target."""
+    func = call.func
+    name = (func.id if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else "")
+    return name.endswith("Process")
+
+
+@register
+class PickleBoundaryChecker(Checker):
+    """See the module docstring."""
+
+    name = "pickle-boundary"
+    description = (
+        "callables crossing backend/process boundaries are "
+        "module-level (no lambdas, no nested defs)"
+    )
+
+    def check(self, source: SourceFile) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            candidate = self._boundary_callable(node)
+            if candidate is None:
+                continue
+            self._check_callable(candidate, node, source, findings)
+        return findings
+
+    def _boundary_callable(self, call: ast.Call) -> ast.expr | None:
+        """The expression shipped across the boundary, if this is one."""
+        func = call.func
+        if (isinstance(func, ast.Attribute)
+                and func.attr in _BOUNDARY_METHODS and call.args):
+            return call.args[0]
+        if _spawns_process(call):
+            for kw in call.keywords:
+                if kw.arg == "target":
+                    return kw.value
+        return None
+
+    def _check_callable(self, expr: ast.expr, call: ast.Call,
+                        source: SourceFile,
+                        findings: list[Finding]) -> None:
+        if isinstance(expr, ast.Lambda):
+            findings.append(Finding(
+                path=source.rel, line=expr.lineno, rule=self.name,
+                message=(
+                    "lambda shipped across an execution boundary does "
+                    "not pickle; use a module-level function (wrap "
+                    "arguments with functools.partial if needed)"
+                ),
+            ))
+            return
+        if isinstance(expr, ast.Call) and _is_partial(expr):
+            # partial(fn, ...) pickles iff fn does — recurse on fn.
+            if expr.args:
+                self._check_callable(expr.args[0], call, source,
+                                     findings)
+            return
+        if (isinstance(expr, ast.Name)
+                and expr.id in _enclosing_nested_defs(call, source)):
+            findings.append(Finding(
+                path=source.rel, line=expr.lineno, rule=self.name,
+                message=(
+                    f"function {expr.id!r} is defined inside the "
+                    f"enclosing function; nested defs close over their "
+                    f"frame and do not pickle — move it to module "
+                    f"level"
+                ),
+            ))

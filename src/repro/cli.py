@@ -8,6 +8,7 @@ Commands:
     cores         list the available core configurations
     worker        serve evaluation jobs for a backend=dist coordinator
     status        show live cluster status of a backend=dist coordinator
+    lint          run the invariant lint suite (repro.analysis)
 """
 
 from __future__ import annotations
@@ -311,6 +312,38 @@ def _cmd_bottleneck(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import repro
+    from pathlib import Path
+
+    from repro.analysis import (
+        all_checkers,
+        format_report,
+        report_to_dict,
+        run_lint,
+    )
+
+    if args.list_rules:
+        for checker in all_checkers():
+            print(f"{checker.name:<16} {checker.description}")
+        return 0
+    paths = args.paths or [str(Path(repro.__file__).parent)]
+    try:
+        report = run_lint(paths, rules=args.rule or None)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(report_to_dict(report), indent=2) + "\n",
+            encoding="utf-8",
+        )
+    if args.json:
+        print(json.dumps(report_to_dict(report), indent=2))
+    else:
+        print(format_report(report))
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -400,6 +433,24 @@ def build_parser() -> argparse.ArgumentParser:
     bottleneck.add_argument("--metric", default="ipc")
     bottleneck.add_argument("--instructions", type=int, default=8_000)
     bottleneck.set_defaults(func=_cmd_bottleneck)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the AST-based invariant lint suite over the source",
+    )
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files or directories to lint "
+                           "(default: the installed repro package)")
+    lint.add_argument("--rule", action="append", metavar="RULE",
+                      help="run only this rule (repeatable)")
+    lint.add_argument("--json", action="store_true",
+                      help="print the report as JSON")
+    lint.add_argument("--out", metavar="FILE",
+                      help="also write the JSON report to FILE "
+                           "(the CI artifact)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list the registered rules and exit")
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

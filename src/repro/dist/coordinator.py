@@ -38,6 +38,19 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.dist.protocol import (
+    FRAME_TYPES,
+    MSG_ERROR,
+    MSG_HELLO,
+    MSG_IDLE,
+    MSG_JOB,
+    MSG_PING,
+    MSG_PONG,
+    MSG_REQUEST,
+    MSG_RESULT,
+    MSG_SHUTDOWN,
+    MSG_STATUS,
+    MSG_STATUS_REPLY,
+    MSG_STATUS_REQUEST,
     ReceiveTimeout,
     format_addr,
     recv_msg,
@@ -81,6 +94,12 @@ class _Connection:
 
     sock: socket.socket
     peer: str
+    #: accept-order sequence number.  ``_connections`` is a set, so any
+    #: code whose *order* over connections matters (dispatch, lease
+    #: expiry, eviction) iterates ``sorted(..., key=lambda c: c.seq)``
+    #: instead of set order — scheduling decisions stay deterministic
+    #: for a fixed connection history.
+    seq: int = 0
     name: str = ""
     proto: int = 1
     #: a monitoring client (``hello`` with ``role: "observer"``): never
@@ -124,6 +143,26 @@ class Coordinator:
             eviction; EOF detection still works).
     """
 
+    #: Lock discipline, statically enforced by the ``lock-discipline``
+    #: checker (:mod:`repro.analysis`): every read or write of these
+    #: attributes must happen inside ``with self._cv:`` or in a method
+    #: whose name ends in ``_locked`` (caller holds the lock).
+    GUARDED_BY = {
+        "_connections": "_cv",
+        "_queue": "_cv",
+        "_jobs": "_cv",
+        "_results": "_cv",
+        "_next_id": "_cv",
+        "_next_seq": "_cv",
+        "_closing": "_cv",
+        "_threads": "_cv",
+        "workers_seen": "_cv",
+        "jobs_completed": "_cv",
+        "reschedules": "_cv",
+        "lease_expiries": "_cv",
+        "evictions": "_cv",
+    }
+
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  max_attempts: int = 3,
                  lease_timeout_s: float | None = DEFAULT_LEASE_TIMEOUT_S,
@@ -147,6 +186,7 @@ class Coordinator:
         self._jobs: dict[int, _Job] = {}
         self._results: dict[int, tuple[str, object]] = {}
         self._next_id = 0
+        self._next_seq = 0
         self._closing = False
         self._cv = threading.Condition()
         # observability counters
@@ -247,7 +287,7 @@ class Coordinator:
             if self._closing:
                 return
             self._closing = True
-            connections = list(self._connections)
+            connections = sorted(self._connections, key=lambda c: c.seq)
             threads = list(self._threads)
             self._cv.notify_all()
         if self._listener is not None:
@@ -432,6 +472,8 @@ class Coordinator:
                 if self._closing:
                     self._drop_socket(sock)
                     return
+                conn.seq = self._next_seq
+                self._next_seq += 1
                 self._connections.add(conn)
                 # Prune threads of connections that already left, so an
                 # elastic cluster (workers joining/leaving at will) does
@@ -464,7 +506,7 @@ class Coordinator:
                     continue
                 conn.last_recv = time.monotonic()
                 kind = header.get("type")
-                if kind == "hello":
+                if kind == MSG_HELLO:
                     conn.name = str(header.get("worker", conn.peer))
                     conn.proto = int(header.get("proto", 1))
                     conn.observer = (
@@ -476,31 +518,35 @@ class Coordinator:
                         )
                     except (TypeError, ValueError):
                         conn.heartbeat_s = 0.0
-                elif kind == "ping":
+                elif kind == MSG_PING:
                     with conn.send_lock:
-                        send_msg(conn.sock, {"type": "pong"})
-                elif kind == "status":
+                        send_msg(conn.sock, {"type": MSG_PONG})
+                elif kind == MSG_STATUS:
                     metrics = header.get("metrics")
                     conn.status = metrics if isinstance(metrics, dict) \
                         else {}
                     jobs = header.get("jobs_executed")
                     if isinstance(jobs, int):
                         conn.jobs_done = max(conn.jobs_done, jobs)
-                elif kind == "status_request":
+                elif kind == MSG_STATUS_REQUEST:
                     report = self.status_report()
                     with conn.send_lock:
                         send_msg(conn.sock, {
-                            "type": "status_reply", "report": report,
+                            "type": MSG_STATUS_REPLY, "report": report,
                         })
-                elif kind == "request":
+                elif kind == MSG_REQUEST:
                     self._handle_request(conn)
-                elif kind == "result":
+                elif kind == MSG_RESULT:
                     self._resolve(conn, int(header["job"]), ("ok", payload))
-                elif kind == "error":
+                elif kind == MSG_ERROR:
                     self._resolve(
                         conn, int(header["job"]),
                         ("error", str(header.get("error", "unknown error"))),
                     )
+                elif kind not in FRAME_TYPES:
+                    # Additive protocol: a frame type from a newer peer
+                    # is ignored, never an error.
+                    pass
                 if not counted and not conn.observer:
                     counted = True
                     with self._cv:
@@ -521,14 +567,14 @@ class Coordinator:
         sends: list[tuple[_Connection, dict, bytes | None]]
         with self._cv:
             if self._closing:
-                sends = [(conn, {"type": "shutdown"}, None)]
+                sends = [(conn, {"type": MSG_SHUTDOWN}, None)]
             else:
                 conn.hungry = True
                 sends = self._dispatch_locked()
                 if conn.hungry and conn.proto < 2:
                     # v1 workers poll: they expect an immediate reply.
                     conn.hungry = False
-                    sends.append((conn, {"type": "idle"}, None))
+                    sends.append((conn, {"type": MSG_IDLE}, None))
         self._send_all(sends)
 
     def _dispatch(self) -> None:
@@ -553,9 +599,10 @@ class Coordinator:
         sends: list[tuple[_Connection, dict, bytes | None]] = []
         if self._closing:
             return sends
-        hungry = deque(
-            c for c in self._connections if c.hungry and not c.observer
-        )
+        hungry = deque(sorted(
+            (c for c in self._connections if c.hungry and not c.observer),
+            key=lambda c: c.seq,
+        ))
         while self._queue and hungry:
             job = self._jobs.get(self._queue.popleft())
             if job is None or job.id in self._results:
@@ -568,7 +615,8 @@ class Coordinator:
                         else time.monotonic() + self.lease_timeout_s)
             conn.leases[job.id] = deadline
             conn.hungry = False
-            sends.append((conn, {"type": "job", "job": job.id}, job.payload))
+            sends.append((conn, {"type": MSG_JOB, "job": job.id},
+                          job.payload))
         return sends
 
     def _send_all(self, sends) -> bool:
@@ -638,7 +686,7 @@ class Coordinator:
             return False
         now = time.monotonic()
         requeued = False
-        for conn in self._connections:
+        for conn in sorted(self._connections, key=lambda c: c.seq):
             overdue = [job_id for job_id, deadline in conn.leases.items()
                        if now >= deadline]
             for job_id in overdue:
@@ -677,7 +725,7 @@ class Coordinator:
             return []
         now = time.monotonic()
         stale = []
-        for conn in self._connections:
+        for conn in sorted(self._connections, key=lambda c: c.seq):
             if conn.proto < 2 or conn.evicting or conn.observer:
                 continue
             tolerance = max(self.heartbeat_timeout_s,

@@ -74,6 +74,39 @@ from typing import Any
 #: interoperate unchanged.
 PROTOCOL_VERSION = 2
 
+# -- frame types ---------------------------------------------------------
+#
+# Every header ``type`` on the wire, by name.  Dispatch in
+# coordinator/worker/status compares against these constants, and the
+# ``frame-type`` checker (repro.analysis) proves statically that every
+# ``send_msg`` header names a registered type with a matching handler.
+
+# worker -> coordinator
+MSG_HELLO = "hello"
+MSG_REQUEST = "request"
+MSG_RESULT = "result"
+MSG_ERROR = "error"
+MSG_PING = "ping"                  # v2
+MSG_STATUS = "status"              # v2
+# observer <-> coordinator (v2)
+MSG_STATUS_REQUEST = "status_request"
+MSG_STATUS_REPLY = "status_reply"
+# coordinator -> worker
+MSG_JOB = "job"
+MSG_IDLE = "idle"                  # v1 polling only
+MSG_PONG = "pong"                  # v2
+MSG_SHUTDOWN = "shutdown"
+
+#: Registry of every frame type either protocol generation may carry.
+#: The protocol is *additive*: an unknown type from a newer peer is
+#: ignored, never an error — but everything this codebase sends or
+#: dispatches on must be enumerated here.
+FRAME_TYPES = frozenset({
+    MSG_HELLO, MSG_REQUEST, MSG_RESULT, MSG_ERROR, MSG_PING, MSG_STATUS,
+    MSG_STATUS_REQUEST, MSG_STATUS_REPLY,
+    MSG_JOB, MSG_IDLE, MSG_PONG, MSG_SHUTDOWN,
+})
+
 #: (header length, payload length) frame prefix.
 _FRAME = struct.Struct("!II")
 

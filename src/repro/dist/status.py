@@ -16,6 +16,9 @@ import socket
 import time
 
 from repro.dist.protocol import (
+    MSG_HELLO,
+    MSG_STATUS_REPLY,
+    MSG_STATUS_REQUEST,
     PROTOCOL_VERSION,
     ReceiveTimeout,
     connect,
@@ -34,13 +37,13 @@ def fetch_cluster_status(addr: str, timeout: float = 10.0) -> dict:
     sock = connect(addr, timeout=timeout)
     try:
         send_msg(sock, {
-            "type": "hello",
+            "type": MSG_HELLO,
             "worker": f"status-{socket.gethostname()}-{os.getpid()}",
             "proto": PROTOCOL_VERSION,
             "heartbeat": 0,
             "role": "observer",
         })
-        send_msg(sock, {"type": "status_request"})
+        send_msg(sock, {"type": MSG_STATUS_REQUEST})
         deadline = time.monotonic() + timeout
         while True:
             remaining = deadline - time.monotonic()
@@ -52,7 +55,7 @@ def fetch_cluster_status(addr: str, timeout: float = 10.0) -> dict:
                 header, _ = recv_msg(sock, timeout=remaining)
             except ReceiveTimeout:
                 continue
-            if header.get("type") == "status_reply":
+            if header.get("type") == MSG_STATUS_REPLY:
                 report = header.get("report")
                 return report if isinstance(report, dict) else {}
     finally:

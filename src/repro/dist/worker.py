@@ -39,6 +39,16 @@ import traceback
 
 from repro import obs
 from repro.dist.protocol import (
+    MSG_ERROR,
+    MSG_HELLO,
+    MSG_IDLE,
+    MSG_JOB,
+    MSG_PING,
+    MSG_PONG,
+    MSG_REQUEST,
+    MSG_RESULT,
+    MSG_SHUTDOWN,
+    MSG_STATUS,
     PROTOCOL_VERSION,
     ReceiveTimeout,
     connect,
@@ -76,12 +86,12 @@ def _heartbeat_loop(sock: socket.socket, send_lock: threading.Lock,
     while not stop.wait(interval_s):
         try:
             with send_lock:
-                send_msg(sock, {"type": "ping"})
+                send_msg(sock, {"type": MSG_PING})
             if status_fn is not None:
                 status = status_fn()
                 if status:
                     with send_lock:
-                        send_msg(sock, dict(status, type="status"))
+                        send_msg(sock, dict(status, type=MSG_STATUS))
         except (ConnectionError, OSError):
             return
 
@@ -138,7 +148,7 @@ def run_worker(
     try:
         with send_lock:
             send_msg(sock, {
-                "type": "hello", "worker": worker_name, "proto": proto,
+                "type": MSG_HELLO, "worker": worker_name, "proto": proto,
                 "heartbeat": heartbeat_s if heartbeating else 0,
             })
         if heartbeating:
@@ -159,18 +169,18 @@ def run_worker(
         while (max_jobs is None or executed_box[0] < max_jobs) \
                 and not stop.is_set():
             with send_lock:
-                send_msg(sock, {"type": "request"})
+                send_msg(sock, {"type": MSG_REQUEST})
             frame = _await_reply(sock, heartbeating, silence_limit, stop)
             if frame is None:  # stop requested / coordinator silent
                 break
             header, payload = frame
             kind = header.get("type")
-            if kind == "shutdown":
+            if kind == MSG_SHUTDOWN:
                 break
-            if kind == "idle":  # v1 polling mode only
+            if kind == MSG_IDLE:  # v1 polling mode only
                 time.sleep(IDLE_POLL_S)
                 continue
-            if kind != "job":
+            if kind != MSG_JOB:
                 raise ConnectionError(f"unexpected frame {header!r}")
             job_id = int(header["job"])
             executed_box[0] += 1
@@ -187,7 +197,7 @@ def run_worker(
                     send_msg(
                         sock,
                         {
-                            "type": "error",
+                            "type": MSG_ERROR,
                             "job": job_id,
                             "error": "".join(
                                 traceback.format_exception(exc)
@@ -198,7 +208,7 @@ def run_worker(
                 with send_lock:
                     send_msg(
                         sock,
-                        {"type": "result", "job": job_id},
+                        {"type": MSG_RESULT, "job": job_id},
                         dumps_payload(result),
                     )
     except (ConnectionError, OSError):
@@ -237,7 +247,7 @@ def _await_reply(sock, heartbeating: bool, silence_limit: float | None,
                 return None
             continue
         last_frame = time.monotonic()
-        if header.get("type") == "pong":
+        if header.get("type") == MSG_PONG:
             continue
         return header, payload
 
@@ -268,6 +278,16 @@ class WorkerPool:
     #: How often the monitor thread checks for dead workers.
     MONITOR_TICK_S = 0.2
 
+    #: Lock discipline, statically enforced by the ``lock-discipline``
+    #: checker (:mod:`repro.analysis`): the process list and the spawn/
+    #: respawn accounting are shared between ``start``/``stop`` callers
+    #: and the monitor thread.
+    GUARDED_BY = {
+        "_procs": "_lock",
+        "_spawned": "_lock",
+        "respawns": "_lock",
+    }
+
     def __init__(self, addr: str, count: int,
                  cache_dir: str | None = None,
                  cache_max_entries: int | None = None,
@@ -289,7 +309,8 @@ class WorkerPool:
         self._lock = threading.Lock()
         self._monitor: threading.Thread | None = None
 
-    def _spawn(self) -> multiprocessing.Process:
+    def _spawn_locked(self) -> multiprocessing.Process:
+        """Start one worker process (caller holds ``_lock``)."""
         index = self._spawned
         self._spawned += 1
         proc = multiprocessing.Process(
@@ -314,7 +335,7 @@ class WorkerPool:
             # Append as we go: if spawn k of N raises (fork limit), the
             # k-1 already-running workers are on record for stop().
             for _ in range(self.count):
-                self._procs.append(self._spawn())
+                self._procs.append(self._spawn_locked())
         self._monitor = threading.Thread(
             target=self._monitor_loop, name="dist-pool-monitor", daemon=True
         )
@@ -336,7 +357,7 @@ class WorkerPool:
                         return  # budget spent: stop watching entirely
                     proc.join(timeout=0)  # reap the zombie
                     try:
-                        self._procs[slot] = self._spawn()
+                        self._procs[slot] = self._spawn_locked()
                     except OSError:
                         return  # host cannot fork anymore; stop trying
                     self.respawns += 1

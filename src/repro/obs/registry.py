@@ -215,6 +215,18 @@ class MetricsRegistry:
     their scopes; run reports are per-process, not per-caller.
     """
 
+    #: Lock discipline, statically enforced by the ``lock-discipline``
+    #: checker (:mod:`repro.analysis`): every metric table (and the
+    #: active-scope list feeding them) is only touched under ``_lock``.
+    #: ``_enabled`` is deliberately unguarded: a stale read of the
+    #: on/off flag drops or admits one benign record, never corrupts.
+    GUARDED_BY = {
+        "_counters": "_lock",
+        "_gauges": "_lock",
+        "_timers": "_lock",
+        "_scopes": "_lock",
+    }
+
     def __init__(self, enabled: bool = True):
         self._lock = threading.Lock()
         self._counters: dict[str, float] = {}

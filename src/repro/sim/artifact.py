@@ -670,6 +670,15 @@ class TraceArtifactCache:
     exists to share.
     """
 
+    #: Lock discipline, enforced by the ``lock-discipline`` checker of
+    #: :mod:`repro.analysis`.  ``hits``/``misses`` are deliberately
+    #: unguarded: they are only *written* under the lock, and external
+    #: readers tolerate a stale count (they are statistics, not state).
+    GUARDED_BY = {
+        "_entries": "_lock",
+        "_persisted": "_lock",
+    }
+
     def __init__(self, maxsize: int = 16, store=_INHERIT):
         if maxsize < 1:
             raise ValueError("artifact cache needs maxsize >= 1")
@@ -689,7 +698,8 @@ class TraceArtifactCache:
         return self._store
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def clear(self) -> None:
         with self._lock:

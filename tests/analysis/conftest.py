@@ -1,0 +1,30 @@
+"""Shared fixture: lint a dict of snippet files in a temp project."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import run_lint
+
+
+@pytest.fixture
+def lint(tmp_path):
+    """``lint({"rel/path.py": source, ...}, rules=[...]) -> LintReport``.
+
+    Writes each snippet under ``tmp_path`` (dedented, so tests can
+    indent them naturally) and runs the suite over the directory.
+    """
+
+    def _lint(files, rules=None):
+        for rel, text in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(text), encoding="utf-8")
+        return run_lint([tmp_path], rules=rules)
+
+    return _lint
+
+
+def rules_of(report):
+    """The set of rule names that fired (non-suppressed)."""
+    return {finding.rule for finding in report.findings}

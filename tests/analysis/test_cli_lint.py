@@ -1,0 +1,66 @@
+"""The ``repro.cli lint`` surface: exit codes, JSON, artifacts."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.cli import main
+
+CLEAN = "x = 1\n"
+DIRTY = textwrap.dedent("""\
+    def run():
+        for x in {1, 2}:
+            print(x)
+    """)
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    (tmp_path / "ok.py").write_text(CLEAN)
+    assert main(["lint", str(tmp_path)]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_findings_exit_one(tmp_path, capsys):
+    (tmp_path / "bad.py").write_text(DIRTY)
+    assert main(["lint", str(tmp_path)]) == 1
+    assert "[determinism]" in capsys.readouterr().out
+
+
+def test_json_output_and_artifact_file(tmp_path, capsys):
+    (tmp_path / "bad.py").write_text(DIRTY)
+    out = tmp_path / "report.json"
+    code = main(["lint", "--json", "--out", str(out), str(tmp_path)])
+    assert code == 1
+    printed = json.loads(capsys.readouterr().out)
+    on_disk = json.loads(out.read_text())
+    assert printed == on_disk
+    assert on_disk["schema"] == "repro-lint-v1"
+    assert on_disk["ok"] is False
+    assert on_disk["findings"][0]["rule"] == "determinism"
+
+
+def test_rule_filter(tmp_path):
+    (tmp_path / "bad.py").write_text(DIRTY)
+    assert main(["lint", "--rule", "metric-name", str(tmp_path)]) == 0
+    assert main(["lint", "--rule", "determinism", str(tmp_path)]) == 1
+
+
+def test_unknown_rule_is_a_usage_error(tmp_path):
+    (tmp_path / "ok.py").write_text(CLEAN)
+    with pytest.raises(SystemExit):
+        main(["lint", "--rule", "nope", str(tmp_path)])
+
+
+def test_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ("lock-discipline", "pickle-boundary", "determinism",
+                 "metric-name", "frame-type"):
+        assert rule in out
+
+
+def test_default_path_is_the_installed_package(capsys):
+    # No positional paths: lints the repro package itself — the same
+    # invocation CI gates on, so it must be clean here too.
+    assert main(["lint"]) == 0

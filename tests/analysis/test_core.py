@@ -1,0 +1,106 @@
+"""Framework behavior: registry, suppressions, reporters, rule selection."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    checker_names,
+    format_report,
+    report_to_dict,
+    run_lint,
+)
+
+#: A one-line snippet that always fires the determinism set-iteration
+#: rule — the cheapest way to manufacture a finding in a fixture.
+FIRES = "for x in {1, 2, 3}:\n    print(x)\n"
+
+
+class TestRegistry:
+    def test_all_five_rules_registered(self):
+        assert checker_names() == [
+            "determinism",
+            "frame-type",
+            "lock-discipline",
+            "metric-name",
+            "pickle-boundary",
+        ]
+
+    def test_unknown_rule_is_an_error(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        with pytest.raises(ValueError, match="no-such-rule"):
+            run_lint([tmp_path], rules=["no-such-rule"])
+
+    def test_rule_selection_runs_only_selected(self, lint):
+        report = lint({"a.py": FIRES}, rules=["metric-name"])
+        assert report.rules == ["metric-name"]
+        assert report.ok  # the determinism checker never ran
+
+
+class TestSuppressions:
+    def test_trailing_comment_suppresses_that_line(self, lint):
+        report = lint({
+            "a.py": (
+                "for x in {1, 2}:  # repro-lint: disable=determinism\n"
+                "    print(x)\n"
+                + FIRES
+            ),
+        })
+        assert len(report.findings) == 1
+        assert len(report.suppressed) == 1
+        assert report.findings[0].line == 3
+
+    def test_standalone_comment_suppresses_whole_file(self, lint):
+        report = lint({
+            "a.py": "# repro-lint: disable=determinism\n" + FIRES,
+        })
+        assert report.ok
+        assert len(report.suppressed) == 1
+
+    def test_disable_all_matches_every_rule(self, lint):
+        report = lint({
+            "a.py": "for x in {1, 2}:  # repro-lint: disable=all\n"
+                    "    print(x)\n",
+        })
+        assert report.ok
+        assert len(report.suppressed) == 1
+
+    def test_suppressing_other_rule_does_not_silence(self, lint):
+        report = lint({
+            "a.py": "for x in {1, 2}:  # repro-lint: disable=metric-name\n"
+                    "    print(x)\n",
+        })
+        assert not report.ok
+
+
+class TestPipeline:
+    def test_parse_error_is_a_finding_not_a_crash(self, lint):
+        report = lint({"bad.py": "def broken(:\n"})
+        assert [f.rule for f in report.findings] == ["parse-error"]
+
+    def test_clean_project_is_ok(self, lint):
+        report = lint({"pkg/mod.py": "x = 1\n"})
+        assert report.ok
+        assert report.files == 1
+
+    def test_findings_sorted_and_deduped(self, lint):
+        report = lint({"b.py": FIRES, "a.py": FIRES})
+        paths = [f.path for f in report.findings]
+        assert paths == sorted(paths)
+        assert len(set(report.findings)) == len(report.findings)
+
+
+class TestReporters:
+    def test_human_format_has_location_and_summary(self, lint):
+        report = lint({"a.py": FIRES})
+        text = format_report(report)
+        assert "a.py:1: [determinism]" in text
+        assert "1 finding(s)" in text
+
+    def test_json_report_schema(self, lint):
+        report = lint({"a.py": FIRES})
+        data = report_to_dict(report)
+        assert data["schema"] == "repro-lint-v1"
+        assert data["ok"] is False
+        assert data["findings"][0]["rule"] == "determinism"
+        json.dumps(data)  # must be JSON-serializable as-is

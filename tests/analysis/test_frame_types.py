@@ -1,0 +1,117 @@
+"""Fixture suite for the ``frame-type`` checker."""
+
+RULES = ["frame-type"]
+
+#: A fixture protocol module: two constants, both declared.
+PROTOCOL = """\
+MSG_PING = "ping"
+MSG_PONG = "pong"
+
+FRAME_TYPES = frozenset({MSG_PING, MSG_PONG})
+"""
+
+
+def test_declared_frame_types_pass(lint):
+    report = lint({
+        "protocol.py": PROTOCOL,
+        "peer.py": """\
+            from protocol import MSG_PING, MSG_PONG
+
+            def serve(sock, send_msg, kind):
+                if kind == MSG_PING:
+                    send_msg(sock, {"type": MSG_PONG})
+            """,
+    }, rules=RULES)
+    assert report.ok
+
+
+def test_undeclared_literal_fires(lint):
+    report = lint({
+        "protocol.py": PROTOCOL,
+        "peer.py": """\
+            from protocol import MSG_PING, MSG_PONG
+
+            def serve(sock, send_msg, kind):
+                if kind == MSG_PING:
+                    send_msg(sock, {"type": MSG_PONG})
+                send_msg(sock, {"type": "pnog"})
+            """,
+    }, rules=RULES)
+    assert not report.ok
+    assert "pnog" in report.findings[0].message
+
+
+def test_undeclared_constant_fires(lint):
+    report = lint({
+        "protocol.py": PROTOCOL,
+        "peer.py": """\
+            from protocol import MSG_PING, MSG_PONG
+
+            MSG_ROGUE = "rogue"
+
+            def serve(sock, send_msg, kind):
+                if kind == MSG_PING:
+                    send_msg(sock, {"type": MSG_PONG})
+                send_msg(sock, {"type": MSG_ROGUE})
+            """,
+    }, rules=RULES)
+    assert not report.ok
+    assert "rogue" in report.findings[0].message
+
+
+def test_dict_call_header_form_is_checked(lint):
+    report = lint({
+        "protocol.py": PROTOCOL,
+        "peer.py": """\
+            from protocol import MSG_PING, MSG_PONG
+
+            def serve(sock, send_msg, kind, status):
+                if kind == MSG_PING:
+                    send_msg(sock, dict(status, type=MSG_PONG))
+                send_msg(sock, dict(status, type="bogus"))
+            """,
+    }, rules=RULES)
+    assert len(report.findings) == 1
+    assert "bogus" in report.findings[0].message
+
+
+def test_unresolvable_header_passes(lint):
+    report = lint({
+        "protocol.py": PROTOCOL,
+        "peer.py": """\
+            from protocol import MSG_PING, MSG_PONG
+
+            def forward(sock, send_msg, header, kind):
+                if kind in (MSG_PING, MSG_PONG):
+                    send_msg(sock, header)
+            """,
+    }, rules=RULES)
+    assert report.ok
+
+
+def test_dead_declared_type_fires(lint):
+    # MSG_PONG is declared but never sent or handled anywhere else.
+    report = lint({
+        "protocol.py": PROTOCOL,
+        "peer.py": """\
+            from protocol import MSG_PING
+
+            def serve(sock, send_msg, kind):
+                if kind == MSG_PING:
+                    send_msg(sock, {"type": MSG_PING})
+            """,
+    }, rules=RULES)
+    assert not report.ok
+    assert "MSG_PONG" in report.findings[0].message
+
+
+def test_without_project_declaration_falls_back_to_installed(lint):
+    report = lint({
+        "peer.py": """\
+            def serve(sock, send_msg):
+                send_msg(sock, {"type": "ping"})
+                send_msg(sock, {"type": "not-a-frame"})
+            """,
+    }, rules=RULES)
+    assert len(report.findings) == 1
+    assert "not-a-frame" in report.findings[0].message

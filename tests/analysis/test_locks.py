@@ -1,0 +1,153 @@
+"""Fixture suite for the ``lock-discipline`` checker."""
+
+from .conftest import rules_of
+
+#: A class whose discipline is airtight: every guarded access is under
+#: the lock or in a caller-holds-lock method.
+GOOD = """\
+import threading
+
+class Pool:
+    GUARDED_BY = {"_items": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+
+    def add(self, item):
+        with self._lock:
+            self._items.append(item)
+
+    def drain(self):
+        with self._lock:
+            return self._drain_locked()
+
+    def _drain_locked(self):
+        out, self._items = self._items, []
+        return out
+"""
+
+
+def test_clean_class_passes(lint):
+    report = lint({"pool.py": GOOD}, rules=["lock-discipline"])
+    assert report.ok
+
+
+def test_bare_access_fires(lint):
+    report = lint({"pool.py": """\
+        import threading
+
+        class Pool:
+            GUARDED_BY = {"_items": "_lock"}
+
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = []
+
+            def peek(self):
+                return self._items[-1]
+        """}, rules=["lock-discipline"])
+    assert rules_of(report) == {"lock-discipline"}
+    assert "peek" in report.findings[0].message
+
+
+def test_write_outside_lock_fires(lint):
+    report = lint({"pool.py": """\
+        import threading
+
+        class Pool:
+            GUARDED_BY = {"_items": "_lock"}
+
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = []
+
+            def reset(self):
+                self._items = []
+        """}, rules=["lock-discipline"])
+    assert not report.ok
+    assert "write" in report.findings[0].message
+
+
+def test_nested_callable_does_not_inherit_the_lock(lint):
+    # The closure runs on another thread after the `with` exits.
+    report = lint({"pool.py": """\
+        import threading
+
+        class Pool:
+            GUARDED_BY = {"_items": "_lock"}
+
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = []
+
+            def schedule(self, spawn):
+                with self._lock:
+                    def later():
+                        return self._items.pop()
+                    spawn(later)
+        """}, rules=["lock-discipline"])
+    assert not report.ok
+
+
+def test_holds_lock_comment_marks_caller_holds_lock(lint):
+    report = lint({"pool.py": """\
+        import threading
+
+        class Pool:
+            GUARDED_BY = {"_items": "_lock"}
+
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = []
+
+            def drain(self):  # repro-lint: holds-lock
+                out, self._items = self._items, []
+                return out
+        """}, rules=["lock-discipline"])
+    assert report.ok
+
+
+def test_undeclared_lock_class_fires(lint):
+    report = lint({"pool.py": """\
+        import threading
+
+        class Quiet:
+            def __init__(self):
+                self._lock = threading.Lock()
+        """}, rules=["lock-discipline"])
+    assert not report.ok
+    assert "GUARDED_BY" in report.findings[0].message
+
+
+def test_guarded_by_naming_nonexistent_lock_fires(lint):
+    report = lint({"pool.py": """\
+        import threading
+
+        class Typo:
+            GUARDED_BY = {"_items": "_lokc"}
+
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = []
+        """}, rules=["lock-discipline"])
+    assert not report.ok
+    assert "_lokc" in report.findings[0].message
+
+
+def test_suppression_silences_a_deliberate_violation(lint):
+    report = lint({"pool.py": """\
+        import threading
+
+        class Pool:
+            GUARDED_BY = {"_items": "_lock"}
+
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = []
+
+            def peek(self):
+                return self._items[-1]  # repro-lint: disable=lock-discipline
+        """}, rules=["lock-discipline"])
+    assert report.ok
+    assert len(report.suppressed) == 1

@@ -1,0 +1,107 @@
+"""Fixture suite for the ``metric-name`` checker."""
+
+RULES = ["metric-name"]
+
+#: A fixture project's own taxonomy module — the checker prefers the
+#: linted project's table over the installed one.
+TAXONOMY = """\
+COUNTERS = {"jobs.done": "completed jobs"}
+COUNTER_PREFIXES = {"path.": "dynamic path family"}
+GAUGES = {"queue.depth": "current queue depth"}
+SPANS = {"epoch": "one epoch"}
+"""
+
+
+def test_declared_names_pass(lint):
+    report = lint({
+        "obs/taxonomy.py": TAXONOMY,
+        "work.py": """\
+            from repro import obs
+
+            def run():
+                obs.inc("jobs.done")
+                obs.inc("path.fast.hit")
+                obs.set_gauge("queue.depth", 3)
+                obs.observe("epoch", 0.5)
+                with obs.span("epoch"):
+                    pass
+            """,
+    }, rules=RULES)
+    assert report.ok
+
+
+def test_undeclared_counter_fires(lint):
+    report = lint({
+        "obs/taxonomy.py": TAXONOMY,
+        "work.py": """\
+            from repro import obs
+
+            def run():
+                obs.inc("jobs.dnoe")
+            """,
+    }, rules=RULES)
+    assert not report.ok
+    assert "jobs.dnoe" in report.findings[0].message
+    assert "COUNTERS" in report.findings[0].message
+
+
+def test_span_checked_against_spans_not_counters(lint):
+    report = lint({
+        "obs/taxonomy.py": TAXONOMY,
+        "work.py": """\
+            from repro import obs
+
+            def run():
+                with obs.span("jobs.done"):
+                    pass
+            """,
+    }, rules=RULES)
+    assert not report.ok
+    assert "SPANS" in report.findings[0].message
+
+
+def test_dynamic_names_are_skipped(lint):
+    report = lint({
+        "obs/taxonomy.py": TAXONOMY,
+        "work.py": """\
+            from repro import obs
+
+            PREFIX = "path."
+
+            def run(name):
+                obs.inc(PREFIX + name)
+            """,
+    }, rules=RULES)
+    assert report.ok
+
+
+def test_bare_imported_recorder_is_checked_too(lint):
+    report = lint({
+        "obs/taxonomy.py": TAXONOMY,
+        "work.py": """\
+            from repro.obs import inc
+
+            def run():
+                inc("not.declared")
+            """,
+    }, rules=RULES)
+    assert not report.ok
+
+
+def test_without_project_taxonomy_falls_back_to_installed(lint):
+    report = lint({
+        "work.py": """\
+            from repro import obs
+
+            def run():
+                obs.inc("cache.result.hits")
+                obs.inc("engine_path.anything.goes")
+            """,
+        "bad.py": """\
+            from repro import obs
+
+            def run():
+                obs.inc("cache.result.hist")
+            """,
+    }, rules=RULES)
+    assert [f.path for f in report.findings] == ["bad.py"]

@@ -1,0 +1,91 @@
+"""Fixture suite for the ``pickle-boundary`` checker."""
+
+from .conftest import rules_of
+
+RULES = ["pickle-boundary"]
+
+
+def test_module_level_function_passes(lint):
+    report = lint({"a.py": """\
+        def work(item):
+            return item * 2
+
+        def run(backend, items):
+            return backend.map(work, items)
+        """}, rules=RULES)
+    assert report.ok
+
+
+def test_partial_of_module_function_passes(lint):
+    report = lint({"a.py": """\
+        from functools import partial
+
+        def work(options, item):
+            return (options, item)
+
+        def run(backend, options, items):
+            return backend.map(partial(work, options), items)
+        """}, rules=RULES)
+    assert report.ok
+
+
+def test_lambda_fires(lint):
+    report = lint({"a.py": """\
+        def run(backend, items):
+            return backend.map(lambda item: item * 2, items)
+        """}, rules=RULES)
+    assert rules_of(report) == {"pickle-boundary"}
+    assert "lambda" in report.findings[0].message
+
+
+def test_lambda_inside_partial_fires(lint):
+    report = lint({"a.py": """\
+        from functools import partial
+
+        def run(backend, items):
+            return backend.map(partial(lambda x, i: x + i, 1), items)
+        """}, rules=RULES)
+    assert not report.ok
+
+
+def test_nested_def_fires(lint):
+    report = lint({"a.py": """\
+        def run(backend, scale, items):
+            def work(item):
+                return item * scale
+            return backend.map_stream(work, items)
+        """}, rules=RULES)
+    assert not report.ok
+    assert "nested" in report.findings[0].message
+
+
+def test_process_target_lambda_fires(lint):
+    report = lint({"a.py": """\
+        import multiprocessing
+
+        def spawn():
+            return multiprocessing.Process(target=lambda: None)
+        """}, rules=RULES)
+    assert not report.ok
+
+
+def test_unresolvable_name_passes(lint):
+    # A parameter could be anything; the checker stays conservative.
+    report = lint({"a.py": """\
+        def run(backend, fn, items):
+            return backend.submit(fn, items)
+        """}, rules=RULES)
+    assert report.ok
+
+
+def test_thread_target_closure_is_exempt(lint):
+    # threading shares the address space: closures never pickle there.
+    report = lint({"a.py": """\
+        import threading
+
+        def run(state):
+            def tick():
+                state.append(1)
+            return threading.Thread(target=tick)
+        """}, rules=RULES)
+    assert report.ok

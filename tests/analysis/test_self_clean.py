@@ -1,0 +1,51 @@
+"""The gate the CI job enforces: the repro source lints clean.
+
+Any non-suppressed finding in ``src/repro`` fails this test — the same
+condition ``repro.cli lint`` exits non-zero on.  A deliberate
+violation must carry a ``# repro-lint: disable=<rule>`` comment, which
+shows up in the suppressed count instead.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.analysis import checker_names, format_report, run_lint
+
+SRC = Path(repro.__file__).parent
+
+
+def test_repro_source_lints_clean():
+    report = run_lint([SRC])
+    assert report.ok, "\n" + format_report(report)
+    assert report.rules == checker_names()
+    # The whole package was actually visited, not a subset.
+    assert report.files >= 80
+
+
+def test_declared_guard_maps_match_runtime_attributes():
+    """Every GUARDED_BY entry names real attributes on a live instance.
+
+    The checker proves the *accesses*; this proves the declarations
+    aren't stale after a rename.
+    """
+    from repro.dist.worker import WorkerPool
+    from repro.obs.registry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    for attr, lock in MetricsRegistry.GUARDED_BY.items():
+        assert hasattr(registry, attr), attr
+        assert hasattr(registry, lock), lock
+
+    pool = WorkerPool("127.0.0.1:0", count=1, respawn_budget=0)
+    for attr, lock in WorkerPool.GUARDED_BY.items():
+        assert hasattr(pool, attr), attr
+        assert hasattr(pool, lock), lock
+
+
+def test_coordinator_guard_map_matches_runtime_attributes():
+    from repro.dist.coordinator import Coordinator
+
+    coordinator = Coordinator()
+    for attr, lock in Coordinator.GUARDED_BY.items():
+        assert hasattr(coordinator, attr), attr
+        assert hasattr(coordinator, lock), lock

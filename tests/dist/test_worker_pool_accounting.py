@@ -1,0 +1,140 @@
+"""Regression tests for WorkerPool spawn/respawn accounting.
+
+``_spawn_locked`` mutates ``_spawned`` (worker naming) and the monitor
+thread mutates ``respawns`` — both declared in ``WorkerPool.GUARDED_BY``
+and only touched under ``_lock``.  These tests drive the pool with a
+stubbed ``multiprocessing.Process`` so the accounting is exact: no real
+processes, no coordinator, no timing slack on spawn counts.
+"""
+
+import threading
+import types
+
+import pytest
+
+from repro.dist import worker as worker_mod
+from repro.dist.worker import WorkerPool
+
+
+class FakeProcess:
+    """Stands in for multiprocessing.Process; liveness is a switch."""
+
+    spawned: list["FakeProcess"] = []
+
+    def __init__(self, target=None, args=(), kwargs=None, daemon=None):
+        self.target = target
+        self.args = args
+        self.kwargs = kwargs or {}
+        self.daemon = daemon
+        self.alive = False
+        self.terminated = False
+        FakeProcess.spawned.append(self)
+
+    def start(self):
+        self.alive = True
+
+    def is_alive(self):
+        return self.alive
+
+    def join(self, timeout=None):
+        pass
+
+    def terminate(self):
+        self.alive = False
+        self.terminated = True
+
+
+@pytest.fixture
+def fake_processes(monkeypatch):
+    FakeProcess.spawned = []
+    monkeypatch.setattr(
+        worker_mod, "multiprocessing",
+        types.SimpleNamespace(Process=FakeProcess),
+    )
+    monkeypatch.setattr(WorkerPool, "MONITOR_TICK_S", 0.01)
+    return FakeProcess
+
+
+def _wait_until(predicate, timeout=5.0):
+    done = threading.Event()
+    import time
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        done.wait(0.01)
+    return predicate()
+
+
+class TestSpawnAccounting:
+    def test_start_spawns_count_workers_with_sequential_names(
+            self, fake_processes):
+        pool = WorkerPool("127.0.0.1:0", count=3, respawn_budget=0)
+        pool.start()
+        try:
+            assert len(fake_processes.spawned) == 3
+            names = [p.kwargs["name"] for p in fake_processes.spawned]
+            assert names == ["local-0", "local-1", "local-2"]
+            assert pool.alive_count() == 3
+            assert pool._spawned == 3
+        finally:
+            pool.stop()
+
+    def test_start_is_idempotent(self, fake_processes):
+        pool = WorkerPool("127.0.0.1:0", count=2, respawn_budget=0)
+        pool.start()
+        try:
+            pool.start()
+            assert len(fake_processes.spawned) == 2
+        finally:
+            pool.stop()
+
+
+class TestRespawnAccounting:
+    def test_dead_worker_is_respawned_and_counted(self, fake_processes):
+        pool = WorkerPool("127.0.0.1:0", count=2, respawn_budget=4)
+        pool.start()
+        try:
+            fake_processes.spawned[0].alive = False
+            assert _wait_until(lambda: pool.alive_count() == 2)
+            with pool._lock:
+                assert pool.respawns == 1
+                assert pool._spawned == 3
+            # The replacement continues the name sequence.
+            assert fake_processes.spawned[-1].kwargs["name"] == "local-2"
+        finally:
+            pool.stop()
+
+    def test_respawn_budget_is_a_hard_cap(self, fake_processes):
+        pool = WorkerPool("127.0.0.1:0", count=1, respawn_budget=1)
+        pool.start()
+        try:
+            fake_processes.spawned[0].alive = False
+            assert _wait_until(lambda: pool.respawns == 1)
+            # Kill the replacement too: the budget is spent, so the
+            # monitor must stop watching instead of burning spawns.
+            fake_processes.spawned[-1].alive = False
+            assert not _wait_until(
+                lambda: len(fake_processes.spawned) > 2, timeout=0.2)
+            with pool._lock:
+                assert pool.respawns == 1
+                assert pool._spawned == 2
+        finally:
+            pool.stop()
+
+    def test_budget_zero_disables_respawning(self, fake_processes):
+        pool = WorkerPool("127.0.0.1:0", count=1, respawn_budget=0)
+        pool.start()
+        try:
+            fake_processes.spawned[0].alive = False
+            assert not _wait_until(
+                lambda: len(fake_processes.spawned) > 1, timeout=0.2)
+            assert pool.respawns == 0
+        finally:
+            pool.stop()
+
+    def test_stop_terminates_survivors(self, fake_processes):
+        pool = WorkerPool("127.0.0.1:0", count=2, respawn_budget=0)
+        pool.start()
+        pool.stop()
+        assert all(not p.alive for p in fake_processes.spawned)
