@@ -6,6 +6,7 @@ Commands:
     characterize  print a reference workload's characteristics
     simpoints     select simpoints for a reference workload
     cores         list the available core configurations
+    serve         run a persistent multi-tenant evaluation cluster
     worker        serve evaluation jobs for a backend=dist coordinator
     status        show live cluster status of a backend=dist coordinator
     lint          run the invariant lint suite (repro.analysis)
@@ -55,8 +56,8 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--dist-addr", default=None, metavar="HOST:PORT",
-        help="address the backend=dist coordinator binds "
-             "(workers join it with the 'worker' command)",
+        help="external persistent cluster ('serve' command) this run "
+             "joins as a client session",
     )
     parser.add_argument(
         "--dist-workers", type=int, default=None, metavar="N",
@@ -68,6 +69,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="seconds a leased dist job may stay unresolved before the "
              "coordinator reschedules it (default: coordinator's; set "
              "above the worst-case single-job runtime)",
+    )
+    parser.add_argument(
+        "--dist-priority", type=float, default=None, metavar="W",
+        help="fair-share weight of this run's session on a shared "
+             "cluster (default 1.0; a weight-2 session gets twice the "
+             "dispatch share of a weight-1 one)",
+    )
+    parser.add_argument(
+        "--dist-secret", default=None, metavar="SECRET",
+        help="shared secret of a cluster started with 'serve "
+             "--serve-secret' (default: $REPRO_DIST_SECRET)",
     )
     parser.add_argument(
         "--batch-group-min", type=int, default=None, metavar="N",
@@ -94,6 +106,7 @@ def _execution_overrides(args: argparse.Namespace) -> dict:
     overrides = {}
     for flag in ("jobs", "backend", "cache_dir", "cache_max_entries",
                  "dist_addr", "dist_workers", "dist_lease_timeout",
+                 "dist_priority", "dist_secret",
                  "batch_group_min", "metrics_out"):
         value = getattr(args, flag, None)
         if value is not None:
@@ -218,9 +231,60 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         max_jobs=args.max_jobs,
         heartbeat_s=(WORKER_HEARTBEAT_S if args.heartbeat is None
                      else args.heartbeat),
+        secret=args.secret,
         stop=stop,
     )
     print(f"worker done ({executed} jobs)", flush=True)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import os
+    import signal
+    import threading
+
+    from repro.dist.coordinator import Coordinator
+    from repro.dist.worker import WorkerPool
+
+    secret = (args.serve_secret
+              or os.environ.get("REPRO_DIST_SECRET") or None)
+    host, _, port = args.addr.partition(":")
+    coordinator = Coordinator(
+        host=host or "127.0.0.1",
+        port=int(port or 0),
+        secret=secret,
+        **({} if args.lease_timeout is None
+           else {"lease_timeout_s": args.lease_timeout}),
+    )
+    stop = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, lambda *_: stop.set())
+        except ValueError:  # pragma: no cover — not the main thread
+            pass
+    bound = coordinator.start()
+    auth = "secured (HMAC challenge)" if secret else "open (no secret)"
+    print(f"serving evaluation cluster on {bound} [{auth}]", flush=True)
+    print("clients join with --dist-addr, workers with "
+          "'repro.cli worker --addr'", flush=True)
+    pool = None
+    if args.workers:
+        pool = WorkerPool(
+            bound, args.workers,
+            cache_dir=args.cache_dir,
+            cache_max_entries=args.cache_max_entries,
+            secret=secret,
+        )
+        pool.start()
+        print(f"started {args.workers} local workers", flush=True)
+    try:
+        while not stop.wait(0.5):
+            pass
+    finally:
+        if pool is not None:
+            pool.stop()
+        coordinator.shutdown()
+    print("cluster shut down", flush=True)
     return 0
 
 
@@ -258,7 +322,10 @@ def _cmd_status(args: argparse.Namespace) -> int:
     from repro.dist.status import fetch_cluster_status
     from repro.obs import format_cluster_status
 
-    report = fetch_cluster_status(args.addr, timeout=args.timeout)
+    report = fetch_cluster_status(
+        args.addr, timeout=args.timeout, retries=args.retries,
+        secret=args.secret,
+    )
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
     else:
@@ -378,6 +445,34 @@ def build_parser() -> argparse.ArgumentParser:
     cores = sub.add_parser("cores", help="list core configurations")
     cores.set_defaults(func=_cmd_cores)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run a persistent multi-tenant evaluation cluster",
+    )
+    serve.add_argument("--addr", required=True, metavar="HOST:PORT",
+                       help="address the coordinator binds (clients "
+                            "point --dist-addr here)")
+    serve.add_argument("--serve-secret", default=None, metavar="SECRET",
+                       help="require clients and workers to answer an "
+                            "HMAC challenge derived from SECRET "
+                            "(default: $REPRO_DIST_SECRET; never sent "
+                            "over the wire)")
+    serve.add_argument("--workers", type=int, default=0, metavar="N",
+                       help="also keep N local worker processes alive "
+                            "(default 0: workers join via the 'worker' "
+                            "command)")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="shared cache directory handed to local "
+                            "workers (on-disk trace-artifact store)")
+    serve.add_argument("--cache-max-entries", type=int, default=None,
+                       metavar="N", help="artifact store entry cap")
+    serve.add_argument("--lease-timeout", type=float, default=None,
+                       metavar="S",
+                       help="seconds a leased job may stay unresolved "
+                            "before rescheduling (default: "
+                            "coordinator's)")
+    serve.set_defaults(func=_cmd_serve)
+
     worker = sub.add_parser(
         "worker",
         help="serve evaluation jobs for a backend=dist coordinator",
@@ -402,6 +497,9 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--max-jobs", type=int, default=None, metavar="N",
                         help="exit after N jobs (default: run until "
                              "the coordinator shuts down)")
+    worker.add_argument("--secret", default=None, metavar="SECRET",
+                        help="shared secret of a secured coordinator "
+                             "(default: $REPRO_DIST_SECRET)")
     worker.set_defaults(func=_cmd_worker)
 
     status = sub.add_parser(
@@ -412,6 +510,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="coordinator address to query")
     status.add_argument("--timeout", type=float, default=10.0, metavar="S",
                         help="seconds to wait for the reply (default 10)")
+    status.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="extra attempts after a timeout or "
+                             "connection failure (default 0)")
+    status.add_argument("--secret", default=None, metavar="SECRET",
+                        help="shared secret of a secured coordinator "
+                             "(default: $REPRO_DIST_SECRET)")
     status.add_argument("--json", action="store_true",
                         help="print the raw report as JSON")
     status.set_defaults(func=_cmd_status)

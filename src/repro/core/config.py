@@ -73,14 +73,24 @@ class MicroGradConfig:
         cache_max_entries: size cap for the persistent cache; least-
             recently-used entries (by file mtime) are compacted away once
             the cap is exceeded.  ``None`` means unbounded.
-        dist_addr: ``host:port`` the ``backend="dist"`` coordinator
-            binds so remote workers can join (``None`` picks an
+        dist_addr: ``host:port`` of an external persistent evaluation
+            cluster (``repro.cli serve``) this run joins as a client
+            session (``None`` starts a private coordinator on an
             ephemeral loopback port for purely local fan-out).
-        dist_workers: local worker processes the dist backend spawns;
-            ``None`` defaults to local fan-out when no ``dist_addr`` is
-            given, ``0`` expects external ``repro.cli worker`` joins.
-            Spawned workers are kept alive by an elastic pool that
-            respawns any that die.
+        dist_workers: local worker processes the dist backend spawns
+            when it owns its own cluster; ``None`` defaults to local
+            fan-out.  Must stay unset/0 with ``dist_addr`` — a shared
+            cluster's workers belong to ``repro.cli serve``/``worker``,
+            not to one tenant.  Spawned workers are kept alive by an
+            elastic pool that respawns any that die.
+        dist_priority: fair-share weight of this run's client session
+            on a shared cluster (``dist_addr`` mode).  The coordinator
+            interleaves dispatch across sessions proportionally to
+            priority; ``None`` means ``1.0`` (equal share).
+        dist_secret: shared secret for a cluster started with
+            ``repro.cli serve --serve-secret`` (``None`` falls back to
+            ``$REPRO_DIST_SECRET``).  Never sent over the wire — the
+            client answers an HMAC challenge derived from it.
         dist_lease_timeout: seconds a leased distributed job may stay
             unresolved before the coordinator reschedules it on another
             worker (livelocked-worker backstop; hung workers are
@@ -125,6 +135,8 @@ class MicroGradConfig:
     dist_addr: str | None = None
     dist_workers: int | None = None
     dist_lease_timeout: float | None = None
+    dist_priority: float | None = None
+    dist_secret: str | None = None
     batch_group_min: int = 4
     metrics_out: str | None = None
 
@@ -166,6 +178,8 @@ class MicroGradConfig:
         if self.dist_lease_timeout is not None \
                 and self.dist_lease_timeout <= 0:
             raise ValueError("dist_lease_timeout must be > 0 (or None)")
+        if self.dist_priority is not None and self.dist_priority <= 0:
+            raise ValueError("dist_priority must be > 0 (or None)")
         if self.batch_group_min < 1:
             raise ValueError("batch_group_min must be >= 1")
         if self.dist_addr is not None:

@@ -88,6 +88,8 @@ class MicroGrad:
             dist_addr=config.dist_addr,
             dist_workers=config.dist_workers,
             dist_lease_timeout=config.dist_lease_timeout,
+            dist_priority=config.dist_priority,
+            dist_secret=config.dist_secret,
             batch_group_min=config.batch_group_min,
         )
         self.disk_cache = (

@@ -1,15 +1,24 @@
-"""``DistributedBackend``: the coordinator/worker pair as an ExecutionBackend.
+"""``DistributedBackend``: cluster execution as an ExecutionBackend.
 
 Selecting ``backend=dist`` gives every tuner and use case multi-host
-fan-out with zero call-site changes: the backend starts a
-:class:`~repro.dist.coordinator.Coordinator` inside the tuning process
-(bound to ``--dist-addr``, or an ephemeral loopback port), optionally
-keeps ``--dist-workers`` local worker processes alive through an elastic
-:class:`~repro.dist.worker.WorkerPool`, and then behaves exactly like
-every other backend — ``map(fn, items)`` in, ordered results out,
-bit-identical to serial execution.  ``map_stream`` yields the same
-results incrementally, as soon as each lands.  Remote machines join the
-same run with ``python -m repro.cli worker --addr host:port``.
+fan-out with zero call-site changes, in one of two modes:
+
+* **Owner mode** (no ``dist_addr``): the backend starts a private
+  :class:`~repro.dist.coordinator.Coordinator` inside the tuning
+  process on an ephemeral loopback port and keeps ``--dist-workers``
+  local worker processes alive through an elastic
+  :class:`~repro.dist.worker.WorkerPool` — a self-contained cluster
+  that lives and dies with this run.
+* **Client mode** (``dist_addr`` given): the address names an
+  *external persistent* cluster (``repro.cli serve``); the backend
+  spawns and owns **nothing**.  It opens a
+  :class:`~repro.dist.client.ClientSession`, optionally prefetches the
+  newest local trace artifacts to the worker fleet, and submits its
+  batches into the shared fair scheduler alongside every other tenant.
+
+Either way the contract is the same as every other backend: ``map(fn,
+items)`` in, ordered results out, bit-identical to serial execution;
+``map_stream`` yields the same results incrementally as each lands.
 """
 
 from __future__ import annotations
@@ -17,14 +26,19 @@ from __future__ import annotations
 import os
 from typing import Callable, Iterator, Sequence
 
+from repro.dist.client import ClientSession
 from repro.dist.coordinator import Coordinator
-from repro.dist.protocol import dumps_payload, loads_payload, parse_addr
+from repro.dist.protocol import dumps_payload, loads_payload
 from repro.dist.worker import WorkerPool
 
 # Safe despite repro.exec.__init__ importing this module eagerly:
 # repro.exec.backend itself only imports repro.dist lazily (inside the
 # backend_for factory), so the module graph stays acyclic.
 from repro.exec.backend import CacheSettingsMixin
+
+#: Newest local artifacts a client session pushes to the cluster ahead
+#: of its first batch (see :meth:`DiskArtifactStore.recent`).
+PREFETCH_RECENT_LIMIT = 8
 
 
 def _default_local_workers() -> int:
@@ -36,23 +50,27 @@ class DistributedBackend(CacheSettingsMixin):
 
     Args:
         jobs: explicit chunking hint for callers; when omitted, the
-            hint tracks the *live* worker-connection count once the
-            cluster is up (an external cluster's size has nothing to do
-            with this host's core count), with the spawn count — or the
+            hint tracks the *live* worker count once the cluster is up
+            (an external cluster's size has nothing to do with this
+            host's core count), with the spawn count — or the
             local-core default — as the pre-connect floor.
-        addr: ``host:port`` the coordinator binds; ``None`` picks an
-            ephemeral loopback port (purely local fan-out).
-        spawn_workers: local worker processes to keep alive; ``0``
-            expects external workers to join (``repro.cli worker``).
-        cache_dir: shared cache directory handed to spawned workers (and
-            used locally) for the on-disk trace artifact store.
+        addr: ``host:port`` of an external persistent coordinator
+            (``repro.cli serve``) to join as a client session; ``None``
+            starts a private coordinator on an ephemeral loopback port
+            (owner mode, purely local fan-out).
+        spawn_workers: local worker processes to keep alive in owner
+            mode.  Rejected (non-zero) in client mode: a shared
+            cluster's workers are started with ``repro.cli worker`` or
+            ``repro.cli serve --workers``, never owned by one tenant.
+        cache_dir: shared cache directory handed to spawned workers
+            (and used locally) for the on-disk trace artifact store; in
+            client mode it is also the prefetch seed.
         cache_max_entries: artifact/result store entry cap.
         worker_grace: seconds ``map`` waits for a first worker before
             failing a run pointed at an empty cluster.
         lease_timeout: seconds a leased job may stay unresolved before
-            the coordinator requeues it (``None`` = coordinator
-            default; see :data:`~repro.dist.coordinator.
-            DEFAULT_LEASE_TIMEOUT_S`).
+            the coordinator requeues it (owner mode only; a persistent
+            cluster's lease policy is set by ``repro.cli serve``).
         respawn_budget: total local-worker respawns the elastic pool
             may perform (``None`` = pool default, ``0`` disables).
         batch_group_min: smallest chunk worth shipping when evaluation
@@ -61,10 +79,17 @@ class DistributedBackend(CacheSettingsMixin):
             generation is never sheared mid-group just because many
             workers happen to be connected — a split group forfeits the
             shared simulation pass.
+        priority: fair-share weight of this client session (client
+            mode; ``None`` = 1.0).
+        secret: shared secret for a secured coordinator (client mode;
+            defaults to ``$REPRO_DIST_SECRET``).
+        session: session name shown in ``repro.cli status`` rows.
 
     If the host cannot bind sockets or spawn processes at all
-    (restricted sandboxes), the backend degrades to serial in-process
-    execution — results are identical either way, only slower.
+    (restricted sandboxes), owner mode degrades to serial in-process
+    execution — results are identical either way, only slower.  Client
+    mode never degrades silently: an unreachable or rejecting cluster
+    is a loud error, because the user explicitly pointed at it.
     """
 
     def __init__(
@@ -78,7 +103,17 @@ class DistributedBackend(CacheSettingsMixin):
         lease_timeout: float | None = None,
         respawn_budget: int | None = None,
         batch_group_min: int = 1,
+        priority: float | None = None,
+        secret: str | None = None,
+        session: str | None = None,
     ):
+        self.client_mode = addr is not None
+        if self.client_mode and spawn_workers:
+            raise ValueError(
+                "dist_addr points at an external persistent cluster; "
+                "its workers are started with 'repro.cli worker' or "
+                "'repro.cli serve --workers', not dist_workers"
+            )
         if spawn_workers is None:
             # Nothing to connect remotely and nothing local would
             # deadlock; default to local fan-out when no addr is given.
@@ -93,12 +128,17 @@ class DistributedBackend(CacheSettingsMixin):
         self.worker_grace = worker_grace
         self.lease_timeout = lease_timeout
         self.respawn_budget = respawn_budget
+        self.priority = float(priority) if priority else 1.0
+        self.secret = secret or None
+        self.session_name = session
         self.name = (
             f"dist[{self._jobs_floor}]" if addr is None
-            else f"dist[{self._jobs_floor}]@{addr}"
+            else f"dist-client@{addr}"
         )
         self.coordinator: Coordinator | None = None
         self.pool: WorkerPool | None = None
+        self.client: ClientSession | None = None
+        self._prefetched = False
         self._broken = False
 
     @property
@@ -106,16 +146,23 @@ class DistributedBackend(CacheSettingsMixin):
         """Chunking hint: live cluster size once workers have joined.
 
         An explicit ``jobs=`` always wins.  Otherwise, once the
-        coordinator has connections, the hint is their count — sizing
-        chunks for an external cluster from this host's ``cpu_count``
-        would be unrelated to reality — and before the first connection
-        it falls back to the spawn-count/core-count floor.
+        coordinator has connections — or the client session's status
+        probes have counted the shared cluster's workers — the hint is
+        that live count; sizing chunks for an external cluster from
+        this host's ``cpu_count`` would be unrelated to reality.
+        Before the first connection it falls back to the
+        spawn-count/core-count floor.
         """
         if self._jobs_explicit is not None:
             return self._jobs_explicit
         coordinator = self.coordinator
         if coordinator is not None:
             live = coordinator.worker_count()
+            if live > 0:
+                return live
+        client = self.client
+        if client is not None:
+            live = client.workers_live() or 0
             if live > 0:
                 return live
         return self._jobs_floor
@@ -127,22 +174,14 @@ class DistributedBackend(CacheSettingsMixin):
             return None
         if self.coordinator is not None:
             return self.coordinator
-        host, port = ("127.0.0.1", 0) if self.addr is None \
-            else parse_addr(self.addr)
-        kwargs = {}
-        if self.lease_timeout is not None:
-            kwargs["lease_timeout_s"] = self.lease_timeout
-        coordinator = Coordinator(host=host, port=port, **kwargs)
+        coordinator = Coordinator(
+            host="127.0.0.1", port=0,
+            **({} if self.lease_timeout is None
+               else {"lease_timeout_s": self.lease_timeout}),
+        )
         try:
             bound = coordinator.start()
-        except OSError as exc:
-            if self.addr is not None:
-                # The user asked for this address (remote workers will
-                # point at it): failing to bind must be loud, not a
-                # silent single-core fallback.
-                raise RuntimeError(
-                    f"cannot bind dist coordinator at {self.addr}: {exc}"
-                ) from exc
+        except OSError:
             self._broken = True
             return None
         if self.spawn_workers:
@@ -154,21 +193,65 @@ class DistributedBackend(CacheSettingsMixin):
             )
             try:
                 pool.start()
-            except (OSError, PermissionError) as exc:
+            except (OSError, PermissionError):
                 coordinator.shutdown()
                 pool.stop()
-                if self.addr is not None:
-                    raise RuntimeError(
-                        f"cannot spawn local dist workers for "
-                        f"{self.addr}: {exc}"
-                    ) from exc
                 self._broken = True
                 return None
             self.pool = pool
         self.coordinator = coordinator
         return coordinator
 
+    def _ensure_client(self) -> ClientSession:
+        """Open (once) the session against the external cluster.
+
+        Failures are loud: the user explicitly pointed ``dist_addr`` at
+        a persistent cluster, so an unreachable or rejecting
+        coordinator must never degrade to a silent local run.
+        """
+        if self.client is not None:
+            return self.client
+        session = ClientSession(
+            self.addr, session=self.session_name,
+            priority=self.priority, secret=self.secret,
+        )
+        try:
+            session.start()
+        except (OSError, RuntimeError) as exc:
+            # OSError: TCP connect failed.  RuntimeError: the socket
+            # opened but the session never came up (half-dead listener,
+            # rejected secret — the cause rides along in the message).
+            raise RuntimeError(
+                f"cannot reach dist coordinator at {self.addr}: {exc}; "
+                f"start one with 'python -m repro.cli serve --addr "
+                f"{self.addr}'"
+            ) from exc
+        self.client = session
+        self._prefetch_recent(session)
+        return session
+
+    def _prefetch_recent(self, session: ClientSession) -> None:
+        """Push the newest local artifacts before the first dispatch."""
+        if self._prefetched:
+            return
+        self._prefetched = True
+        spec = self.artifact_store_spec()
+        if spec is None:
+            return
+        from repro.sim.artifact import attach_artifact_store
+
+        root, cap = spec
+        try:
+            store = attach_artifact_store(root, max_entries=cap)
+        except ValueError:
+            return
+        for artifact in store.recent(PREFETCH_RECENT_LIMIT):
+            session.prefetch(artifact)
+
     def close(self) -> None:
+        if self.client is not None:
+            self.client.close()
+            self.client = None
         if self.coordinator is not None:
             self.coordinator.shutdown()
             self.coordinator = None
@@ -204,6 +287,9 @@ class DistributedBackend(CacheSettingsMixin):
         items = list(items)
         if not items:
             return
+        if self.client_mode:
+            yield from self._client_stream(fn, items)
+            return
         coordinator = self._ensure_started()
         if coordinator is None:
             for item in items:
@@ -231,3 +317,30 @@ class DistributedBackend(CacheSettingsMixin):
             # Also covers abandoned streams (caller broke out early) and
             # failed jobs: their queue entries become no-ops.
             coordinator.forget(job_ids)
+
+    def _client_stream(self, fn: Callable, items: list) -> Iterator:
+        """One batch through the shared cluster as a client session."""
+        session = self._ensure_client()
+        tags = [
+            session.submit(dumps_payload((fn, item))) for item in items
+        ]
+        try:
+            landed: dict[int, tuple[str, object]] = {}
+            cursor = 0
+            for tag, outcome in session.as_completed(
+                tags, worker_grace=self.worker_grace
+            ):
+                landed[tag] = outcome
+                while cursor < len(tags) and tags[cursor] in landed:
+                    status, value = landed.pop(tags[cursor])
+                    if status != "ok":
+                        raise RuntimeError(
+                            f"distributed job failed:\n{value}"
+                        )
+                    yield loads_payload(value)
+                    cursor += 1
+        finally:
+            # Abandoned streams and failures: tell the cluster to drop
+            # whatever it still holds for this batch, and forget any
+            # outcome the caller never consumed.
+            session.cancel(tags)

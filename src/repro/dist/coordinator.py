@@ -1,12 +1,28 @@
 """Coordinator side of the distributed evaluation service.
 
-One :class:`Coordinator` runs inside the tuning process.  It listens on a
-TCP address, hands queued jobs to whatever workers connect, tracks which
-jobs each connection currently holds (its *leases*), and reschedules
-jobs whose worker dies or goes silent.  Callers interact with it like a
-future store: :meth:`submit` enqueues pickled jobs, :meth:`wait` blocks
-until a set of job ids has resolved, and :meth:`as_completed` streams
-``(job_id, outcome)`` pairs as results land.
+One :class:`Coordinator` is a persistent, session-oriented job service.
+It listens on a TCP address, hands queued jobs to whatever workers
+connect, tracks which jobs each connection currently holds (its
+*leases*), and reschedules jobs whose worker dies or goes silent.
+
+Work arrives through *sessions*.  The in-process caller (the tuning
+process that created the coordinator) is session 0: :meth:`submit`
+enqueues pickled jobs, :meth:`wait` blocks until a set of job ids has
+resolved, and :meth:`as_completed` streams ``(job_id, outcome)`` pairs
+as results land.  Remote callers open their own sessions with a
+``hello`` whose ``role`` is ``"client"`` (protocol 3): their ``submit``
+frames land in a per-session queue, results are pushed back as
+``batch_result`` frames the moment they resolve, and nothing is
+retained for them.  Dispatch interleaves sessions by stride scheduling
+— each session accumulates virtual time at ``1 / priority`` per
+dispatched job and the furthest-behind session goes next — so a flood
+session cannot starve a small one.
+
+Session lifecycle: a client that disconnects (EOF) or is evicted for
+heartbeat silence has its session garbage-collected — queued jobs are
+dropped before they waste a worker, and results are forgotten.  Jobs a
+worker already holds run out their lease and their late results are
+dropped on the floor.
 
 Fault model — three detectors, coarsest to finest:
 
@@ -21,16 +37,23 @@ Fault model — three detectors, coarsest to finest:
 * **Lease deadlines** — a *livelocked* worker heartbeats happily but
   never finishes its job; each lease carries a deadline
   (``lease_timeout_s``) after which the monitor thread requeues the job
-  at the front of the queue.  Jobs are pure functions of their pickled
-  inputs, so the rerun is bit-identical and a late duplicate result is
-  simply dropped.
+  at the front of its session's queue.  Jobs are pure functions of
+  their pickled inputs, so the rerun is bit-identical and a late
+  duplicate result is simply dropped.
 
 A job that gets leased ``max_attempts`` times without resolving is
 declared poisonous and surfaces as an error instead of cycling forever.
+
+With a shared ``secret``, every accepted connection is challenged
+before its first frame is honored: the coordinator sends an
+``auth_challenge`` nonce and only a ``hello`` carrying the matching
+HMAC-SHA256 digest joins the cluster — anything else is told
+``auth_reject`` and dropped without touching live sessions.
 """
 
 from __future__ import annotations
 
+import hmac
 import socket
 import threading
 import time
@@ -39,20 +62,28 @@ from dataclasses import dataclass, field
 
 from repro.dist.protocol import (
     FRAME_TYPES,
+    MSG_AUTH_CHALLENGE,
+    MSG_AUTH_REJECT,
+    MSG_BATCH_RESULT,
+    MSG_CANCEL,
     MSG_ERROR,
     MSG_HELLO,
     MSG_IDLE,
     MSG_JOB,
     MSG_PING,
     MSG_PONG,
+    MSG_PREFETCH,
     MSG_REQUEST,
     MSG_RESULT,
     MSG_SHUTDOWN,
     MSG_STATUS,
     MSG_STATUS_REPLY,
     MSG_STATUS_REQUEST,
+    MSG_SUBMIT,
     ReceiveTimeout,
+    auth_digest,
     format_addr,
+    make_nonce,
     recv_msg,
     send_msg,
 )
@@ -78,6 +109,20 @@ DEFAULT_HEARTBEAT_TIMEOUT_S = 30.0
 #: configured timeouts are shorter, e.g. in tests).
 _TICK_CEILING_S = 0.25
 
+#: How long a challenged peer gets to produce its signed ``hello``.
+AUTH_HANDSHAKE_TIMEOUT_S = 10.0
+
+#: Retained prefetched artifacts (newest win): enough for a sweep's
+#: working set, bounded so a chatty client cannot balloon the server.
+PREFETCH_CAP = 32
+
+#: Session id of the in-process caller (always present).
+_LOCAL_SESSION = 0
+
+#: ``hello`` roles the coordinator recognizes; anything else is
+#: treated as a worker (the protocol is additive).
+_ROLES = ("worker", "observer", "client")
+
 
 @dataclass
 class _Job:
@@ -86,11 +131,23 @@ class _Job:
     id: int
     payload: bytes
     attempts: int = 0
+    #: owning session id (session 0 is the in-process caller).
+    session: int = _LOCAL_SESSION
+    #: the id the owner knows this job by: the global id for the local
+    #: session, the client-chosen ``submit`` tag for remote sessions.
+    tag: int | None = None
+    #: resolved local jobs stay in ``_jobs`` until forgotten; this flag
+    #: (not membership) is what marks them done.
+    resolved: bool = False
+
+    def __post_init__(self) -> None:
+        if self.tag is None:
+            self.tag = self.id
 
 
 @dataclass(eq=False)  # identity hash: connections live in a set
 class _Connection:
-    """Book-keeping for one worker connection."""
+    """Book-keeping for one connection (worker, observer or client)."""
 
     sock: socket.socket
     peer: str
@@ -102,15 +159,18 @@ class _Connection:
     seq: int = 0
     name: str = ""
     proto: int = 1
-    #: a monitoring client (``hello`` with ``role: "observer"``): never
-    #: dispatched to, never counted as a worker, never evicted for
-    #: heartbeat silence.
-    observer: bool = False
+    #: what the peer's ``hello`` announced: ``"worker"`` (dispatched
+    #: to, counted, evicted for silence), ``"observer"`` (monitoring
+    #: only — none of the above), or ``"client"`` (owns a session;
+    #: evicted for silence so dead tenants are garbage-collected).
+    role: str = "worker"
+    #: the session a ``role: "client"`` connection owns.
+    session_id: int | None = None
     #: jobs this connection resolved (results and errors both count).
     jobs_done: int = 0
     #: latest ``status`` frame metrics (a ``MetricsSnapshot.to_dict()``).
     status: dict = field(default_factory=dict)
-    #: heartbeat interval the worker advertised in ``hello`` (0 = none).
+    #: heartbeat interval the peer advertised in ``hello`` (0 = none).
     heartbeat_s: float = 0.0
     #: job id -> monotonic lease deadline (``inf`` when timeouts are off).
     leases: dict[int, float] = field(default_factory=dict)
@@ -126,8 +186,30 @@ class _Connection:
     reaped: bool = False
 
 
+@dataclass(eq=False)
+class _Session:
+    """One tenant's job namespace (the in-process caller is session 0)."""
+
+    id: int
+    name: str = ""
+    #: fair-share weight: a priority-2 session receives twice the
+    #: dispatch slots of a priority-1 session under contention.
+    priority: float = 1.0
+    #: the owning client connection; ``None`` for the local session.
+    conn: _Connection | None = None
+    #: queued job ids, oldest first; lease-expiry requeues go in front.
+    queue: deque[int] = field(default_factory=deque)
+    #: stride-scheduling virtual time: dispatching one job advances it
+    #: by ``1 / priority``; the session with the smallest stride is the
+    #: one furthest below its fair share and dispatches next.
+    stride: float = 0.0
+    submitted: int = 0
+    completed: int = 0
+    cancelled: int = 0
+
+
 class Coordinator:
-    """Job queue + lease tracker + rescheduler behind a TCP listener.
+    """Job queue + lease tracker + fair scheduler behind a TCP listener.
 
     Args:
         host: interface to bind (default loopback).
@@ -141,6 +223,9 @@ class Coordinator:
         heartbeat_timeout_s: seconds of total silence after which a
             protocol >= 2 connection is evicted (``None`` disables
             eviction; EOF detection still works).
+        secret: shared secret for untrusted interfaces; when set, every
+            accepted connection must answer the ``auth_challenge``
+            nonce in its ``hello`` or it is rejected.
     """
 
     #: Lock discipline, statically enforced by the ``lock-discipline``
@@ -149,25 +234,33 @@ class Coordinator:
     #: whose name ends in ``_locked`` (caller holds the lock).
     GUARDED_BY = {
         "_connections": "_cv",
-        "_queue": "_cv",
         "_jobs": "_cv",
         "_results": "_cv",
+        "_sessions": "_cv",
+        "_artifacts": "_cv",
         "_next_id": "_cv",
         "_next_seq": "_cv",
+        "_next_session_id": "_cv",
         "_closing": "_cv",
         "_threads": "_cv",
         "workers_seen": "_cv",
         "jobs_completed": "_cv",
+        "jobs_cancelled": "_cv",
         "reschedules": "_cv",
         "lease_expiries": "_cv",
         "evictions": "_cv",
+        "sessions_opened": "_cv",
+        "sessions_closed": "_cv",
+        "auth_rejections": "_cv",
+        "prefetch_pushes": "_cv",
     }
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  max_attempts: int = 3,
                  lease_timeout_s: float | None = DEFAULT_LEASE_TIMEOUT_S,
                  heartbeat_timeout_s: float | None =
-                 DEFAULT_HEARTBEAT_TIMEOUT_S):
+                 DEFAULT_HEARTBEAT_TIMEOUT_S,
+                 secret: str | None = None):
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         if lease_timeout_s is not None and lease_timeout_s <= 0:
@@ -179,22 +272,36 @@ class Coordinator:
         self.max_attempts = max_attempts
         self.lease_timeout_s = lease_timeout_s
         self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.secret = secret or None
         self._listener: socket.socket | None = None
         self._threads: list[threading.Thread] = []
         self._connections: set[_Connection] = set()
-        self._queue: deque[int] = deque()
         self._jobs: dict[int, _Job] = {}
+        #: the *local* session's resolved outcomes, keyed by job id —
+        #: client sessions have their results pushed, never stored.
         self._results: dict[int, tuple[str, object]] = {}
+        self._sessions: dict[int, _Session] = {
+            _LOCAL_SESSION: _Session(id=_LOCAL_SESSION, name="local"),
+        }
+        #: prefetched artifacts, key -> (fingerprint, instructions,
+        #: pickled payload); replayed to every worker that joins.
+        self._artifacts: dict[str, tuple[str, int, bytes]] = {}
         self._next_id = 0
         self._next_seq = 0
+        self._next_session_id = _LOCAL_SESSION + 1
         self._closing = False
         self._cv = threading.Condition()
         # observability counters
         self.workers_seen = 0
         self.jobs_completed = 0
+        self.jobs_cancelled = 0
         self.reschedules = 0
         self.lease_expiries = 0
         self.evictions = 0
+        self.sessions_opened = 0
+        self.sessions_closed = 0
+        self.auth_rejections = 0
+        self.prefetch_pushes = 0
 
     # -- lifecycle ------------------------------------------------------
 
@@ -226,17 +333,18 @@ class Coordinator:
         return format_addr(self.host, self.port)
 
     def worker_count(self) -> int:
-        """Live worker connections right now (observers excluded)."""
+        """Live worker connections right now (observers/clients excluded)."""
         with self._cv:
-            return sum(1 for c in self._connections if not c.observer)
+            return sum(1 for c in self._connections if c.role == "worker")
 
     def status_report(self) -> dict:
         """JSON-able cluster snapshot (the ``status_reply`` body).
 
         Per-worker rows (name, protocol, leases held, jobs done, age of
-        the last received frame, latest ``status`` metrics), queue
-        depths, the coordinator's lifetime counters, and the merge of
-        every worker's latest metrics snapshot.
+        the last received frame, latest ``status`` metrics), per-session
+        rows (queue depth, jobs in flight, jobs done), queue depths, the
+        coordinator's lifetime counters, and the merge of every worker's
+        latest metrics snapshot.
         """
         from repro.obs import MetricsSnapshot
 
@@ -245,7 +353,7 @@ class Coordinator:
         workers = []
         with self._cv:
             conns = sorted(
-                (c for c in self._connections if not c.observer),
+                (c for c in self._connections if c.role == "worker"),
                 key=lambda c: c.name or c.peer,
             )
             for conn in conns:
@@ -265,24 +373,54 @@ class Coordinator:
                         )
                     except (TypeError, ValueError, KeyError):
                         pass  # malformed frame: skip, don't fail status
+            in_flight: dict[int, int] = {}
+            for conn in conns:
+                for job_id in conn.leases:
+                    job = self._jobs.get(job_id)
+                    if job is not None:
+                        in_flight[job.session] = \
+                            in_flight.get(job.session, 0) + 1
+            sessions = [
+                {
+                    "id": session.id,
+                    "name": session.name,
+                    "priority": session.priority,
+                    "queued": len(session.queue),
+                    "in_flight": in_flight.get(session.id, 0),
+                    "submitted": session.submitted,
+                    "jobs_done": session.completed,
+                }
+                for session in sorted(self._sessions.values(),
+                                      key=lambda s: s.id)
+            ]
             report = {
                 "addr": self.addr,
                 "workers": workers,
-                "pending": len(self._queue),
-                "unresolved": len(self._jobs) - len(self._results),
+                "sessions": sessions,
+                "pending": sum(
+                    len(s.queue) for s in self._sessions.values()
+                ),
+                "unresolved": sum(
+                    1 for j in self._jobs.values() if not j.resolved
+                ),
                 "counters": {
                     "workers_seen": self.workers_seen,
                     "jobs_completed": self.jobs_completed,
+                    "jobs_cancelled": self.jobs_cancelled,
                     "reschedules": self.reschedules,
                     "lease_expiries": self.lease_expiries,
                     "evictions": self.evictions,
+                    "sessions_opened": self.sessions_opened,
+                    "sessions_closed": self.sessions_closed,
+                    "auth_rejections": self.auth_rejections,
+                    "prefetch_pushes": self.prefetch_pushes,
                 },
             }
         report["cluster_metrics"] = merged.to_dict()
         return report
 
     def shutdown(self) -> None:
-        """Stop accepting, disconnect workers, fail pending waits."""
+        """Stop accepting, disconnect peers, fail pending waits."""
         with self._cv:
             if self._closing:
                 return
@@ -337,17 +475,20 @@ class Coordinator:
                 tick = min(tick, bound / 4.0)
         return max(0.01, tick)
 
-    # -- client API -----------------------------------------------------
+    # -- local-session client API ---------------------------------------
 
     def submit(self, payload: bytes) -> int:
-        """Enqueue one pickled job; returns its id."""
+        """Enqueue one pickled job on the local session; returns its id."""
         with self._cv:
             if self._closing:
                 raise RuntimeError("coordinator is shut down")
             job_id = self._next_id
             self._next_id += 1
-            self._jobs[job_id] = _Job(id=job_id, payload=payload)
-            self._queue.append(job_id)
+            session = self._sessions[_LOCAL_SESSION]
+            self._jobs[job_id] = _Job(id=job_id, payload=payload,
+                                      session=_LOCAL_SESSION, tag=job_id)
+            session.queue.append(job_id)
+            session.submitted += 1
         self._dispatch()
         return job_id
 
@@ -387,7 +528,7 @@ class Coordinator:
                     raise TimeoutError(
                         f"{len(job_ids)} distributed jobs still pending"
                     )
-                if any(not c.observer for c in self._connections):
+                if any(c.role == "worker" for c in self._connections):
                     empty_since = None
                 elif empty_since is None:
                     empty_since = now
@@ -454,6 +595,20 @@ class Coordinator:
                 self._results.pop(job_id, None)
                 self._jobs.pop(job_id, None)
 
+    def prefetch(self, fingerprint: str, instructions: int,
+                 payload: bytes) -> int:
+        """Retain one pickled artifact and push it to the worker fleet.
+
+        Returns how many currently-connected workers it was pushed to;
+        workers that join later receive it with their ``hello``.
+        """
+        with self._cv:
+            sends = self._prefetch_locked(
+                fingerprint, instructions, payload, exclude=None
+            )
+        self._send_all(sends)
+        return len(sends)
+
     # -- connection handling --------------------------------------------
 
     def _accept_loop(self) -> None:
@@ -486,13 +641,16 @@ class Coordinator:
             thread.start()
 
     def _serve(self, conn: _Connection) -> None:
-        """Handle one worker connection until it drops or is evicted."""
+        """Handle one connection until it drops or is evicted."""
         tick = self._tick_s()
         # A connection only counts toward workers_seen once its hello
-        # proves it is a worker, not an observer (and v1 peers that
-        # never hello count on their first job-protocol frame instead).
+        # proves it is a worker, not an observer or client (and v1
+        # peers that never hello count on their first frame instead).
         counted = False
         try:
+            if self.secret is not None \
+                    and not self._auth_handshake(conn, tick):
+                return
             while True:
                 try:
                     header, payload = recv_msg(conn.sock, timeout=tick)
@@ -507,17 +665,7 @@ class Coordinator:
                 conn.last_recv = time.monotonic()
                 kind = header.get("type")
                 if kind == MSG_HELLO:
-                    conn.name = str(header.get("worker", conn.peer))
-                    conn.proto = int(header.get("proto", 1))
-                    conn.observer = (
-                        str(header.get("role", "worker")) == "observer"
-                    )
-                    try:
-                        conn.heartbeat_s = max(
-                            0.0, float(header.get("heartbeat", 0) or 0)
-                        )
-                    except (TypeError, ValueError):
-                        conn.heartbeat_s = 0.0
+                    self._send_all(self._handle_hello(conn, header))
                 elif kind == MSG_PING:
                     with conn.send_lock:
                         send_msg(conn.sock, {"type": MSG_PONG})
@@ -543,11 +691,17 @@ class Coordinator:
                         conn, int(header["job"]),
                         ("error", str(header.get("error", "unknown error"))),
                     )
+                elif kind == MSG_SUBMIT:
+                    self._handle_submit(conn, header, payload)
+                elif kind == MSG_CANCEL:
+                    self._handle_cancel(conn, header)
+                elif kind == MSG_PREFETCH:
+                    self._handle_prefetch(conn, header, payload)
                 elif kind not in FRAME_TYPES:
                     # Additive protocol: a frame type from a newer peer
                     # is ignored, never an error.
                     pass
-                if not counted and not conn.observer:
+                if not counted and conn.role == "worker":
                     counted = True
                     with self._cv:
                         self.workers_seen += 1
@@ -563,6 +717,110 @@ class Coordinator:
             except OSError:
                 pass
 
+    def _auth_handshake(self, conn: _Connection, tick: float) -> bool:
+        """Challenge a new connection; True once a signed hello arrived.
+
+        Nothing the peer sends before a correctly-signed ``hello``
+        touches coordinator state, so a bad-secret (or no-secret) peer
+        is rejected without disturbing live sessions.
+        """
+        assert self.secret is not None
+        nonce = make_nonce()
+        try:
+            with conn.send_lock:
+                send_msg(conn.sock, {
+                    "type": MSG_AUTH_CHALLENGE, "nonce": nonce,
+                })
+        except (ConnectionError, OSError):
+            return False
+        deadline = time.monotonic() + AUTH_HANDSHAKE_TIMEOUT_S
+        header: dict | None = None
+        while header is None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                header, _payload = recv_msg(
+                    conn.sock, timeout=min(tick, remaining)
+                )
+            except ReceiveTimeout:
+                with self._cv:
+                    if self._closing:
+                        return False
+                continue
+        conn.last_recv = time.monotonic()
+        expected = auth_digest(self.secret, nonce)
+        supplied = str((header or {}).get("auth") or "")
+        if header is None or header.get("type") != MSG_HELLO \
+                or not hmac.compare_digest(supplied, expected):
+            with self._cv:
+                self.auth_rejections += 1
+            try:
+                with conn.send_lock:
+                    send_msg(conn.sock, {
+                        "type": MSG_AUTH_REJECT,
+                        "error": "authentication failed",
+                    })
+            except (ConnectionError, OSError):
+                pass
+            return False
+        self._send_all(self._handle_hello(conn, header))
+        return True
+
+    def _handle_hello(self, conn: _Connection, header: dict):
+        """Record a peer's announce.
+
+        Returns frames to send: the retained prefetched artifacts, for
+        a protocol >= 3 worker joining the cluster.
+        """
+        conn.name = str(
+            header.get("session") or header.get("worker") or conn.peer
+        )
+        conn.proto = int(header.get("proto", 1))
+        role = str(header.get("role", "worker"))
+        conn.role = role if role in _ROLES else "worker"
+        try:
+            conn.heartbeat_s = max(
+                0.0, float(header.get("heartbeat", 0) or 0)
+            )
+        except (TypeError, ValueError):
+            conn.heartbeat_s = 0.0
+        sends: list[tuple[_Connection, dict, bytes | None]] = []
+        if conn.role == "client":
+            try:
+                priority = float(header.get("priority", 1.0) or 1.0)
+            except (TypeError, ValueError):
+                priority = 1.0
+            priority = min(max(priority, 0.01), 100.0)
+            with self._cv:
+                if conn.session_id is None and not self._closing:
+                    session = _Session(
+                        id=self._next_session_id, name=conn.name,
+                        priority=priority, conn=conn,
+                    )
+                    # Join at the current virtual time: a fresh session
+                    # must not monopolize dispatch just to catch up
+                    # with strides older sessions accumulated first.
+                    session.stride = min(
+                        (s.stride for s in self._sessions.values()),
+                        default=0.0,
+                    )
+                    self._next_session_id += 1
+                    self._sessions[session.id] = session
+                    conn.session_id = session.id
+                    self.sessions_opened += 1
+                    self._cv.notify_all()
+        elif conn.role == "worker" and conn.proto >= 3:
+            with self._cv:
+                sends = [
+                    (conn, {"type": MSG_PREFETCH,
+                            "fingerprint": fingerprint,
+                            "instructions": instructions}, payload)
+                    for fingerprint, instructions, payload
+                    in self._artifacts.values()
+                ]
+        return sends
+
     def _handle_request(self, conn: _Connection) -> None:
         sends: list[tuple[_Connection, dict, bytes | None]]
         with self._cv:
@@ -576,6 +834,104 @@ class Coordinator:
                     conn.hungry = False
                     sends.append((conn, {"type": MSG_IDLE}, None))
         self._send_all(sends)
+
+    def _handle_submit(self, conn: _Connection, header: dict,
+                       payload: bytes | None) -> None:
+        """A client session enqueued one job."""
+        with self._cv:
+            session = self._session_for_locked(conn)
+            if session is None or self._closing:
+                return
+            try:
+                tag = int(header.get("job", session.submitted))
+            except (TypeError, ValueError):
+                tag = session.submitted
+            job_id = self._next_id
+            self._next_id += 1
+            self._jobs[job_id] = _Job(
+                id=job_id, payload=payload or b"",
+                session=session.id, tag=tag,
+            )
+            session.queue.append(job_id)
+            session.submitted += 1
+            self._cv.notify_all()
+        self._dispatch()
+
+    def _handle_cancel(self, conn: _Connection, header: dict) -> None:
+        """Drop a client session's jobs (``jobs`` tags, or all of them).
+
+        Queued entries never dispatch; entries a worker already holds
+        run out their lease, and the late result is dropped because the
+        job row is gone.
+        """
+        tags = header.get("jobs")
+        wanted: set[int] | None = None
+        if isinstance(tags, list):
+            wanted = set()
+            for tag in tags:
+                try:
+                    wanted.add(int(tag))
+                except (TypeError, ValueError):
+                    continue
+        with self._cv:
+            session = self._session_for_locked(conn)
+            if session is None:
+                return
+            doomed = [
+                job_id for job_id, job in self._jobs.items()
+                if job.session == session.id
+                and (wanted is None or job.tag in wanted)
+            ]
+            for job_id in doomed:
+                del self._jobs[job_id]
+                session.cancelled += 1
+                self.jobs_cancelled += 1
+            self._cv.notify_all()
+
+    def _handle_prefetch(self, conn: _Connection, header: dict,
+                         payload: bytes | None) -> None:
+        """A client pushed a trace artifact for the worker fleet."""
+        if payload is None:
+            return
+        fingerprint = str(header.get("fingerprint") or "")
+        if not fingerprint:
+            return
+        try:
+            instructions = int(header.get("instructions", 0))
+        except (TypeError, ValueError):
+            instructions = 0
+        with self._cv:
+            sends = self._prefetch_locked(
+                fingerprint, instructions, payload, exclude=conn
+            )
+        self._send_all(sends)
+
+    def _session_for_locked(self, conn: _Connection) -> _Session | None:
+        """The live session a client connection owns (caller holds _cv)."""
+        if conn.session_id is None:
+            return None
+        return self._sessions.get(conn.session_id)
+
+    def _prefetch_locked(self, fingerprint: str, instructions: int,
+                         payload: bytes, exclude: _Connection | None):
+        """Retain one artifact, build its fan-out (caller holds _cv)."""
+        key = f"{fingerprint}-{instructions}"
+        # Re-insert so the newest artifacts survive the cap.
+        self._artifacts.pop(key, None)
+        self._artifacts[key] = (fingerprint, instructions, payload)
+        while len(self._artifacts) > PREFETCH_CAP:
+            del self._artifacts[next(iter(self._artifacts))]
+        targets = sorted(
+            (c for c in self._connections
+             if c.role == "worker" and c.proto >= 3 and c is not exclude),
+            key=lambda c: c.seq,
+        )
+        self.prefetch_pushes += len(targets)
+        return [
+            (c, {"type": MSG_PREFETCH, "fingerprint": fingerprint,
+                 "instructions": instructions}, payload)
+            for c in targets
+        ]
 
     def _dispatch(self) -> None:
         """Pair queued jobs with hungry connections and send them.
@@ -595,20 +951,24 @@ class Coordinator:
 
     def _dispatch_locked(self) -> list[tuple[_Connection, dict,
                                              bytes | None]]:
-        """Assign queued jobs to hungry connections (caller holds _cv)."""
+        """Assign queued jobs to hungry connections (caller holds _cv).
+
+        Workers are served in accept order; *jobs* are chosen by the
+        stride scheduler (:meth:`_next_job_locked`), which interleaves
+        sessions instead of draining whichever submitted first.
+        """
         sends: list[tuple[_Connection, dict, bytes | None]] = []
         if self._closing:
             return sends
         hungry = deque(sorted(
-            (c for c in self._connections if c.hungry and not c.observer),
+            (c for c in self._connections
+             if c.hungry and c.role == "worker"),
             key=lambda c: c.seq,
         ))
-        while self._queue and hungry:
-            job = self._jobs.get(self._queue.popleft())
-            if job is None or job.id in self._results:
-                # Forgotten by the caller (abandoned batch) or already
-                # resolved (rescheduled twin finished): skip, don't lease.
-                continue
+        while hungry:
+            job = self._next_job_locked()
+            if job is None:
+                break
             conn = hungry.popleft()
             job.attempts += 1
             deadline = (float("inf") if self.lease_timeout_s is None
@@ -618,6 +978,31 @@ class Coordinator:
             sends.append((conn, {"type": MSG_JOB, "job": job.id},
                           job.payload))
         return sends
+
+    def _next_job_locked(self) -> _Job | None:
+        """Pop the next dispatchable job, interleaving sessions fairly.
+
+        Stride scheduling: every session tracks a virtual time that
+        advances by ``1 / priority`` per dispatched job; the session
+        with queued work and the smallest stride (ties broken by id,
+        so the choice is deterministic) dispatches next.  A session
+        that floods the queue therefore advances its own stride past
+        everyone else's and cannot starve a small session, while equal
+        priorities degenerate to round-robin.
+        """
+        while True:
+            ready = [s for s in self._sessions.values() if s.queue]
+            if not ready:
+                return None
+            session = min(ready, key=lambda s: (s.stride, s.id))
+            job = self._jobs.get(session.queue.popleft())
+            if job is None or job.resolved:
+                # Forgotten/cancelled (abandoned batch) or already
+                # resolved (a rescheduled twin finished): skip without
+                # charging the session for it.
+                continue
+            session.stride += 1.0 / session.priority
+            return job
 
     def _send_all(self, sends) -> bool:
         """Send frames outside the lock; reap dead targets.
@@ -638,24 +1023,49 @@ class Coordinator:
     def _resolve(self, conn: _Connection, job_id: int,
                  result: tuple[str, object]) -> None:
         notify_dispatch = False
+        client_send = None
         with self._cv:
             conn.leases.pop(job_id, None)
             conn.jobs_done += 1
-            if job_id not in self._jobs:
-                # Forgotten (abandoned batch): storing the late result
-                # would leak it forever, since the caller that could
-                # forget() it is long gone.  Drop it on the floor.
+            job = self._jobs.get(job_id)
+            if job is None or job.resolved:
+                # Forgotten, cancelled, owned by a dead session, or a
+                # duplicate resolution (an expired-lease rerun and the
+                # original both finished).  Results are pure functions
+                # of pickled inputs, so keep the first and drop the
+                # rest on the floor — storing a late result for a
+                # caller that can never consume it would leak forever.
                 return
-            if job_id in self._results:
-                # Duplicate resolution: an expired-lease rerun and the
-                # original both finished.  Results are identical by
-                # construction (pure functions of pickled inputs), so
-                # keep the first and do not double-count.
+            session = self._sessions.get(job.session)
+            if session is None:
+                del self._jobs[job_id]
                 return
-            self._results[job_id] = result
+            session.completed += 1
             self.jobs_completed += 1
+            if session.conn is None:
+                job.resolved = True
+                self._results[job.tag] = result
+            else:
+                # Client sessions get their result pushed the moment it
+                # lands; the coordinator retains nothing for them.
+                del self._jobs[job_id]
+                status, value = result
+                if status == "ok":
+                    client_send = (session.conn, {
+                        "type": MSG_BATCH_RESULT, "job": job.tag,
+                        "status": "ok",
+                    }, value)
+                else:
+                    client_send = (session.conn, {
+                        "type": MSG_BATCH_RESULT, "job": job.tag,
+                        "status": "error", "error": str(value),
+                    }, None)
             self._cv.notify_all()
-            notify_dispatch = bool(self._queue)
+            notify_dispatch = any(
+                s.queue for s in self._sessions.values()
+            )
+        if client_send is not None:
+            self._send_all([client_send])
         if notify_dispatch:
             self._dispatch()
 
@@ -671,21 +1081,29 @@ class Coordinator:
                 self._cv.wait(timeout=tick)
                 if self._closing:
                     return
-                requeued = self._expire_leases_locked()
+                requeued, sends = self._expire_leases_locked()
                 stale = self._stale_connections_locked()
             # Outside the lock, and shutdown-only: the eviction wakes
             # the connection's serve thread, which reaps and closes.
             for conn in stale:
                 self._disconnect_socket(conn.sock)
+            if sends:
+                self._send_all(sends)
             if requeued:
                 self._dispatch()
 
-    def _expire_leases_locked(self) -> bool:
-        """Requeue overdue leases (caller holds _cv); True if any."""
+    def _expire_leases_locked(self):
+        """Requeue overdue leases (caller holds _cv).
+
+        Returns ``(requeued, sends)``: whether any job went back on a
+        queue, plus ``batch_result`` error frames for client jobs that
+        just exhausted their attempts (sent outside the lock).
+        """
         if self.lease_timeout_s is None:
-            return False
+            return False, []
         now = time.monotonic()
         requeued = False
+        sends = []
         for conn in sorted(self._connections, key=lambda c: c.seq):
             overdue = [job_id for job_id, deadline in conn.leases.items()
                        if now >= deadline]
@@ -693,40 +1111,70 @@ class Coordinator:
                 del conn.leases[job_id]
                 self.lease_expiries += 1
                 job = self._jobs.get(job_id)
-                if job is None or job_id in self._results:
-                    continue
-                if job.attempts >= self.max_attempts:
-                    self._results[job_id] = (
-                        "error",
-                        f"job {job_id} timed out on {job.attempts} workers "
-                        f"(last: {conn.name or conn.peer}, lease "
-                        f"{self.lease_timeout_s:.0f}s); giving up",
-                    )
-                    self.jobs_completed += 1
-                else:
-                    # Front of the queue: the expired job is the oldest
-                    # outstanding work, so it must not wait behind the
-                    # whole backlog again.
-                    self._queue.appendleft(job_id)
-                    self.reschedules += 1
-                    requeued = True
-                self._cv.notify_all()
-        return requeued
+                attempts = job.attempts if job is not None else 0
+                did, send = self._drop_lease_locked(job_id, (
+                    f"job {job_id} timed out on {attempts} workers "
+                    f"(last: {conn.name or conn.peer}, lease "
+                    f"{self.lease_timeout_s:.0f}s); giving up"
+                ))
+                requeued = requeued or did
+                if send is not None:
+                    sends.append(send)
+        return requeued, sends
+
+    def _drop_lease_locked(self, job_id: int, message: str):
+        """Handle one lost lease: requeue, fail, or drop (caller holds _cv).
+
+        Returns ``(requeued, send)`` — ``send`` is a ``batch_result``
+        error frame when a *client* job just ran out of attempts
+        (``None`` otherwise; local jobs fail into ``_results``).
+        """
+        job = self._jobs.get(job_id)
+        if job is None or job.resolved:
+            return False, None
+        session = self._sessions.get(job.session)
+        if session is None:
+            # Dead session: its jobs were dropped at GC; this lease is
+            # the straggler.  Drop the row, never requeue.
+            self._jobs.pop(job_id, None)
+            return False, None
+        if job.attempts >= self.max_attempts:
+            session.completed += 1
+            self.jobs_completed += 1
+            self._cv.notify_all()
+            if session.conn is None:
+                job.resolved = True
+                self._results[job.tag] = ("error", message)
+                return False, None
+            del self._jobs[job_id]
+            return False, (session.conn, {
+                "type": MSG_BATCH_RESULT, "job": job.tag,
+                "status": "error", "error": message,
+            }, None)
+        # Front of the owning session's queue: the lost job is its
+        # oldest outstanding work, so it must not wait behind the whole
+        # backlog again.
+        session.queue.appendleft(job_id)
+        self.reschedules += 1
+        self._cv.notify_all()
+        return True, None
 
     def _stale_connections_locked(self) -> list[_Connection]:
         """Connections gone silent past their heartbeat tolerance.
 
-        A worker that advertised a *slower* heartbeat than the default
+        A peer that advertised a *slower* heartbeat than the default
         in its ``hello`` (``--heartbeat 45``) is judged against that
         interval — three missed beats — not the global floor, so a
         legitimately configured fleet is never evicted while healthy.
+        Clients are evicted like workers (a half-open client session
+        would otherwise hold its queue forever); observers never are.
         """
         if self.heartbeat_timeout_s is None:
             return []
         now = time.monotonic()
         stale = []
         for conn in sorted(self._connections, key=lambda c: c.seq):
-            if conn.proto < 2 or conn.evicting or conn.observer:
+            if conn.proto < 2 or conn.evicting or conn.role == "observer":
                 continue
             tolerance = max(self.heartbeat_timeout_s,
                             3.0 * conn.heartbeat_s)
@@ -737,35 +1185,56 @@ class Coordinator:
         self.evictions += len(stale)
         return stale
 
+    def _close_session_locked(self, session: _Session) -> None:
+        """Garbage-collect a dead client session (caller holds _cv).
+
+        Queued jobs are dropped before they waste a worker; jobs a
+        worker already holds run out their lease, and their late
+        results are dropped because the job rows are gone.  Nothing is
+        retained: a client that died mid-batch must not leak its
+        backlog or its results.
+        """
+        if self._sessions.pop(session.id, None) is None:
+            return
+        doomed = [job_id for job_id, job in self._jobs.items()
+                  if job.session == session.id]
+        for job_id in doomed:
+            del self._jobs[job_id]
+        session.queue.clear()
+        self.sessions_closed += 1
+        self._cv.notify_all()
+
     def _reap(self, conn: _Connection) -> None:
         """Connection died: reschedule its leases, drop its state.
 
         Callable from any thread (serve, monitor, dispatch): it only
         shuts the socket down; the fd itself is closed by the
-        connection's serve thread when it exits.
+        connection's serve thread when it exits.  A client connection's
+        session is garbage-collected here — EOF and heartbeat eviction
+        both funnel into this path.
         """
         self._disconnect_socket(conn.sock)
+        sends = []
         with self._cv:
             if conn.reaped:
                 return
             conn.reaped = True
             self._connections.discard(conn)
             for job_id in sorted(conn.leases):
-                if job_id in self._results:
-                    continue
                 job = self._jobs.get(job_id)
-                if job is None:
-                    continue
-                if job.attempts >= self.max_attempts:
-                    self._results[job_id] = (
-                        "error",
-                        f"job {job_id} lost {job.attempts} workers "
-                        f"(last: {conn.name or conn.peer}); giving up",
-                    )
-                    self.jobs_completed += 1
-                else:
-                    self._queue.appendleft(job_id)
-                    self.reschedules += 1
+                attempts = job.attempts if job is not None else 0
+                _requeued, send = self._drop_lease_locked(job_id, (
+                    f"job {job_id} lost {attempts} workers "
+                    f"(last: {conn.name or conn.peer}); giving up"
+                ))
+                if send is not None:
+                    sends.append(send)
             conn.leases.clear()
+            if conn.session_id is not None:
+                session = self._sessions.get(conn.session_id)
+                if session is not None:
+                    self._close_session_locked(session)
             self._cv.notify_all()
+        if sends:
+            self._send_all(sends)
         self._dispatch()

@@ -37,8 +37,33 @@ client ↔ coordinator (observers):
     ``status_reply``   answer: ``report`` with per-worker rows (name,
                        proto, leases held, jobs done, seconds since the
                        last frame, latest ``status`` metrics), queue
-                       depths, the coordinator's lifetime counters, and
-                       the merged cluster-wide metrics snapshot.
+                       depths, per-session rows, the coordinator's
+                       lifetime counters, and the merged cluster-wide
+                       metrics snapshot.
+
+client → coordinator (protocol 3 sessions):
+    ``submit``       enqueue one job in this client's session (``job``
+                     is the client-chosen tag) + pickled ``(fn, item)``.
+    ``cancel``       drop queued jobs (``jobs`` lists tags, or null for
+                     every queued job of the session).  Leased jobs run
+                     out their lease and their results are dropped.
+    ``prefetch``     push a :class:`~repro.sim.artifact.TraceArtifact`
+                     (``fingerprint``, ``instructions`` + pickled
+                     artifact) for the coordinator to fan out to every
+                     worker — current and future — before it is needed.
+
+coordinator → client (protocol 3 sessions):
+    ``batch_result`` one resolved job: ``job`` tag, ``status``
+                     (``"ok"`` + pickled payload, or ``"error"`` +
+                     ``error`` text).  Pushed the moment the job
+                     resolves; the coordinator retains nothing.
+
+auth (protocol 3, only when the coordinator holds a shared secret):
+    ``auth_challenge`` first frame after accept: a ``nonce`` the peer
+                       must fold into its ``hello``'s ``auth`` field
+                       (HMAC-SHA256 of the nonce under the secret).
+    ``auth_reject``    the ``hello`` was missing, late, or carried a
+                       bad digest; the coordinator closes after this.
 
 coordinator → worker:
     ``job``      a leased job (``job`` id) + pickled ``(fn, item)``.
@@ -46,6 +71,8 @@ coordinator → worker:
                  (protocol 1 only — v2 workers block until a ``job``).
     ``pong``     heartbeat reply; proves the coordinator is alive.
     ``shutdown`` drain and disconnect.
+    ``prefetch`` a pushed trace artifact (same shape as the client
+                 frame); the worker stores it before its next job.
 
 Versioning
 ----------
@@ -54,14 +81,19 @@ Versioning
 (no ``proto`` field) poll with ``request``/``idle`` and are presumed
 alive while their TCP connection stays open; version 2 peers heartbeat
 with ``ping`` and park blocked ``request``\\ s at the coordinator until
-work arrives.  The coordinator speaks both, so a v1 worker can still
-join a v2 cluster.
+work arrives.  Version 3 added the session frames (``role: "client"``
+hellos, ``submit``/``batch_result``/``cancel``/``prefetch``) and the
+shared-secret challenge — all additive, so v1/v2 workers still join a
+v3 cluster (they merely never see a prefetch).
 """
 
 from __future__ import annotations
 
+import hashlib
+import hmac
 import json
 import pickle
+import secrets
 import select
 import socket
 import struct
@@ -70,9 +102,11 @@ from typing import Any
 #: Wire protocol generation announced in ``hello`` frames.  Version 2
 #: added ``ping``/``pong`` heartbeats, blocking job requests, and the
 #: additive observability frames (``status``, ``status_request``/
-#: ``status_reply``, observer ``role``) — peers that never send them
-#: interoperate unchanged.
-PROTOCOL_VERSION = 2
+#: ``status_reply``, observer ``role``); version 3 added client
+#: sessions (``submit``/``batch_result``/``cancel``/``prefetch``) and
+#: the shared-secret challenge handshake — peers that never send the
+#: new frames interoperate unchanged.
+PROTOCOL_VERSION = 3
 
 # -- frame types ---------------------------------------------------------
 #
@@ -91,19 +125,30 @@ MSG_STATUS = "status"              # v2
 # observer <-> coordinator (v2)
 MSG_STATUS_REQUEST = "status_request"
 MSG_STATUS_REPLY = "status_reply"
+# client -> coordinator (v3 sessions)
+MSG_SUBMIT = "submit"
+MSG_CANCEL = "cancel"
+MSG_PREFETCH = "prefetch"          # also coordinator -> worker
+# coordinator -> client (v3 sessions)
+MSG_BATCH_RESULT = "batch_result"
+# auth handshake (v3, secret-holding coordinators only)
+MSG_AUTH_CHALLENGE = "auth_challenge"
+MSG_AUTH_REJECT = "auth_reject"
 # coordinator -> worker
 MSG_JOB = "job"
 MSG_IDLE = "idle"                  # v1 polling only
 MSG_PONG = "pong"                  # v2
 MSG_SHUTDOWN = "shutdown"
 
-#: Registry of every frame type either protocol generation may carry.
+#: Registry of every frame type any protocol generation may carry.
 #: The protocol is *additive*: an unknown type from a newer peer is
 #: ignored, never an error — but everything this codebase sends or
 #: dispatches on must be enumerated here.
 FRAME_TYPES = frozenset({
     MSG_HELLO, MSG_REQUEST, MSG_RESULT, MSG_ERROR, MSG_PING, MSG_STATUS,
     MSG_STATUS_REQUEST, MSG_STATUS_REPLY,
+    MSG_SUBMIT, MSG_CANCEL, MSG_PREFETCH, MSG_BATCH_RESULT,
+    MSG_AUTH_CHALLENGE, MSG_AUTH_REJECT,
     MSG_JOB, MSG_IDLE, MSG_PONG, MSG_SHUTDOWN,
 })
 
@@ -231,3 +276,52 @@ def connect(addr: str, timeout: float | None = None,
             if time.monotonic() >= deadline:
                 raise
             time.sleep(0.05)
+
+
+# -- shared-secret auth (protocol 3) --------------------------------------
+#
+# A coordinator serving an untrusted interface holds a shared secret.
+# On accept it sends ``auth_challenge`` with a fresh nonce; the peer's
+# ``hello`` must carry ``auth``, the HMAC-SHA256 digest of that nonce
+# under the secret.  The secret itself never crosses the wire, and a
+# replayed hello fails against the next connection's fresh nonce.
+
+#: How long a peer connecting to a possibly-secured coordinator waits
+#: for the challenge before concluding the interface is open.  An open
+#: coordinator sends nothing on accept, so this wait is pure latency
+#: only when a ``secret`` was configured client-side but not server-side
+#: (a misconfiguration that fails loud soon after anyway).
+AUTH_CHALLENGE_WAIT_S = 2.0
+
+
+def make_nonce() -> str:
+    """A fresh per-connection challenge nonce."""
+    return secrets.token_hex(16)
+
+
+def auth_digest(secret: str, nonce: str) -> str:
+    """HMAC-SHA256 answer to an ``auth_challenge`` nonce."""
+    return hmac.new(
+        secret.encode(), nonce.encode(), hashlib.sha256
+    ).hexdigest()
+
+
+def client_handshake(sock: socket.socket, hello: dict,
+                     secret: str | None = None) -> None:
+    """Send the ``hello``, answering an ``auth_challenge`` if one comes.
+
+    Every connecting peer (worker, observer, client session) funnels
+    through here.  With a ``secret``, the peer waits briefly for the
+    coordinator's challenge and folds the digest into its hello;
+    without one it hellos immediately — an open coordinator never
+    challenges, so the common case costs nothing.
+    """
+    if secret:
+        try:
+            header, _ = recv_msg(sock, timeout=AUTH_CHALLENGE_WAIT_S)
+        except ReceiveTimeout:
+            header = None
+        if header is not None and header.get("type") == MSG_AUTH_CHALLENGE:
+            nonce = str(header.get("nonce", ""))
+            hello = dict(hello, auth=auth_digest(secret, nonce))
+    send_msg(sock, hello)

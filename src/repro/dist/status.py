@@ -16,33 +16,69 @@ import socket
 import time
 
 from repro.dist.protocol import (
+    MSG_AUTH_REJECT,
     MSG_HELLO,
     MSG_STATUS_REPLY,
     MSG_STATUS_REQUEST,
     PROTOCOL_VERSION,
     ReceiveTimeout,
+    client_handshake,
     connect,
     recv_msg,
     send_msg,
 )
 
+#: Pause between connection attempts when ``retries`` is given.  Long
+#: enough for a coordinator mid-restart to finish binding, short enough
+#: that ``status --retries 3`` still feels interactive.
+RETRY_BACKOFF_S = 0.5
 
-def fetch_cluster_status(addr: str, timeout: float = 10.0) -> dict:
+
+def fetch_cluster_status(
+    addr: str,
+    timeout: float = 10.0,
+    retries: int = 0,
+    secret: str | None = None,
+) -> dict:
     """One-shot cluster status from the coordinator at ``addr``.
 
+    ``retries`` extra attempts are made after a timeout or connection
+    failure (with a short pause between attempts) — scripts polling a
+    cluster that is still coming up get a grace window instead of a
+    stack trace.  ``secret`` (default ``$REPRO_DIST_SECRET``) answers a
+    secured coordinator's auth challenge; a rejected secret raises
+    ``PermissionError`` immediately, never retried — a wrong secret
+    will not become right by asking again.
+
     Raises ``TimeoutError`` when no reply lands within ``timeout``
-    seconds, and the usual ``ConnectionError``/``OSError`` family when
-    the coordinator is unreachable.
+    seconds on the last attempt, and the usual
+    ``ConnectionError``/``OSError`` family when the coordinator is
+    unreachable.
     """
+    secret = secret or os.environ.get("REPRO_DIST_SECRET") or None
+    attempts = 1 + max(0, int(retries))
+    for attempt in range(attempts):
+        try:
+            return _fetch_once(addr, timeout, secret)
+        except PermissionError:
+            raise
+        except (TimeoutError, ConnectionError, OSError):
+            if attempt == attempts - 1:
+                raise
+            time.sleep(RETRY_BACKOFF_S)
+    raise AssertionError("unreachable")
+
+
+def _fetch_once(addr: str, timeout: float, secret: str | None) -> dict:
     sock = connect(addr, timeout=timeout)
     try:
-        send_msg(sock, {
+        client_handshake(sock, {
             "type": MSG_HELLO,
             "worker": f"status-{socket.gethostname()}-{os.getpid()}",
             "proto": PROTOCOL_VERSION,
             "heartbeat": 0,
             "role": "observer",
-        })
+        }, secret=secret)
         send_msg(sock, {"type": MSG_STATUS_REQUEST})
         deadline = time.monotonic() + timeout
         while True:
@@ -55,7 +91,13 @@ def fetch_cluster_status(addr: str, timeout: float = 10.0) -> dict:
                 header, _ = recv_msg(sock, timeout=remaining)
             except ReceiveTimeout:
                 continue
-            if header.get("type") == MSG_STATUS_REPLY:
+            kind = header.get("type")
+            if kind == MSG_AUTH_REJECT:
+                raise PermissionError(
+                    f"coordinator at {addr} rejected the shared secret "
+                    f"(set REPRO_DIST_SECRET or pass --secret)"
+                )
+            if kind == MSG_STATUS_REPLY:
                 report = header.get("report")
                 return report if isinstance(report, dict) else {}
     finally:

@@ -39,18 +39,21 @@ import traceback
 
 from repro import obs
 from repro.dist.protocol import (
+    MSG_AUTH_REJECT,
     MSG_ERROR,
     MSG_HELLO,
     MSG_IDLE,
     MSG_JOB,
     MSG_PING,
     MSG_PONG,
+    MSG_PREFETCH,
     MSG_REQUEST,
     MSG_RESULT,
     MSG_SHUTDOWN,
     MSG_STATUS,
     PROTOCOL_VERSION,
     ReceiveTimeout,
+    client_handshake,
     connect,
     dumps_payload,
     loads_payload,
@@ -105,6 +108,7 @@ def run_worker(
     max_jobs: int | None = None,
     heartbeat_s: float = WORKER_HEARTBEAT_S,
     stop: threading.Event | None = None,
+    secret: str | None = None,
 ) -> int:
     """Serve jobs from the coordinator at ``addr`` until shutdown.
 
@@ -124,6 +128,10 @@ def run_worker(
             falls back to the v1 ``request``/``idle`` polling protocol.
         stop: optional event for a graceful drain — the worker finishes
             the job in hand, then disconnects instead of taking more.
+        secret: shared secret for a coordinator serving an untrusted
+            interface (``repro.cli serve --serve-secret``); the worker
+            answers the ``auth_challenge`` in its hello.  Defaults to
+            ``$REPRO_DIST_SECRET``.
 
     Returns:
         The number of jobs executed (including ones that raised).
@@ -138,6 +146,7 @@ def run_worker(
     worker_name = name or f"{socket.gethostname()}-{os.getpid()}"
     heartbeating = heartbeat_s and heartbeat_s > 0
     proto = PROTOCOL_VERSION if heartbeating else 1
+    secret = secret or os.environ.get("REPRO_DIST_SECRET") or None
     sock = connect(addr, retry_for=connect_retry_s)
     send_lock = threading.Lock()
     stop = stop if stop is not None else threading.Event()
@@ -147,10 +156,10 @@ def run_worker(
     executed_box = [0]
     try:
         with send_lock:
-            send_msg(sock, {
+            client_handshake(sock, {
                 "type": MSG_HELLO, "worker": worker_name, "proto": proto,
                 "heartbeat": heartbeat_s if heartbeating else 0,
-            })
+            }, secret=secret)
         if heartbeating:
             def _status() -> dict:
                 return {
@@ -230,9 +239,10 @@ def _await_reply(sock, heartbeating: bool, silence_limit: float | None,
                  stop: threading.Event):
     """Wait for the coordinator's answer to a ``request``.
 
-    Returns the ``(header, payload)`` frame, skipping ``pong``\\ s, or
-    ``None`` when a graceful stop was requested or the coordinator has
-    been silent past ``silence_limit`` (dead link with no EOF).
+    Returns the ``(header, payload)`` frame, skipping ``pong``\\ s and
+    storing ``prefetch`` pushes as they stream past, or ``None`` when a
+    graceful stop was requested or the coordinator has been silent past
+    ``silence_limit`` (dead link with no EOF).
     """
     last_frame = time.monotonic()
     timeout = 0.25 if heartbeating else None
@@ -247,9 +257,44 @@ def _await_reply(sock, heartbeating: bool, silence_limit: float | None,
                 return None
             continue
         last_frame = time.monotonic()
-        if header.get("type") == MSG_PONG:
+        kind = header.get("type")
+        if kind == MSG_PONG:
             continue
+        if kind == MSG_PREFETCH:
+            # Pushed artifacts arrive between the hello and the first
+            # job (and whenever a client pushes mid-run): store them
+            # before the next job needs the trace.
+            _store_prefetched(payload)
+            continue
+        if kind == MSG_AUTH_REJECT:
+            raise ConnectionError(
+                "coordinator rejected this worker: "
+                f"{header.get('error', 'authentication failed')} "
+                "(is REPRO_DIST_SECRET / --secret set to the serve "
+                "secret?)"
+            )
         return header, payload
+
+
+def _store_prefetched(payload: bytes | None) -> None:
+    """Store one pushed trace artifact in the local artifact store."""
+    obs.inc("prefetch.received")
+    if payload is None:
+        return
+    from repro.sim.artifact import active_artifact_store
+
+    try:
+        artifact = loads_payload(payload)
+    except Exception:  # noqa: BLE001 — a bad push must not kill the worker
+        return
+    store = active_artifact_store()
+    if store is None or not hasattr(artifact, "fingerprint"):
+        return
+    try:
+        store.put(artifact)
+    except (OSError, ValueError, AttributeError):
+        return
+    obs.inc("prefetch.stored")
 
 
 class WorkerPool:
@@ -273,6 +318,8 @@ class WorkerPool:
         respawn_budget: max respawns over the pool lifetime (``None``
             for ``2 * count + 2``; ``0`` disables respawning).
         heartbeat_s: worker heartbeat interval (0 = legacy v1 workers).
+        secret: shared secret forwarded to every worker (a pool serving
+            a secured ``repro.cli serve`` coordinator).
     """
 
     #: How often the monitor thread checks for dead workers.
@@ -292,7 +339,8 @@ class WorkerPool:
                  cache_dir: str | None = None,
                  cache_max_entries: int | None = None,
                  respawn_budget: int | None = None,
-                 heartbeat_s: float = WORKER_HEARTBEAT_S):
+                 heartbeat_s: float = WORKER_HEARTBEAT_S,
+                 secret: str | None = None):
         if count < 1:
             raise ValueError("WorkerPool needs count >= 1")
         self.addr = addr
@@ -302,6 +350,7 @@ class WorkerPool:
         self.respawn_budget = (2 * count + 2 if respawn_budget is None
                                else respawn_budget)
         self.heartbeat_s = heartbeat_s
+        self.secret = secret
         self.respawns = 0
         self._spawned = 0
         self._procs: list[multiprocessing.Process] = []
@@ -321,6 +370,7 @@ class WorkerPool:
                 "cache_dir": self.cache_dir,
                 "cache_max_entries": self.cache_max_entries,
                 "heartbeat_s": self.heartbeat_s,
+                "secret": self.secret,
             },
             daemon=True,
         )

@@ -311,6 +311,8 @@ def backend_for(
     dist_addr: str | None = None,
     dist_workers: int | None = None,
     dist_lease_timeout: float | None = None,
+    dist_priority: float | None = None,
+    dist_secret: str | None = None,
     batch_group_min: int = 1,
 ) -> ExecutionBackend:
     """Build the execution backend a config asks for.
@@ -327,12 +329,19 @@ def backend_for(
         cache_dir: run cache directory, propagated to every backend so
             workers can share the on-disk trace-artifact store.
         cache_max_entries: cache entry cap (LRU compaction).
-        dist_addr: ``host:port`` the dist coordinator binds (dist only).
-        dist_workers: local worker processes the dist backend spawns
-            (dist only; ``0`` expects external ``repro.cli worker``\\ s).
+        dist_addr: ``host:port`` of an external persistent cluster
+            (``repro.cli serve``) to join as a client session (dist
+            only; ``None`` starts a private loopback coordinator).
+        dist_workers: local worker processes the dist backend spawns in
+            owner mode (dist only; rejected alongside ``dist_addr``).
         dist_lease_timeout: seconds a leased dist job may stay
             unresolved before the coordinator reschedules it (dist
             only; ``None`` keeps the coordinator default).
+        dist_priority: fair-share weight of the client session on a
+            shared cluster (dist only; ``None`` means equal share).
+        dist_secret: shared secret answering a secured coordinator's
+            auth challenge (dist only; ``None`` falls back to
+            ``$REPRO_DIST_SECRET``).
         batch_group_min: smallest chunk worth shipping when evaluation
             batches equivalence groups; caps every backend's
             ``chunk_hint`` so whole groups land on one worker.
@@ -347,17 +356,21 @@ def backend_for(
         ) from None
     if backend != "dist" and (dist_addr is not None
                               or dist_workers is not None
-                              or dist_lease_timeout is not None):
-        # Silently ignoring these would leave remote workers pointed at
-        # a coordinator that never binds.
+                              or dist_lease_timeout is not None
+                              or dist_priority is not None
+                              or dist_secret is not None):
+        # Silently ignoring these would leave the run outside the
+        # cluster the user pointed it at.
         raise ValueError(
-            f"dist_addr/dist_workers/dist_lease_timeout only apply to "
-            f"backend='dist', got backend={backend!r}"
+            f"dist_addr/dist_workers/dist_lease_timeout/dist_priority/"
+            f"dist_secret only apply to backend='dist', got "
+            f"backend={backend!r}"
         )
     cache = {"cache_dir": cache_dir, "cache_max_entries": cache_max_entries,
              "batch_group_min": batch_group_min}
     dist = {"addr": dist_addr, "spawn_workers": dist_workers,
-            "lease_timeout": dist_lease_timeout}
+            "lease_timeout": dist_lease_timeout,
+            "priority": dist_priority, "secret": dist_secret}
     return factory(jobs, cache, dist)
 
 

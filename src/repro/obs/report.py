@@ -158,6 +158,23 @@ def format_cluster_status(report: dict) -> str:
                 f"  {worker.get('jobs_done', 0):<4}"
                 f"  {age_txt}"
             )
+    sessions = report.get("sessions") or []
+    if sessions:
+        name_w = max(7, max(len(str(s.get("name", "?"))) for s in sessions))
+        lines.append(
+            f"  {'SESSION':<{name_w}}  ID   PRIO  QUEUED  IN-FLIGHT"
+            f"  SUBMITTED  DONE"
+        )
+        for session in sessions:
+            lines.append(
+                f"  {str(session.get('name', '?')):<{name_w}}"
+                f"  {session.get('id', '?'):<3}"
+                f"  {session.get('priority', 1.0):<4g}"
+                f"  {session.get('queued', 0):<6}"
+                f"  {session.get('in_flight', 0):<9}"
+                f"  {session.get('submitted', 0):<9}"
+                f"  {session.get('jobs_done', 0)}"
+            )
     cluster = report.get("cluster_metrics") or {}
     cluster_counters = cluster.get("counters") or {}
     if cluster_counters:

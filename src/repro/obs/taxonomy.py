@@ -29,6 +29,14 @@ COUNTERS: dict[str, str] = {
     "codegen.programs": "test-case programs generated",
     "worker.jobs_executed": "jobs a dist worker completed (incl. raising)",
     "tuner.epochs": "tuning epochs finished",
+    "session.opened": "client sessions opened against a shared cluster",
+    "session.closed": "client sessions closed (local count)",
+    "session.jobs_submitted": "jobs submitted through a client session",
+    "session.results_received": "batch results landed on a client session",
+    "session.cancels": "cancel frames sent by a client session",
+    "prefetch.pushed": "trace artifacts a client pushed to the cluster",
+    "prefetch.received": "prefetch frames a worker received",
+    "prefetch.stored": "prefetched artifacts a worker stored locally",
 }
 
 #: Counter-name *families* whose members are composed at runtime; any

@@ -612,6 +612,36 @@ class DiskArtifactStore:
         obs.inc("cache.artifact.evictions", removed)
         return removed
 
+    def recent(self, limit: int = 8) -> list[TraceArtifact]:
+        """The newest stored artifacts, most recent first.
+
+        This is the prefetch seed: a client session opening against a
+        persistent cluster pushes these to the coordinator before its
+        first dispatch, so the sweep's working set is warm on every
+        worker before any of them traces a program.  Unreadable pickles
+        are skipped, like :meth:`get` misses.
+        """
+        if limit < 1:
+            return []
+        entries = []
+        for path in self.dir.glob("*.pkl"):
+            try:
+                entries.append((path.stat().st_mtime, path))
+            except OSError:
+                continue
+        entries.sort(key=lambda pair: pair[0], reverse=True)
+        artifacts: list[TraceArtifact] = []
+        for _, path in entries:
+            if len(artifacts) >= limit:
+                break
+            try:
+                artifact = pickle.loads(path.read_bytes())
+            except Exception:
+                continue
+            if isinstance(artifact, TraceArtifact):
+                artifacts.append(artifact)
+        return artifacts
+
     def __len__(self) -> int:
         return sum(1 for _ in self.dir.glob("*.pkl"))
 

@@ -64,22 +64,30 @@ class TestDistributedBackend:
         addressed.close()
 
     def test_external_worker_joins(self):
-        # A worker loop running elsewhere (here: a thread standing in for
-        # a remote host) serves jobs from an addressed coordinator.
-        backend = DistributedBackend(addr="127.0.0.1:0", spawn_workers=0,
-                                     worker_grace=20.0)
-        coordinator = backend._ensure_started()
-        assert coordinator is not None
+        # An addressed backend is a tenant of a persistent cluster it
+        # does not own: here a standalone coordinator plus a worker
+        # thread standing in for `repro.cli serve` + a remote host.
+        cluster = Coordinator()
+        addr = cluster.start()
         worker = threading.Thread(
-            target=run_worker, args=(coordinator.addr,),
+            target=run_worker, args=(addr,),
             kwargs={"name": "external"}, daemon=True,
         )
         worker.start()
+        backend = DistributedBackend(addr=addr, worker_grace=20.0)
         try:
             assert backend.map(_square, [5, 6]) == [25, 36]
+            # The tenant spawned and owns nothing of the cluster.
+            assert backend.coordinator is None
+            assert backend.pool is None
         finally:
             backend.close()
+            cluster.shutdown()
             worker.join(timeout=5)
+
+    def test_client_mode_rejects_spawn_workers(self):
+        with pytest.raises(ValueError, match="external persistent"):
+            DistributedBackend(addr="127.0.0.1:9900", spawn_workers=2)
 
     def test_backend_for_builds_dist(self):
         backend = backend_for("dist", jobs=2, dist_workers=1)
@@ -113,17 +121,16 @@ class TestDistributedBackend:
         with pytest.raises(ValueError, match="backend='dist'"):
             backend_for("serial", jobs=1, dist_workers=2)
 
-    def test_explicit_addr_bind_failure_is_loud(self):
-        # A requested address that cannot bind must raise, not silently
-        # degrade to serial while remote workers spin on connect.
-        squatter = Coordinator()
-        addr = squatter.start()
-        try:
-            backend = DistributedBackend(addr=addr, spawn_workers=0)
-            with pytest.raises(RuntimeError, match="cannot bind"):
-                backend.map(_square, [1])
-        finally:
-            squatter.shutdown()
+    def test_unreachable_cluster_is_loud(self):
+        # An addressed backend pointed at a dead cluster must raise,
+        # not silently degrade to a local serial run.
+        probe = Coordinator()
+        dead_addr = probe.start()
+        probe.shutdown()  # nothing listens there anymore
+        backend = DistributedBackend(addr=dead_addr)
+        with pytest.raises(RuntimeError, match="cannot reach"):
+            backend.map(_square, [1])
+        backend.close()
 
     def test_implicit_addr_degrades_to_serial_on_bind_failure(self):
         backend = DistributedBackend(spawn_workers=1)

@@ -37,7 +37,7 @@ class TestDispatchOrder:
                 coordinator._next_id += 1
                 from repro.dist.coordinator import _Job
                 coordinator._jobs[job_id] = _Job(id=job_id, payload=b"")
-                coordinator._queue.append(job_id)
+                coordinator._sessions[0].queue.append(job_id)
             sends = coordinator._dispatch_locked()
         assert [conn.seq for conn, _header, _payload in sends] == [0, 1, 2, 3]
         assert all(header["type"] == MSG_JOB for _c, header, _p in sends)
@@ -48,12 +48,12 @@ class TestDispatchOrder:
         coordinator = Coordinator()
         worker = _fake_connection(1)
         observer = _fake_connection(0)
-        observer.observer = True
+        observer.role = "observer"
         with coordinator._cv:
             coordinator._connections.update({worker, observer})
             from repro.dist.coordinator import _Job
             coordinator._jobs[0] = _Job(id=0, payload=b"")
-            coordinator._queue.append(0)
+            coordinator._sessions[0].queue.append(0)
             coordinator._next_id = 1
             sends = coordinator._dispatch_locked()
         assert [conn.seq for conn, _h, _p in sends] == [1]

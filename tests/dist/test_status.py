@@ -3,6 +3,8 @@
 import threading
 import time
 
+import pytest
+
 from repro.dist.coordinator import Coordinator
 from repro.dist.protocol import (
     PROTOCOL_VERSION,
@@ -164,4 +166,53 @@ class TestFetchClusterStatus:
         finally:
             if stop_worker is not None:
                 stop_worker()
+            coordinator.shutdown()
+
+    def test_unreachable_coordinator_raises_without_retries(self):
+        probe = Coordinator()
+        dead_addr = probe.start()
+        probe.shutdown()
+        with pytest.raises((ConnectionError, OSError, TimeoutError)):
+            fetch_cluster_status(dead_addr, timeout=1.0)
+
+    def test_retries_cover_a_coordinator_still_coming_up(self):
+        # Reserve a port, then bring the coordinator up only after a
+        # delay: the first attempt(s) fail, a retry succeeds.
+        import socket as socket_mod
+
+        probe = socket_mod.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        coordinator = Coordinator(port=port)
+
+        def late_start():
+            time.sleep(0.7)
+            coordinator.start()
+
+        starter = threading.Thread(target=late_start, daemon=True)
+        starter.start()
+        try:
+            report = fetch_cluster_status(
+                f"127.0.0.1:{port}", timeout=2.0, retries=10)
+            assert report["addr"] == f"127.0.0.1:{port}"
+        finally:
+            starter.join(timeout=5)
+            coordinator.shutdown()
+
+    def test_secured_coordinator_round_trip_and_rejection(self):
+        coordinator = Coordinator(secret="hunter2")
+        addr = coordinator.start()
+        try:
+            report = fetch_cluster_status(addr, timeout=10,
+                                          secret="hunter2")
+            assert report["addr"] == addr
+            # A wrong secret is a PermissionError immediately — never
+            # retried, a wrong secret does not become right by asking.
+            before = coordinator.auth_rejections
+            with pytest.raises(PermissionError, match="rejected"):
+                fetch_cluster_status(addr, timeout=10, retries=5,
+                                     secret="wrong")
+            assert coordinator.auth_rejections == before + 1
+        finally:
             coordinator.shutdown()
